@@ -1,0 +1,152 @@
+// Experiment F1 (paper Figure 1): the Merged Dataset Interface.
+//
+// What the paper claims: a single 3-D array interface over all datasets
+// lets analysis routines run across the whole compendium, where existing
+// tools are stuck at the scale of individual dataset files.
+//
+// What this bench reports:
+//  * MergedScan/N       — full 3-D sweep throughput vs #datasets (linear)
+//  * MergedGeneQuery/N  — cross-dataset per-gene scan ("one row across all
+//                         datasets") vs #datasets
+//  * FileBaseline/N     — the per-file workflow baseline: re-parse the PCL
+//                         file of each dataset to answer the same per-gene
+//                         query (what "launch another instance" costs)
+//  * MergedExport/N     — "Export Merged Dataset" cost
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/merged.hpp"
+#include "expr/pcl_io.hpp"
+#include "expr/synth.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+namespace ex = fv::expr;
+namespace co = fv::core;
+
+constexpr std::size_t kGenes = 1000;
+
+/// Compendia cached per dataset count (construction dominates otherwise).
+const ex::Compendium& compendium_for(std::size_t dataset_count) {
+  static std::map<std::size_t, ex::Compendium> cache;
+  const auto it = cache.find(dataset_count);
+  if (it != cache.end()) return it->second;
+  ex::CompendiumSpec spec;
+  spec.genome = ex::GenomeSpec::yeast_like(kGenes);
+  spec.stress_datasets = dataset_count;  // homogeneous: isolates scaling
+  spec.nutrient_datasets = 0;
+  spec.knockout_datasets = 0;
+  spec.noise_datasets = 0;
+  spec.seed = 1000 + dataset_count;
+  return cache.emplace(dataset_count, ex::make_compendium(spec))
+      .first->second;
+}
+
+/// Pre-serialized PCL texts, simulating the on-disk files of the baseline.
+const std::vector<std::string>& pcl_texts_for(std::size_t dataset_count) {
+  static std::map<std::size_t, std::vector<std::string>> cache;
+  const auto it = cache.find(dataset_count);
+  if (it != cache.end()) return it->second;
+  std::vector<std::string> texts;
+  for (const auto& dataset : compendium_for(dataset_count).datasets) {
+    texts.push_back(ex::format_pcl(dataset));
+  }
+  return cache.emplace(dataset_count, std::move(texts)).first->second;
+}
+
+void BM_MergedScan(benchmark::State& state) {
+  const auto dataset_count = static_cast<std::size_t>(state.range(0));
+  const auto& compendium = compendium_for(dataset_count);
+  co::MergedDatasetInterface merged(&compendium.datasets);
+  double checksum = 0.0;
+  for (auto _ : state) {
+    // Full 3-D sweep: every (dataset, gene-row, condition) cell.
+    for (std::size_t d = 0; d < merged.dataset_count(); ++d) {
+      for (const float v : merged.dataset(d).values().data()) {
+        if (!fv::stats::is_missing(v)) checksum += v;
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["measurements"] = static_cast<double>(
+      merged.total_measurements());
+  state.counters["Mvals/s"] = benchmark::Counter(
+      static_cast<double>(merged.total_measurements()) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MergedScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MergedGeneQuery(benchmark::State& state) {
+  const auto dataset_count = static_cast<std::size_t>(state.range(0));
+  const auto& compendium = compendium_for(dataset_count);
+  co::MergedDatasetInterface merged(&compendium.datasets);
+  // The paper's Figure-2 interaction: scan one gene across all datasets.
+  std::vector<co::GeneId> ids;
+  for (std::size_t g = 0; g < merged.catalog().gene_count(); g += 37) {
+    ids.push_back(static_cast<co::GeneId>(g));
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const co::GeneId gene = ids[cursor++ % ids.size()];
+    double total = 0.0;
+    for (std::size_t d = 0; d < merged.dataset_count(); ++d) {
+      const auto profile = merged.profile(d, gene);
+      if (!profile.has_value()) continue;
+      total += fv::stats::mean(*profile);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_MergedGeneQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FileBaseline(benchmark::State& state) {
+  // Baseline: the same per-gene query answered the pre-ForestView way —
+  // parse each dataset's file, then look the gene up.
+  const auto dataset_count = static_cast<std::size_t>(state.range(0));
+  const auto& texts = pcl_texts_for(dataset_count);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const std::string& text : texts) {
+      const ex::Dataset dataset = ex::parse_pcl(text, "tmp");
+      if (const auto row = dataset.row_of("YAL001C"); row.has_value()) {
+        total += fv::stats::mean(dataset.profile(*row));
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_FileBaseline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MergedExport(benchmark::State& state) {
+  const auto dataset_count = static_cast<std::size_t>(state.range(0));
+  const auto& compendium = compendium_for(dataset_count);
+  co::MergedDatasetInterface merged(&compendium.datasets);
+  std::vector<co::GeneId> genes;
+  for (co::GeneId g = 0; g < 200; ++g) genes.push_back(g);
+  for (auto _ : state) {
+    const auto exported = merged.export_merged(genes, "export");
+    benchmark::DoNotOptimize(exported.gene_count());
+  }
+  state.counters["columns"] = static_cast<double>(
+      compendium.datasets.size() * compendium.datasets[0].condition_count());
+}
+BENCHMARK(BM_MergedExport)->Arg(2)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CatalogBuild(benchmark::State& state) {
+  const auto dataset_count = static_cast<std::size_t>(state.range(0));
+  const auto& compendium = compendium_for(dataset_count);
+  for (auto _ : state) {
+    co::GeneCatalog catalog(compendium.datasets);
+    benchmark::DoNotOptimize(catalog.gene_count());
+  }
+}
+BENCHMARK(BM_CatalogBuild)->Arg(2)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// Experiment F5 (paper Figure 5): GOLEM — GO enrichment and the local
+// exploration map.
+//
+// What the paper shows: a portion of the GO hierarchy visualized by GOLEM,
+// backing "robust statistical analyses of clusters" plus context.
+//
+// What this bench reports:
+//  * Propagate/terms   — true-path propagation cost vs ontology size
+//  * Enrich/terms      — enrichment cost vs ontology size
+//  * LocalMap/focus    — subgraph extraction + layered layout cost
+//  * DrawMap           — map rasterization cost
+//  * quality report    — planted-term recovery (rank & q-value) per module
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "expr/synth.hpp"
+#include "go/golem.hpp"
+#include "go/local_map.hpp"
+#include "go/synth_ontology.hpp"
+#include "render/framebuffer.hpp"
+
+namespace {
+
+namespace ex = fv::expr;
+namespace go = fv::go;
+
+const ex::SynthGenome& genome() {
+  static const ex::SynthGenome g =
+      ex::make_genome(ex::GenomeSpec::yeast_like(1500), 51);
+  return g;
+}
+
+/// Ontologies of increasing size via depth (4^d leaves).
+const go::SynthOntology& ontology_for(std::size_t depth) {
+  static std::map<std::size_t, std::unique_ptr<go::SynthOntology>> cache;
+  const auto it = cache.find(depth);
+  if (it != cache.end()) return *it->second;
+  go::SynthOntologySpec spec;
+  spec.depth = depth;
+  spec.seed = 60 + depth;
+  auto synth = std::make_unique<go::SynthOntology>(
+      go::make_synth_ontology(genome(), spec));
+  return *cache.emplace(depth, std::move(synth)).first->second;
+}
+
+std::vector<std::string> module_query(const std::string& module) {
+  std::vector<std::string> query;
+  for (const std::size_t g : genome().module_members(module)) {
+    query.push_back(genome().gene(g).systematic_name);
+  }
+  return query;
+}
+
+void BM_Propagate(benchmark::State& state) {
+  const auto& synth = ontology_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto propagated = synth.direct.propagated();
+    benchmark::DoNotOptimize(propagated.gene_count());
+  }
+  state.counters["terms"] = static_cast<double>(
+      synth.ontology->term_count());
+}
+BENCHMARK(BM_Propagate)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Enrich(benchmark::State& state) {
+  const auto& synth = ontology_for(static_cast<std::size_t>(state.range(0)));
+  const auto query = module_query("ESR_UP");
+  for (auto _ : state) {
+    const auto result = go::enrich(synth.propagated, query);
+    benchmark::DoNotOptimize(result.terms.size());
+  }
+  state.counters["terms"] = static_cast<double>(
+      synth.ontology->term_count());
+}
+BENCHMARK(BM_Enrich)->Arg(3)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_LocalMap(benchmark::State& state) {
+  const auto& synth = ontology_for(4);
+  const auto query = module_query("ESR_UP");
+  const auto enrichment = go::enrich(synth.propagated, query);
+  for (auto _ : state) {
+    const auto map = go::build_local_map(*synth.ontology, enrichment, 0.05);
+    benchmark::DoNotOptimize(map.nodes.size());
+  }
+}
+BENCHMARK(BM_LocalMap);
+
+void BM_DrawMap(benchmark::State& state) {
+  const auto& synth = ontology_for(4);
+  const auto enrichment = go::enrich(synth.propagated, module_query("RP"));
+  const auto map = go::build_local_map(*synth.ontology, enrichment, 0.05);
+  fv::render::Framebuffer fb(1024, 768);
+  for (auto _ : state) {
+    go::draw_local_map(fb, *synth.ontology, map, 0, 0, 1024, 768);
+    benchmark::DoNotOptimize(fb.pixel_count());
+  }
+}
+BENCHMARK(BM_DrawMap)->Unit(benchmark::kMillisecond);
+
+void print_quality_report() {
+  std::printf("\n[F5 quality] planted-term recovery per module (depth-4 "
+              "ontology, %zu terms):\n",
+              ontology_for(4).ontology->term_count());
+  std::printf("  %-8s %-6s %-12s %-12s\n", "module", "rank", "q(BH)",
+              "fold");
+  const auto& synth = ontology_for(4);
+  for (const std::string& module : genome().module_names()) {
+    const auto result = go::enrich(synth.propagated, module_query(module));
+    const go::TermIndex truth = synth.module_terms.at(module);
+    std::size_t rank = 0;
+    for (std::size_t i = 0; i < result.terms.size(); ++i) {
+      if (result.terms[i].term == truth) {
+        rank = i + 1;
+        std::printf("  %-8s %-6zu %-12.2e %-12.1f\n", module.c_str(), rank,
+                    result.terms[i].q_benjamini_hochberg,
+                    result.terms[i].fold_enrichment);
+        break;
+      }
+    }
+    if (rank == 0) std::printf("  %-8s NOT RECOVERED\n", module.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_quality_report();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Experiment F6 (paper Figure 6): the integrated ForestView + SPELL + GOLEM
+// workflow, against the pre-ForestView baseline the paper describes:
+// "we would need to launch over a dozen independent instances of a program
+//  and continually cut and paste selections between instances."
+//
+// What this bench reports:
+//  * IntegratedWorkflow — one session: select cluster -> SPELL reorder +
+//    highlight -> GOLEM enrich -> render frame
+//  * CutAndPasteBaseline — per-dataset single-pane "instances": for each
+//    dataset, re-parse its file, look up the gene list by hand (the paste),
+//    render a single-dataset frame; enrichment requires an export/import
+//    round trip through GMT text
+//  * operations report  — user-visible operation counts for both paths
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/adapters.hpp"
+#include "core/app.hpp"
+#include "expr/gmt_io.hpp"
+#include "expr/pcl_io.hpp"
+#include "expr/synth.hpp"
+#include "go/synth_ontology.hpp"
+
+namespace {
+
+namespace ex = fv::expr;
+namespace co = fv::core;
+namespace go = fv::go;
+
+struct Fixture {
+  ex::Compendium compendium;
+  go::SynthOntology ontology;
+  std::vector<std::string> query;
+  std::vector<std::string> pcl_texts;  ///< the baseline's "files"
+
+  Fixture()
+      : compendium(make()),
+        ontology(go::make_synth_ontology(compendium.genome)) {
+    for (const std::size_t g :
+         compendium.genome.module_members("ESR_UP")) {
+      query.push_back(compendium.genome.gene(g).systematic_name);
+      if (query.size() == 6) break;
+    }
+    for (const auto& dataset : compendium.datasets) {
+      pcl_texts.push_back(ex::format_pcl(dataset));
+    }
+  }
+
+  static ex::Compendium make() {
+    ex::CompendiumSpec spec;
+    spec.genome = ex::GenomeSpec::yeast_like(800);
+    spec.stress_datasets = 4;
+    spec.nutrient_datasets = 4;
+    spec.knockout_datasets = 2;
+    spec.noise_datasets = 2;  // 12 datasets: the paper's "over a dozen"
+    spec.seed = 6000;
+    return ex::make_compendium(spec);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+/// Copies datasets so every iteration starts from a fresh session.
+std::vector<ex::Dataset> dataset_copy() {
+  return fixture().compendium.datasets;
+}
+
+void BM_IntegratedWorkflow(benchmark::State& state) {
+  std::size_t operations = 0;
+  for (auto _ : state) {
+    co::Session session(dataset_copy());
+    // 1. SPELL: one query reorders all panes and selects the hits.
+    const auto integration =
+        co::apply_spell_search(session, fixture().query, 20);
+    // 2. GOLEM on the selection, in place.
+    const auto enrichment =
+        co::run_golem_on_selection(session, fixture().ontology.propagated);
+    // 3. One synchronized frame across all datasets.
+    co::ForestViewApp app(&session);
+    co::FrameConfig config;
+    config.width = 1600;
+    config.height = 1200;
+    const auto frame = app.render_desktop(config);
+    benchmark::DoNotOptimize(frame.pixel_count());
+    benchmark::DoNotOptimize(enrichment.terms.size());
+    operations = session.operation_count();
+  }
+  state.counters["user_operations"] = static_cast<double>(operations);
+}
+BENCHMARK(BM_IntegratedWorkflow)->Unit(benchmark::kMillisecond);
+
+void BM_CutAndPasteBaseline(benchmark::State& state) {
+  // The paper's described alternative: one single-dataset instance per
+  // dataset. Each "instance" re-parses its file, the user pastes the gene
+  // list into each one, and enrichment needs a GMT export/import hop.
+  // User operations: per dataset (launch + paste + export) plus the final
+  // import into the enrichment tool.
+  std::size_t operations = 0;
+  for (auto _ : state) {
+    std::vector<std::string> collected_genes = fixture().query;
+    operations = 0;
+    for (const std::string& text : fixture().pcl_texts) {
+      // "launch an instance": parse the file from scratch.
+      const ex::Dataset dataset = ex::parse_pcl(text, "instance");
+      ++operations;  // launch
+      // "paste the selection": resolve the gene list in this instance.
+      std::vector<std::size_t> rows;
+      for (const std::string& gene : fixture().query) {
+        if (const auto row = dataset.row_of(gene); row.has_value()) {
+          rows.push_back(*row);
+        }
+      }
+      ++operations;  // paste
+      // Single-dataset render (its own pane, no synchronization).
+      std::vector<ex::Dataset> one;
+      one.push_back(dataset);
+      co::Session solo(std::move(one));
+      std::vector<co::GeneId> ids;
+      for (const std::size_t row : rows) {
+        ids.push_back(solo.merged().catalog().id_of_row(0, row));
+      }
+      solo.select_from_analysis(ids, "paste");
+      co::ForestViewApp app(&solo);
+      co::FrameConfig config;
+      config.width = 400;
+      config.height = 1200;  // one pane's worth of screen
+      benchmark::DoNotOptimize(app.render_desktop(config).pixel_count());
+      // "export the gene list" for the external enrichment tool.
+      const auto gmt = ex::format_gmt({solo.export_selection("sel")});
+      ++operations;  // export
+      for (const auto& set : ex::parse_gmt(gmt)) {
+        for (const auto& gene : set.genes) collected_genes.push_back(gene);
+      }
+    }
+    // Final hop: import into the standalone GOLEM.
+    const auto enrichment =
+        go::enrich(fixture().ontology.propagated, collected_genes);
+    ++operations;  // import into enrichment tool
+    benchmark::DoNotOptimize(enrichment.terms.size());
+  }
+  state.counters["user_operations"] = static_cast<double>(operations);
+}
+BENCHMARK(BM_CutAndPasteBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf(
+      "\n[F6 operations] integrated session: 2 user operations (one SPELL "
+      "query + implicit selection) regardless of dataset count; "
+      "cut-and-paste baseline: 3 per dataset + 1 = %zu for the %zu-dataset "
+      "compendium — O(1) vs O(n) user effort, the paper's §4 contrast.\n",
+      3 * fixture().compendium.datasets.size() + 1,
+      fixture().compendium.datasets.size());
+  return 0;
+}

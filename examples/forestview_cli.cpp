@@ -1,0 +1,208 @@
+// forestview_cli — command-line front end over the library, the entry point
+// a downstream lab would script against. Subcommands:
+//
+//   generate <dir> [--genes N] [--seed S]
+//       synthesize a compendium directory (PCL + manifest)
+//   cluster <dir> <dataset> [--metric pearson|euclidean] [--linkage avg|...]
+//       hierarchically cluster one member dataset in place (PCL -> CDT+GTR)
+//   render <dir> <out.ppm> [--select g1,g2,...] [--width W] [--height H]
+//       render the synchronized multi-pane frame
+//   search <dir> g1,g2,... [--top N] [--iterate R]
+//       SPELL search; prints ranked datasets and genes
+//   wall <dir> <out.ppm> [--tiles CxR] [--select g1,g2,...]
+//       render on the simulated display wall and report frame statistics
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/hclust.hpp"
+#include "core/app.hpp"
+#include "core/session.hpp"
+#include "expr/compendium_io.hpp"
+#include "expr/synth.hpp"
+#include "spell/spell.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+namespace ex = fv::expr;
+namespace co = fv::core;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: forestview_cli <generate|cluster|render|search|wall> "
+               "...\n  see the header comment of forestview_cli.cpp for "
+               "per-command flags\n");
+  return 2;
+}
+
+/// Trivial flag scanner: returns the value following `--name`, or fallback.
+std::string flag(int argc, char** argv, const char* name,
+                 const std::string& fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+std::vector<std::string> comma_list(const std::string& text) {
+  std::vector<std::string> items;
+  for (const auto part : fv::str::split(text, ',')) {
+    const auto trimmed = fv::str::trim(part);
+    if (!trimmed.empty()) items.emplace_back(trimmed);
+  }
+  return items;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string dir = argv[0];
+  ex::CompendiumSpec spec;
+  spec.genome = ex::GenomeSpec::yeast_like(static_cast<std::size_t>(
+      std::stoul(flag(argc, argv, "--genes", "1000"))));
+  spec.seed = std::stoull(flag(argc, argv, "--seed", "2007"));
+  spec.stress_datasets = 2;
+  spec.nutrient_datasets = 1;
+  spec.knockout_datasets = 1;
+  spec.noise_datasets = 1;
+  const auto compendium = ex::make_compendium(spec);
+  ex::save_compendium_dir(compendium.datasets, dir);
+  std::printf("wrote %zu datasets (%zu genes) to %s\n",
+              compendium.datasets.size(), compendium.genome.gene_count(),
+              dir.c_str());
+  return 0;
+}
+
+int cmd_cluster(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string dir = argv[0];
+  const std::string name = argv[1];
+  auto datasets = ex::load_compendium_dir(dir);
+  fv::cluster::Metric metric =
+      flag(argc, argv, "--metric", "pearson") == "euclidean"
+          ? fv::cluster::Metric::kEuclidean
+          : fv::cluster::Metric::kPearson;
+  const std::string linkage_name = flag(argc, argv, "--linkage", "avg");
+  fv::cluster::Linkage linkage =
+      linkage_name == "single"     ? fv::cluster::Linkage::kSingle
+      : linkage_name == "complete" ? fv::cluster::Linkage::kComplete
+                                   : fv::cluster::Linkage::kAverage;
+  bool found = false;
+  fv::par::ThreadPool pool;
+  for (auto& dataset : datasets) {
+    if (dataset.name() != name) continue;
+    found = true;
+    fv::cluster::cluster_genes(dataset, metric, linkage, pool);
+    fv::cluster::cluster_arrays(dataset, fv::cluster::Metric::kEuclidean,
+                                linkage, pool);
+    std::printf("clustered %s (%zu genes x %zu arrays)\n", name.c_str(),
+                dataset.gene_count(), dataset.condition_count());
+  }
+  if (!found) {
+    std::fprintf(stderr, "dataset '%s' not in %s\n", name.c_str(),
+                 dir.c_str());
+    return 1;
+  }
+  ex::save_compendium_dir(datasets, dir);
+  return 0;
+}
+
+int cmd_render(int argc, char** argv) {
+  if (argc < 2) return usage();
+  co::Session session(ex::load_compendium_dir(argv[0]));
+  const std::string select = flag(argc, argv, "--select", "");
+  if (!select.empty()) {
+    const std::size_t found = session.select_by_names(comma_list(select));
+    std::printf("selected %zu of the requested genes\n", found);
+  } else {
+    session.select_region(0, 0, 50);
+  }
+  co::ForestViewApp app(&session);
+  co::FrameConfig config;
+  config.width = std::stol(flag(argc, argv, "--width", "1600"));
+  config.height = std::stol(flag(argc, argv, "--height", "1200"));
+  fv::render::write_ppm(app.render_desktop(config), argv[1]);
+  std::printf("wrote %s\n", argv[1]);
+  return 0;
+}
+
+int cmd_search(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const auto datasets = ex::load_compendium_dir(argv[0]);
+  const auto query = comma_list(argv[1]);
+  const auto top = static_cast<std::size_t>(
+      std::stoul(flag(argc, argv, "--top", "15")));
+  const auto rounds = static_cast<std::size_t>(
+      std::stoul(flag(argc, argv, "--iterate", "1")));
+  const fv::spell::SpellSearch search(datasets);
+  fv::spell::SpellOptions options;
+  options.exclude_query_from_ranking = true;
+  const auto iterative =
+      fv::spell::iterative_search(search, query, rounds, 5, options);
+  const auto& result = iterative.final_result;
+  std::printf("datasets by relevance:\n");
+  for (const auto& score : result.dataset_ranking) {
+    std::printf("  %-20s weight=%.3f\n",
+                datasets[score.dataset_index].name().c_str(), score.weight);
+  }
+  std::printf("top %zu genes (after %zu round(s), query grew to %zu):\n",
+              top, iterative.rounds_run, iterative.expanded_query.size());
+  for (std::size_t i = 0; i < top && i < result.gene_ranking.size(); ++i) {
+    std::printf("  %2zu. %-12s %.3f\n", i + 1,
+                result.gene_ranking[i].gene.c_str(),
+                result.gene_ranking[i].score);
+  }
+  return 0;
+}
+
+int cmd_wall(int argc, char** argv) {
+  if (argc < 2) return usage();
+  co::Session session(ex::load_compendium_dir(argv[0]));
+  const std::string select = flag(argc, argv, "--select", "");
+  if (!select.empty()) {
+    session.select_by_names(comma_list(select));
+  } else {
+    session.select_region(0, 0, 80);
+  }
+  const auto tiles = comma_list(flag(argc, argv, "--tiles", "6x4"));
+  fv::wall::WallSpec spec = fv::wall::WallSpec::princeton_wall();
+  if (!tiles.empty()) {
+    const auto parts = fv::str::split(tiles[0], 'x');
+    if (parts.size() == 2) {
+      spec.tile_cols = std::stoul(std::string(parts[0]));
+      spec.tile_rows = std::stoul(std::string(parts[1]));
+    }
+  }
+  co::ForestViewApp app(&session);
+  const auto wall = app.render_wall(spec);
+  std::printf("wall %zux%zu tiles (%.1f Mpixel): %.1f ms frame, %zu/%zu "
+              "commands executed, %.2f MB shipped\n",
+              spec.tile_cols, spec.tile_rows,
+              static_cast<double>(wall.stats.pixels) / 1e6,
+              wall.stats.total_seconds * 1e3, wall.stats.commands_executed,
+              wall.commands * spec.tile_count(),
+              static_cast<double>(wall.stats.bytes_distributed) / 1e6);
+  fv::render::write_ppm(wall.frame, argv[1]);
+  std::printf("wrote %s\n", argv[1]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc - 2, argv + 2);
+    if (command == "cluster") return cmd_cluster(argc - 2, argv + 2);
+    if (command == "render") return cmd_render(argc - 2, argv + 2);
+    if (command == "search") return cmd_search(argc - 2, argv + 2);
+    if (command == "wall") return cmd_wall(argc - 2, argv + 2);
+  } catch (const fv::Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}

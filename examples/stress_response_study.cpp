@@ -1,0 +1,136 @@
+// Reproduction of the paper's §4 biological-insight study.
+//
+// The collaborator's question: "is the traditional global stress response
+// signal present in other types of data?" Workflow, exactly as described:
+//  1. load standard stress datasets, a nutrient-limitation study and a
+//     knockout compendium side by side,
+//  2. find and select clusters of genes in the nutrient/knockout data that
+//     look like a stress-response effect,
+//  3. examine how those genes relate to each other within the stress data.
+//
+// Because our compendium is synthetic with planted modules, the script can
+// also *score* the discovery: the selected cluster should be dominated by
+// ESR genes, and its within-stress-data correlation should be high.
+//
+// Run:  ./stress_response_study [output.ppm]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "cluster/hclust.hpp"
+#include "core/app.hpp"
+#include "core/session.hpp"
+#include "expr/synth.hpp"
+#include "stats/correlation.hpp"
+
+namespace ex = fv::expr;
+namespace cl = fv::cluster;
+
+int main(int argc, char** argv) {
+  const std::string output = argc > 1 ? argv[1] : "stress_study.ppm";
+
+  // --- the three data sources of §4 ---------------------------------------
+  const auto genome = ex::make_genome(ex::GenomeSpec::yeast_like(1200), 41);
+  ex::StressDatasetSpec stress_spec;
+  stress_spec.name = "gasch_stress";
+  ex::NutrientDatasetSpec nutrient_spec;
+  nutrient_spec.name = "saldanha_nutrient";
+  ex::KnockoutDatasetSpec knockout_spec;
+  knockout_spec.name = "hughes_knockout";
+  knockout_spec.knockouts = 150;
+  knockout_spec.slow_growth_fraction = 0.2;
+
+  std::vector<ex::Dataset> datasets;
+  datasets.push_back(ex::make_stress_dataset(genome, stress_spec, 1));
+  datasets.push_back(ex::make_nutrient_dataset(genome, nutrient_spec, 2));
+  auto knockout = ex::make_knockout_dataset(genome, knockout_spec, 3);
+  datasets.push_back(std::move(knockout.dataset));
+
+  // --- step 2: cluster the knockout data and pick the suspicious cluster --
+  fv::par::ThreadPool pool;
+  const auto merges = cl::cluster_genes(datasets[2], cl::Metric::kPearson,
+                                        cl::Linkage::kAverage, pool);
+  const auto tree = *datasets[2].gene_tree();
+  const auto clusters = cl::cut_tree_at_similarity(tree, 0.35);
+  // The "suspected stress response" cluster: the largest one.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < clusters.size(); ++i) {
+    if (clusters[i].size() > clusters[best].size()) best = i;
+  }
+  std::printf("knockout data: %zu clusters at similarity 0.35; largest has "
+              "%zu genes\n",
+              clusters.size(), clusters[best].size());
+
+  fv::core::Session session(std::move(datasets));
+  std::vector<fv::core::GeneId> picked;
+  for (const std::size_t row : clusters[best]) {
+    picked.push_back(session.merged().catalog().id_of_row(2, row));
+  }
+  session.select_from_analysis(picked, "knockout-clustering");
+
+  // --- step 3: how do those genes behave inside the stress data? ---------
+  const auto& stress = session.dataset(0);
+  std::vector<std::size_t> stress_rows;
+  for (const auto gene : session.selection().ordered()) {
+    if (const auto row = session.merged().catalog().row_in(0, gene);
+        row.has_value()) {
+      stress_rows.push_back(*row);
+    }
+  }
+  double total_corr = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < stress_rows.size() && i < 60; ++i) {
+    for (std::size_t j = i + 1; j < stress_rows.size() && j < 60; ++j) {
+      total_corr += fv::stats::pearson(stress.profile(stress_rows[i]),
+                                       stress.profile(stress_rows[j]));
+      ++pairs;
+    }
+  }
+  const double mean_corr = pairs > 0 ? total_corr / pairs : 0.0;
+  std::printf("selected cluster inside stress data: %zu/%zu genes measured, "
+              "mean pairwise correlation %.3f\n",
+              stress_rows.size(), session.selection().size(), mean_corr);
+
+  // --- ground-truth scoring (impossible with the paper's real data) ------
+  std::size_t esr = 0;
+  for (const auto gene : session.selection().ordered()) {
+    const auto& name = session.merged().catalog().name(gene);
+    for (const std::size_t g : genome.module_members("ESR_UP")) {
+      if (genome.gene(g).systematic_name == name) {
+        ++esr;
+        break;
+      }
+    }
+    for (const std::size_t g : genome.module_members("RP")) {
+      if (genome.gene(g).systematic_name == name) {
+        ++esr;
+        break;
+      }
+    }
+  }
+  std::printf("ground truth: %zu of %zu selected genes belong to the planted "
+              "stress program (ESR_UP or RP)\n",
+              esr, session.selection().size());
+  std::printf("conclusion: %s\n",
+              mean_corr > 0.4
+                  ? "the knockout-derived cluster carries the global stress "
+                    "response signal — the paper's §4 insight"
+                  : "no strong stress signal found (unexpected)");
+
+  // The paper's contrast: doing this without ForestView needs "over a dozen
+  // independent instances" and cut-and-paste; here it is one session.
+  std::printf("session operations used: %zu (see event log below)\n",
+              session.operation_count());
+  for (const auto& entry : session.event_log()) {
+    std::printf("  - %s\n", entry.c_str());
+  }
+
+  fv::core::ForestViewApp app(&session);
+  fv::core::FrameConfig config;
+  config.width = 1920;
+  config.height = 1080;
+  fv::render::write_ppm(app.render_desktop(config), output);
+  std::printf("wrote %s\n", output.c_str());
+  (void)merges;
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "cluster/distance.hpp"
+
+#include <cmath>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+
+namespace fv::cluster {
+
+double profile_distance(std::span<const float> a, std::span<const float> b,
+                        Metric metric) {
+  switch (metric) {
+    case Metric::kPearson:
+      return 1.0 - stats::pearson(a, b);
+    case Metric::kUncenteredPearson:
+      return 1.0 - stats::uncentered_pearson(a, b);
+    case Metric::kSpearman:
+      return 1.0 - stats::spearman(a, b);
+    case Metric::kEuclidean: {
+      double sum = 0.0;
+      std::size_t pairs = 0;
+      FV_REQUIRE(a.size() == b.size(), "profiles must have equal length");
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (stats::is_missing(a[i]) || stats::is_missing(b[i])) continue;
+        const double diff = static_cast<double>(a[i]) - b[i];
+        sum += diff * diff;
+        ++pairs;
+      }
+      if (pairs == 0) return 0.0;
+      // Scale by coverage so profiles with many missing cells are not
+      // artificially close (Cluster 3.0 uses the same convention).
+      return std::sqrt(sum * static_cast<double>(a.size()) /
+                       static_cast<double>(pairs));
+    }
+  }
+  FV_ASSERT(false, "unhandled metric");
+  return 0.0;
+}
+
+namespace {
+
+DistanceMatrix pairwise(std::size_t n,
+                        const std::function<std::span<const float>(std::size_t)>&
+                            profile,
+                        Metric metric, par::ThreadPool& pool) {
+  DistanceMatrix distances(n);
+  // Each task owns one row i and fills d(i, j) for j > i; writes are
+  // disjoint per (i, j) pair so no synchronization is needed.
+  par::parallel_for(pool, 0, n, 1, [&](std::size_t i) {
+    const auto row_i = profile(i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      distances.set(i, j,
+                    static_cast<float>(profile_distance(row_i, profile(j),
+                                                        metric)));
+    }
+  });
+  return distances;
+}
+
+}  // namespace
+
+DistanceMatrix row_distances(const expr::ExpressionMatrix& matrix,
+                             Metric metric, par::ThreadPool& pool) {
+  return pairwise(matrix.rows(),
+                  [&](std::size_t r) { return matrix.row(r); }, metric, pool);
+}
+
+DistanceMatrix row_distances(const expr::ExpressionMatrix& matrix,
+                             Metric metric) {
+  return row_distances(matrix, metric, par::ThreadPool::shared());
+}
+
+DistanceMatrix column_distances(const expr::ExpressionMatrix& matrix,
+                                Metric metric, par::ThreadPool& pool) {
+  // Materialize columns once; column extraction inside the pair loop would
+  // be quadratic in copies.
+  std::vector<std::vector<float>> columns(matrix.cols());
+  for (std::size_t c = 0; c < matrix.cols(); ++c) {
+    columns[c] = matrix.column(c);
+  }
+  return pairwise(matrix.cols(),
+                  [&](std::size_t c) {
+                    return std::span<const float>(columns[c]);
+                  },
+                  metric, pool);
+}
+
+}  // namespace fv::cluster

@@ -1,0 +1,66 @@
+// Pairwise distance computation for hierarchical clustering.
+//
+// TreeView-lineage tools cluster genes on correlation-based dissimilarity
+// (1 - r); Euclidean distance is provided for array (column) clustering and
+// comparisons. The full symmetric matrix is materialized because the
+// agglomeration algorithm mutates rows in place.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "expr/expression_matrix.hpp"
+#include "par/thread_pool.hpp"
+
+namespace fv::cluster {
+
+enum class Metric {
+  kPearson,            ///< 1 - Pearson correlation (pairwise complete)
+  kUncenteredPearson,  ///< 1 - uncentered correlation
+  kSpearman,           ///< 1 - Spearman rank correlation
+  kEuclidean,          ///< Euclidean over pairwise-complete coordinates
+};
+
+/// Distance between two expression profiles under the metric.
+double profile_distance(std::span<const float> a, std::span<const float> b,
+                        Metric metric);
+
+/// Full symmetric distance matrix with a mutable view, as consumed by
+/// hierarchical clustering.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+  explicit DistanceMatrix(std::size_t n) : n_(n), values_(n * n, 0.0f) {}
+
+  std::size_t size() const noexcept { return n_; }
+
+  float at(std::size_t i, std::size_t j) const {
+    FV_REQUIRE(i < n_ && j < n_, "distance index out of range");
+    return values_[i * n_ + j];
+  }
+
+  void set(std::size_t i, std::size_t j, float d) {
+    FV_REQUIRE(i < n_ && j < n_, "distance index out of range");
+    values_[i * n_ + j] = d;
+    values_[j * n_ + i] = d;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> values_;
+};
+
+/// Computes all pairwise row distances of `matrix` in parallel.
+DistanceMatrix row_distances(const expr::ExpressionMatrix& matrix,
+                             Metric metric, par::ThreadPool& pool);
+
+/// Serial convenience overload using the shared pool.
+DistanceMatrix row_distances(const expr::ExpressionMatrix& matrix,
+                             Metric metric);
+
+/// Distances between columns (arrays); used for the array dendrogram.
+DistanceMatrix column_distances(const expr::ExpressionMatrix& matrix,
+                                Metric metric, par::ThreadPool& pool);
+
+}  // namespace fv::cluster

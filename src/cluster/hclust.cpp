@@ -1,0 +1,198 @@
+#include "cluster/hclust.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fv::cluster {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+double lance_williams(Linkage linkage, double d_ak, double d_bk,
+                      std::size_t size_a, std::size_t size_b) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::min(d_ak, d_bk);
+    case Linkage::kComplete:
+      return std::max(d_ak, d_bk);
+    case Linkage::kAverage:
+      return (static_cast<double>(size_a) * d_ak +
+              static_cast<double>(size_b) * d_bk) /
+             static_cast<double>(size_a + size_b);
+  }
+  FV_ASSERT(false, "unhandled linkage");
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<Merge> agglomerate(DistanceMatrix distances, Linkage linkage) {
+  const std::size_t n = distances.size();
+  FV_REQUIRE(n >= 1, "cannot cluster an empty set");
+  std::vector<Merge> merges;
+  if (n == 1) return merges;
+  merges.reserve(n - 1);
+
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> cluster_size(n, 1);
+  std::vector<int> node_id(n);
+  for (std::size_t i = 0; i < n; ++i) node_id[i] = static_cast<int>(i);
+
+  // Nearest-neighbor cache per active slot.
+  std::vector<std::size_t> nn(n, 0);
+  std::vector<float> nn_dist(n, kInf);
+  const auto recompute_nn = [&](std::size_t i) {
+    float best = kInf;
+    std::size_t best_j = i;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || !active[j]) continue;
+      const float d = distances.at(i, j);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    nn[i] = best_j;
+    nn_dist[i] = best;
+  };
+  for (std::size_t i = 0; i < n; ++i) recompute_nn(i);
+
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    // Globally closest pair (a, nn[a]); caches are kept exact below.
+    std::size_t a = n;
+    float best = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i] && nn_dist[i] < best) {
+        best = nn_dist[i];
+        a = i;
+      }
+    }
+    FV_ASSERT(a < n, "no active pair found");
+    const std::size_t b = nn[a];
+    FV_ASSERT(active[b] && b != a, "nearest-neighbor cache corrupt");
+
+    merges.push_back(Merge{node_id[a], node_id[b],
+                           static_cast<double>(distances.at(a, b))});
+
+    // Fold cluster b into slot a via Lance–Williams.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == a || k == b) continue;
+      const double updated =
+          lance_williams(linkage, distances.at(a, k), distances.at(b, k),
+                         cluster_size[a], cluster_size[b]);
+      distances.set(a, k, static_cast<float>(updated));
+    }
+    active[b] = false;
+    cluster_size[a] += cluster_size[b];
+    node_id[a] = static_cast<int>(n + step);
+
+    recompute_nn(a);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == a) continue;
+      if (nn[k] == a || nn[k] == b) {
+        // Cached target merged away or its distance changed; rescan.
+        recompute_nn(k);
+      } else if (distances.at(k, a) < nn_dist[k]) {
+        nn[k] = a;
+        nn_dist[k] = distances.at(k, a);
+      }
+    }
+  }
+  return merges;
+}
+
+expr::HierTree merges_to_tree(const std::vector<Merge>& merges,
+                              std::size_t leaf_count,
+                              double (*similarity_from_distance)(double)) {
+  FV_REQUIRE(leaf_count >= 1, "tree needs at least one leaf");
+  FV_REQUIRE(merges.size() + 1 == leaf_count,
+             "merge count must be leaf_count - 1");
+  expr::HierTree tree(leaf_count);
+  for (const Merge& merge : merges) {
+    tree.add_node(merge.left, merge.right,
+                  similarity_from_distance(merge.distance));
+  }
+  FV_ASSERT(tree.is_complete(), "agglomeration produced a broken tree");
+  return tree;
+}
+
+double correlation_similarity(double distance) { return 1.0 - distance; }
+double negated_similarity(double distance) { return -distance; }
+
+namespace {
+
+double (*similarity_converter(Metric metric))(double) {
+  return metric == Metric::kEuclidean ? negated_similarity
+                                      : correlation_similarity;
+}
+
+}  // namespace
+
+std::vector<Merge> cluster_genes(expr::Dataset& dataset, Metric metric,
+                                 Linkage linkage, par::ThreadPool& pool) {
+  auto merges =
+      agglomerate(row_distances(dataset.values(), metric, pool), linkage);
+  dataset.attach_gene_tree(merges_to_tree(merges, dataset.gene_count(),
+                                          similarity_converter(metric)));
+  return merges;
+}
+
+std::vector<Merge> cluster_arrays(expr::Dataset& dataset, Metric metric,
+                                  Linkage linkage, par::ThreadPool& pool) {
+  auto merges =
+      agglomerate(column_distances(dataset.values(), metric, pool), linkage);
+  dataset.attach_array_tree(merges_to_tree(merges, dataset.condition_count(),
+                                           similarity_converter(metric)));
+  return merges;
+}
+
+std::vector<std::vector<std::size_t>> cut_tree_at_similarity(
+    const expr::HierTree& tree, double min_similarity) {
+  FV_REQUIRE(tree.node_count() > 0, "cannot cut an empty tree");
+  std::vector<std::vector<std::size_t>> clusters;
+  // Monotone merge heights mean: once a node's similarity clears the
+  // threshold, so do all merges beneath it.
+  std::vector<int> stack{tree.root()};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (tree.is_leaf(id)) {
+      clusters.push_back({static_cast<std::size_t>(id)});
+      continue;
+    }
+    const expr::HierTreeNode& node = tree.node(id);
+    if (node.similarity >= min_similarity) {
+      clusters.push_back(tree.leaves_under(id));
+    } else {
+      stack.push_back(node.right);
+      stack.push_back(node.left);
+    }
+  }
+  return clusters;
+}
+
+std::vector<std::vector<std::size_t>> cut_tree_k(const expr::HierTree& tree,
+                                                 std::size_t k) {
+  FV_REQUIRE(k >= 1 && k <= tree.leaf_count(),
+             "cluster count must lie in [1, leaf_count]");
+  // The last k-1 merges (highest node ids, since heights are monotone) are
+  // undone; every node below the boundary roots one cluster.
+  const std::size_t boundary = tree.node_count() - (k - 1);
+  std::vector<std::vector<std::size_t>> clusters;
+  std::vector<int> stack{tree.root()};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (!tree.is_leaf(id) && static_cast<std::size_t>(id) >= boundary) {
+      const expr::HierTreeNode& node = tree.node(id);
+      stack.push_back(node.right);
+      stack.push_back(node.left);
+    } else {
+      clusters.push_back(tree.leaves_under(id));
+    }
+  }
+  return clusters;
+}
+
+}  // namespace fv::cluster

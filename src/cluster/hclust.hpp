@@ -1,0 +1,67 @@
+// Hierarchical agglomerative clustering.
+//
+// Produces the gene/array dendrograms that ForestView panes display and the
+// GTR/ATR files store. The algorithm is the classic nearest-neighbor-cached
+// agglomeration over a mutable distance matrix with Lance–Williams updates:
+// every step merges the globally closest pair, so merge heights are
+// monotone for the reducible linkages offered here.
+#pragma once
+
+#include <vector>
+
+#include "cluster/distance.hpp"
+#include "expr/dataset.hpp"
+#include "expr/tree.hpp"
+
+namespace fv::cluster {
+
+enum class Linkage {
+  kSingle,    ///< min pairwise distance between clusters
+  kComplete,  ///< max pairwise distance
+  kAverage,   ///< UPGMA: size-weighted mean distance
+};
+
+/// One agglomeration step. Node ids follow the HierTree convention:
+/// leaves are 0..n-1, the k-th merge creates node n+k.
+struct Merge {
+  int left = -1;
+  int right = -1;
+  double distance = 0.0;
+};
+
+/// Runs agglomerative clustering over a (consumed) distance matrix.
+/// Returns the n-1 merges in execution order (non-decreasing distance).
+std::vector<Merge> agglomerate(DistanceMatrix distances, Linkage linkage);
+
+/// Converts merges to the HierTree file model. `similarity_from_distance`
+/// maps merge heights into the GTR similarity column; for correlation
+/// distances use `correlation_similarity` (1 - d).
+expr::HierTree merges_to_tree(const std::vector<Merge>& merges,
+                              std::size_t leaf_count,
+                              double (*similarity_from_distance)(double));
+
+/// Similarity conversions for merges_to_tree.
+double correlation_similarity(double distance);  ///< 1 - d
+double negated_similarity(double distance);      ///< -d (Euclidean trees)
+
+/// Clusters the dataset's genes and attaches the resulting tree.
+/// Returns the merge list for callers that need the heights.
+std::vector<Merge> cluster_genes(expr::Dataset& dataset, Metric metric,
+                                 Linkage linkage, par::ThreadPool& pool);
+
+/// Clusters the dataset's arrays (columns) and attaches the tree.
+std::vector<Merge> cluster_arrays(expr::Dataset& dataset, Metric metric,
+                                  Linkage linkage, par::ThreadPool& pool);
+
+/// Cuts a tree at a similarity threshold: returns the leaf sets of the
+/// maximal subtrees whose internal merges all have similarity >= threshold.
+/// Singletons are included, so the result is a partition of all leaves.
+std::vector<std::vector<std::size_t>> cut_tree_at_similarity(
+    const expr::HierTree& tree, double min_similarity);
+
+/// Cuts a tree into exactly k clusters (k in [1, leaf_count]) by undoing
+/// the last k-1 merges.
+std::vector<std::vector<std::size_t>> cut_tree_k(const expr::HierTree& tree,
+                                                 std::size_t k);
+
+}  // namespace fv::cluster

@@ -1,0 +1,133 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace fv::cluster {
+
+namespace {
+
+/// Squared Euclidean over pairwise-present coordinates, coverage-scaled.
+double row_centroid_distance(std::span<const float> row,
+                             const std::vector<float>& centroid) {
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (stats::is_missing(row[i])) continue;
+    const double diff = static_cast<double>(row[i]) - centroid[i];
+    sum += diff * diff;
+    ++pairs;
+  }
+  if (pairs == 0) return 0.0;
+  return sum * static_cast<double>(row.size()) / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+KMeansResult kmeans_rows(const expr::ExpressionMatrix& matrix, std::size_t k,
+                         Rng& rng, std::size_t max_iterations) {
+  const std::size_t rows = matrix.rows();
+  const std::size_t cols = matrix.cols();
+  FV_REQUIRE(k >= 1 && k <= rows, "k must lie in [1, rows]");
+  FV_REQUIRE(max_iterations >= 1, "need at least one iteration");
+
+  KMeansResult result;
+  result.assignment.assign(rows, 0);
+  result.centroids.assign(k, std::vector<float>(cols, 0.0f));
+
+  // k-means++ seeding: first centroid uniform, then proportional to squared
+  // distance to the nearest chosen centroid.
+  std::vector<std::size_t> seeds;
+  seeds.push_back(static_cast<std::size_t>(rng.uniform_u64(rows)));
+  std::vector<double> nearest(rows, std::numeric_limits<double>::infinity());
+  while (seeds.size() < k) {
+    std::vector<float> seed_centroid(cols, 0.0f);
+    const auto seed_row = matrix.row(seeds.back());
+    for (std::size_t c = 0; c < cols; ++c) {
+      seed_centroid[c] = stats::is_missing(seed_row[c]) ? 0.0f : seed_row[c];
+    }
+    double total = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      nearest[r] = std::min(nearest[r],
+                            row_centroid_distance(matrix.row(r),
+                                                  seed_centroid));
+      total += nearest[r];
+    }
+    if (total <= 0.0) {
+      // Degenerate data (all rows identical): fall back to distinct indices.
+      seeds.push_back(seeds.size() % rows);
+      continue;
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = rows - 1;
+    for (std::size_t r = 0; r < rows; ++r) {
+      pick -= nearest[r];
+      if (pick <= 0.0) {
+        chosen = r;
+        break;
+      }
+    }
+    seeds.push_back(chosen);
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto row = matrix.row(seeds[j]);
+    for (std::size_t c = 0; c < cols; ++c) {
+      result.centroids[j][c] = stats::is_missing(row[c]) ? 0.0f : row[c];
+    }
+  }
+
+  std::vector<double> sums(k * cols);
+  std::vector<std::size_t> counts(k * cols);
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    // Assign.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_j = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const double d = row_centroid_distance(matrix.row(r),
+                                               result.centroids[j]);
+        if (d < best) {
+          best = d;
+          best_j = static_cast<int>(j);
+        }
+      }
+      if (result.assignment[r] != best_j) {
+        result.assignment[r] = best_j;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+    if (!changed && iteration > 0) break;
+    // Update (present values only).
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto row = matrix.row(r);
+      const auto j = static_cast<std::size_t>(result.assignment[r]);
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (stats::is_missing(row[c])) continue;
+        sums[j * cols + c] += row[c];
+        ++counts[j * cols + c];
+      }
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (counts[j * cols + c] > 0) {
+          result.centroids[j][c] = static_cast<float>(
+              sums[j * cols + c] /
+              static_cast<double>(counts[j * cols + c]));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fv::cluster

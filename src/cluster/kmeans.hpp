@@ -1,0 +1,27 @@
+// K-means over expression rows — the non-hierarchical baseline used by the
+// benchmark harness for comparisons and by examples that need quick gene
+// groupings without a full dendrogram.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "expr/expression_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace fv::cluster {
+
+struct KMeansResult {
+  std::vector<int> assignment;                 ///< cluster id per row
+  std::vector<std::vector<float>> centroids;   ///< k centroids
+  double inertia = 0.0;                        ///< sum of squared distances
+  std::size_t iterations = 0;                  ///< iterations until stable
+};
+
+/// Lloyd's algorithm with k-means++ style seeding. Missing cells are skipped
+/// in distance computation and centroid updates (pairwise-complete).
+/// Requires 1 <= k <= rows.
+KMeansResult kmeans_rows(const expr::ExpressionMatrix& matrix, std::size_t k,
+                         Rng& rng, std::size_t max_iterations = 100);
+
+}  // namespace fv::cluster

@@ -1,0 +1,47 @@
+#include "core/adapters.hpp"
+
+#include <algorithm>
+
+namespace fv::core {
+
+SpellIntegration apply_spell_search(Session& session,
+                                    const std::vector<std::string>& query,
+                                    std::size_t top_n) {
+  const spell::SpellSearch search(session.datasets());
+  spell::SpellOptions options;
+  options.exclude_query_from_ranking = false;
+  SpellIntegration integration;
+  integration.result = search.search(query, options);
+
+  // Reorder panes by descending dataset weight.
+  std::vector<std::size_t> order;
+  order.reserve(integration.result.dataset_ranking.size());
+  for (const auto& score : integration.result.dataset_ranking) {
+    order.push_back(score.dataset_index);
+  }
+  session.order_panes(order);
+
+  // Select query genes plus the top-n ranked genes.
+  std::vector<std::string> names = query;
+  for (std::size_t i = 0;
+       i < std::min(top_n, integration.result.gene_ranking.size()); ++i) {
+    names.push_back(integration.result.gene_ranking[i].gene);
+  }
+  const auto ids = session.merged().find_genes_by_name(names);
+  integration.genes_selected = ids.size();
+  session.select_from_analysis(ids, "SPELL");
+  return integration;
+}
+
+go::EnrichmentResult run_golem_on_selection(
+    const Session& session, const go::AnnotationTable& annotations,
+    const go::EnrichmentOptions& options) {
+  std::vector<std::string> genes;
+  genes.reserve(session.selection().size());
+  for (const GeneId gene : session.selection().ordered()) {
+    genes.push_back(session.merged().catalog().name(gene));
+  }
+  return go::enrich(annotations, genes, options);
+}
+
+}  // namespace fv::core

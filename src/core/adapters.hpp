@@ -1,0 +1,34 @@
+// Integrations of the external analysis tools into ForestView (paper §3):
+// SPELL searches reorder the panes by dataset relevance and select/highlight
+// the top result genes; GOLEM runs functional enrichment on the current
+// selection without the export/re-import round trip the paper complains
+// about.
+#pragma once
+
+#include "core/session.hpp"
+#include "go/golem.hpp"
+#include "spell/spell.hpp"
+
+namespace fv::core {
+
+struct SpellIntegration {
+  spell::SpellResult result;
+  std::size_t genes_selected = 0;  ///< query + top-n placed in the selection
+};
+
+/// Runs SPELL over the session's datasets, reorders the panes by descending
+/// dataset weight ("datasets returned can be displayed in decreasing order
+/// of relevance to the query") and selects the query genes plus the top-n
+/// ranked genes ("the top n genes can be selected and highlighted within
+/// each dataset").
+SpellIntegration apply_spell_search(Session& session,
+                                    const std::vector<std::string>& query,
+                                    std::size_t top_n = 20);
+
+/// Runs GOLEM enrichment on the session's current selection. `annotations`
+/// must be true-path propagated.
+go::EnrichmentResult run_golem_on_selection(
+    const Session& session, const go::AnnotationTable& annotations,
+    const go::EnrichmentOptions& options = {});
+
+}  // namespace fv::core

@@ -1,0 +1,214 @@
+#include "core/frame.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "render/dendrogram.hpp"
+#include "render/font.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace fv::core {
+
+namespace {
+
+using render::Canvas;
+using render::Rgb8;
+
+/// Background shade distinguishing pane chrome from data.
+constexpr Rgb8 kPaneBackground{24, 24, 24};
+constexpr Rgb8 kHeaderText{230, 230, 230};
+constexpr Rgb8 kTreeColor{170, 170, 170};
+constexpr Rgb8 kGapRow{40, 40, 48};  ///< "gene not measured here"
+
+/// Draws the whole-genome global view into `rect` through the canvas,
+/// batching same-color horizontal runs into single fill_rects so the wall
+/// command stream stays compact.
+void draw_global_view(Canvas& canvas, const expr::Dataset& dataset,
+                      const std::vector<std::size_t>& order,
+                      const render::ExpressionColormap& colormap,
+                      const layout::Rect& rect) {
+  const std::size_t rows = order.size();
+  const std::size_t cols = dataset.condition_count();
+  if (rows == 0 || cols == 0) {
+    canvas.fill_rect(rect.x, rect.y, rect.width, rect.height,
+                     render::colors::kMissing);
+    return;
+  }
+  const auto width = static_cast<std::size_t>(rect.width);
+  const auto height = static_cast<std::size_t>(rect.height);
+  for (std::size_t py = 0; py < height; ++py) {
+    const std::size_t r0 = py * rows / height;
+    const std::size_t r1 = std::max(r0 + 1, (py + 1) * rows / height);
+    // Run-length batching along the row.
+    long run_start = 0;
+    Rgb8 run_color{};
+    bool run_open = false;
+    for (std::size_t px = 0; px < width; ++px) {
+      const std::size_t c0 = px * cols / width;
+      const std::size_t c1 = std::max(c0 + 1, (px + 1) * cols / width);
+      double sum = 0.0;
+      std::size_t present = 0;
+      for (std::size_t r = r0; r < r1 && r < rows; ++r) {
+        const auto values = dataset.values().row(order[r]);
+        for (std::size_t c = c0; c < c1 && c < cols; ++c) {
+          if (stats::is_missing(values[c])) continue;
+          sum += values[c];
+          ++present;
+        }
+      }
+      const float average =
+          present > 0 ? static_cast<float>(sum / static_cast<double>(present))
+                      : stats::missing_value();
+      const Rgb8 color = colormap.map(average);
+      if (!run_open) {
+        run_open = true;
+        run_start = static_cast<long>(px);
+        run_color = color;
+      } else if (!(color == run_color)) {
+        canvas.fill_rect(rect.x + run_start, rect.y + static_cast<long>(py),
+                         static_cast<long>(px) - run_start, 1, run_color);
+        run_start = static_cast<long>(px);
+        run_color = color;
+      }
+    }
+    if (run_open) {
+      canvas.fill_rect(rect.x + run_start, rect.y + static_cast<long>(py),
+                       static_cast<long>(width) - run_start, 1, run_color);
+    }
+  }
+}
+
+/// Selection tick marks on the global view (the paper: other datasets
+/// "highlight their position in the global view with a line").
+void draw_selection_marks(Canvas& canvas, const Session& session,
+                          std::size_t dataset_index,
+                          const std::vector<std::size_t>& order,
+                          const layout::Rect& rect) {
+  if (order.empty() || session.selection().empty()) return;
+  // Position of each display row in the strip.
+  std::vector<std::size_t> position_of_row(
+      session.dataset(dataset_index).gene_count(), 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    position_of_row[order[pos]] = pos;
+  }
+  const auto& catalog = session.merged().catalog();
+  for (const GeneId gene : session.selection().ordered()) {
+    const auto row = catalog.row_in(dataset_index, gene);
+    if (!row.has_value()) continue;
+    const long y = rect.y + static_cast<long>(position_of_row[*row] *
+                                              static_cast<std::size_t>(
+                                                  rect.height) /
+                                              order.size());
+    canvas.hline(rect.x, rect.right() - 1, y, render::colors::kHighlight);
+  }
+}
+
+struct PaneRenderStats {
+  std::size_t zoom_rows = 0;
+  std::size_t cells = 0;
+};
+
+PaneRenderStats render_pane(const Session& session, Canvas& canvas,
+                            std::size_t dataset_index,
+                            const layout::Rect& pane_rect,
+                            const layout::PaneConfig& pane_config) {
+  PaneRenderStats stats;
+  const expr::Dataset& dataset = session.dataset(dataset_index);
+  const DisplayPrefs& prefs = session.prefs(dataset_index);
+  const render::ExpressionColormap colormap(prefs.scheme, prefs.contrast);
+  const auto parts = layout::layout_pane(pane_rect, pane_config);
+
+  canvas.fill_rect(pane_rect.x, pane_rect.y, pane_rect.width,
+                   pane_rect.height, kPaneBackground);
+
+  if (!parts.header.empty()) {
+    canvas.text(parts.header.x + 2, parts.header.y + 2, dataset.name(),
+                kHeaderText, 1);
+  }
+
+  const auto display_order = dataset.display_order();
+  if (!parts.global_view.empty()) {
+    draw_global_view(canvas, dataset, display_order, colormap,
+                     parts.global_view);
+    draw_selection_marks(canvas, session, dataset_index, display_order,
+                         parts.global_view);
+  }
+
+  if (!parts.gene_tree.empty() && dataset.gene_tree().has_value() &&
+      parts.gene_tree.width >= 2 && parts.gene_tree.height >= 2) {
+    render::draw_gene_dendrogram(canvas, *dataset.gene_tree(),
+                                 parts.gene_tree.x, parts.gene_tree.y,
+                                 parts.gene_tree.width,
+                                 parts.gene_tree.height, kTreeColor);
+  }
+
+  if (!parts.array_tree.empty() && dataset.array_tree().has_value() &&
+      parts.array_tree.width >= 2 && parts.array_tree.height >= 2) {
+    render::draw_array_dendrogram(canvas, *dataset.array_tree(),
+                                  parts.array_tree.x, parts.array_tree.y,
+                                  parts.array_tree.width,
+                                  parts.array_tree.height, kTreeColor);
+  }
+
+  // Zoom view: the selection's rows under the sync controller's mode.
+  if (!parts.zoom_view.empty() && !session.selection().empty()) {
+    const auto rows =
+        session.sync().zoom_rows(dataset_index, session.selection());
+    const long cell_h = std::max(1, prefs.zoom_cell_height);
+    const long cell_w = std::max<long>(
+        1, parts.zoom_view.width /
+               std::max<long>(1,
+                              static_cast<long>(dataset.condition_count())));
+    const std::size_t first = session.sync().scroll();
+    const auto fit = static_cast<std::size_t>(parts.zoom_view.height / cell_h);
+    for (std::size_t i = first; i < rows.size() && i - first < fit; ++i) {
+      const long y =
+          parts.zoom_view.y + static_cast<long>(i - first) * cell_h;
+      ++stats.zoom_rows;
+      if (!rows[i].row.has_value()) {
+        // Gene not measured in this dataset: aligned gap row.
+        canvas.fill_rect(parts.zoom_view.x, y, parts.zoom_view.width, cell_h,
+                         kGapRow);
+        continue;
+      }
+      const auto values = dataset.values().row(*rows[i].row);
+      for (std::size_t c = 0; c < values.size(); ++c) {
+        canvas.fill_rect(parts.zoom_view.x + static_cast<long>(c) * cell_w,
+                         y, cell_w, cell_h, colormap.map(values[c]));
+        ++stats.cells;
+      }
+      if (prefs.show_annotations && !parts.annotations.empty() &&
+          cell_h >= render::kGlyphHeight) {
+        canvas.text(parts.annotations.x + 2, y,
+                    dataset.gene(*rows[i].row).label(), kHeaderText, 1);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+FrameInfo render_frame(const Session& session, render::Canvas& canvas,
+                       const FrameConfig& config) {
+  FV_REQUIRE(config.width > 0 && config.height > 0,
+             "frame needs a positive size");
+  FrameInfo info;
+  canvas.fill_rect(0, 0, config.width, config.height,
+                   render::colors::kBlack);
+  const auto panes = layout::split_vertical_panes(
+      config.width, config.height, session.pane_order().size(),
+      config.pane_gap);
+  for (std::size_t p = 0; p < panes.size(); ++p) {
+    const std::size_t dataset_index = session.pane_order()[p];
+    const auto stats = render_pane(session, canvas, dataset_index, panes[p],
+                                   config.pane);
+    ++info.panes_rendered;
+    info.zoom_rows_rendered += stats.zoom_rows;
+    info.cells_rendered += stats.cells;
+  }
+  return info;
+}
+
+}  // namespace fv::core

@@ -1,0 +1,35 @@
+// ForestView frame renderer: turns a Session into the multi-pane display of
+// paper Figure 2 — one vertical pane per dataset, each with a header, a
+// whole-genome global view with selection highlights, the gene dendrogram,
+// the synchronized (or per-dataset-order) zoom view of the selection, and
+// gene labels.
+//
+// The renderer draws through the Canvas interface, so the identical code
+// path produces a desktop framebuffer (FramebufferCanvas) or a wall command
+// stream (RecordingCanvas).
+#pragma once
+
+#include "core/session.hpp"
+#include "layout/pane.hpp"
+#include "render/canvas.hpp"
+
+namespace fv::core {
+
+struct FrameConfig {
+  long width = 1600;
+  long height = 1200;
+  long pane_gap = 4;
+  layout::PaneConfig pane;  ///< sub-rectangle budgets within each pane
+};
+
+struct FrameInfo {
+  std::size_t panes_rendered = 0;
+  std::size_t zoom_rows_rendered = 0;  ///< summed over panes
+  std::size_t cells_rendered = 0;      ///< zoom-view heatmap cells
+};
+
+/// Renders one full frame of the session onto the canvas.
+FrameInfo render_frame(const Session& session, render::Canvas& canvas,
+                       const FrameConfig& config);
+
+}  // namespace fv::core

@@ -1,0 +1,81 @@
+#include "core/gene_catalog.hpp"
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace fv::core {
+
+GeneCatalog::GeneCatalog(const std::vector<expr::Dataset>& datasets) {
+  // Pass 1: assign ids in first-seen order; systematic name is canonical,
+  // common names are aliases (first binding wins on conflicts).
+  for (const expr::Dataset& dataset : datasets) {
+    for (std::size_t row = 0; row < dataset.gene_count(); ++row) {
+      const expr::GeneInfo& gene = dataset.gene(row);
+      const std::string key = str::to_lower(gene.systematic_name);
+      FV_REQUIRE(!key.empty(), "dataset contains a gene without a name");
+      if (id_by_alias_.find(key) == id_by_alias_.end()) {
+        const auto id = static_cast<GeneId>(names_.size());
+        id_by_alias_.emplace(key, id);
+        names_.push_back(gene.systematic_name);
+        if (!gene.common_name.empty()) {
+          id_by_alias_.emplace(str::to_lower(gene.common_name), id);
+        }
+      } else if (!gene.common_name.empty()) {
+        id_by_alias_.emplace(str::to_lower(gene.common_name),
+                             id_by_alias_.at(key));
+      }
+    }
+  }
+  // Pass 2: per-dataset row maps.
+  rows_by_gene_.assign(datasets.size(),
+                       std::vector<std::uint32_t>(names_.size(), 0));
+  ids_by_row_.resize(datasets.size());
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    ids_by_row_[d].resize(datasets[d].gene_count());
+    for (std::size_t row = 0; row < datasets[d].gene_count(); ++row) {
+      const GeneId id = id_by_alias_.at(
+          str::to_lower(datasets[d].gene(row).systematic_name));
+      ids_by_row_[d][row] = id;
+      if (rows_by_gene_[d][id] == 0) {  // first row wins for duplicates
+        rows_by_gene_[d][id] = static_cast<std::uint32_t>(row) + 1;
+      }
+    }
+  }
+}
+
+const std::string& GeneCatalog::name(GeneId id) const {
+  FV_REQUIRE(id < names_.size(), "gene id out of range");
+  return names_[id];
+}
+
+std::optional<GeneId> GeneCatalog::find(std::string_view gene_name) const {
+  const auto it = id_by_alias_.find(str::to_lower(str::trim(gene_name)));
+  if (it == id_by_alias_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::size_t> GeneCatalog::row_in(std::size_t dataset,
+                                               GeneId id) const {
+  FV_REQUIRE(dataset < rows_by_gene_.size(), "dataset index out of range");
+  FV_REQUIRE(id < names_.size(), "gene id out of range");
+  const std::uint32_t stored = rows_by_gene_[dataset][id];
+  if (stored == 0) return std::nullopt;
+  return static_cast<std::size_t>(stored - 1);
+}
+
+GeneId GeneCatalog::id_of_row(std::size_t dataset, std::size_t row) const {
+  FV_REQUIRE(dataset < ids_by_row_.size(), "dataset index out of range");
+  FV_REQUIRE(row < ids_by_row_[dataset].size(), "row out of range");
+  return ids_by_row_[dataset][row];
+}
+
+std::size_t GeneCatalog::datasets_measuring(GeneId id) const {
+  FV_REQUIRE(id < names_.size(), "gene id out of range");
+  std::size_t count = 0;
+  for (std::size_t d = 0; d < rows_by_gene_.size(); ++d) {
+    if (rows_by_gene_[d][id] != 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace fv::core

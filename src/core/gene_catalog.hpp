@@ -1,0 +1,56 @@
+// Gene identity unification across datasets.
+//
+// Every dataset measures its own subset of the genome in its own row order
+// and may use common names or systematic names. The catalog assigns one
+// GeneId per distinct gene across the whole compendium and maps it to the
+// row (if any) holding it in each dataset — the lookup the synchronization
+// layer uses to show "the same gene" across panes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/dataset.hpp"
+
+namespace fv::core {
+
+using GeneId = std::uint32_t;
+
+class GeneCatalog {
+ public:
+  GeneCatalog() = default;
+  explicit GeneCatalog(const std::vector<expr::Dataset>& datasets);
+
+  /// Number of distinct genes in the union.
+  std::size_t gene_count() const noexcept { return names_.size(); }
+  std::size_t dataset_count() const noexcept { return rows_by_gene_.size(); }
+
+  /// Canonical (systematic) name of a gene.
+  const std::string& name(GeneId id) const;
+
+  /// Lookup by systematic or common name, case-insensitive.
+  std::optional<GeneId> find(std::string_view gene_name) const;
+
+  /// Row of the gene in `dataset`, or nullopt when not measured there.
+  std::optional<std::size_t> row_in(std::size_t dataset, GeneId id) const;
+
+  /// GeneId of a dataset row.
+  GeneId id_of_row(std::size_t dataset, std::size_t row) const;
+
+  /// In how many datasets the gene is measured.
+  std::size_t datasets_measuring(GeneId id) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, GeneId> id_by_alias_;  // lower-cased
+  /// [dataset][gene] -> row + 1, 0 = absent (compact, cache friendly).
+  std::vector<std::vector<std::uint32_t>> rows_by_gene_;
+  /// [dataset][row] -> GeneId.
+  std::vector<std::vector<GeneId>> ids_by_row_;
+};
+
+}  // namespace fv::core

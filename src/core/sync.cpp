@@ -1,0 +1,49 @@
+#include "core/sync.hpp"
+
+#include "util/error.hpp"
+
+namespace fv::core {
+
+void SelectionModel::set(std::vector<GeneId> genes) {
+  ordered_.clear();
+  set_.clear();
+  for (const GeneId gene : genes) add(gene);
+}
+
+void SelectionModel::add(GeneId gene) {
+  if (set_.insert(gene).second) ordered_.push_back(gene);
+}
+
+void SelectionModel::clear() {
+  ordered_.clear();
+  set_.clear();
+}
+
+SyncController::SyncController(const MergedDatasetInterface* merged)
+    : merged_(merged) {
+  FV_REQUIRE(merged != nullptr, "sync controller needs a merged interface");
+}
+
+std::vector<ZoomRow> SyncController::zoom_rows(
+    std::size_t dataset, const SelectionModel& selection) const {
+  std::vector<ZoomRow> rows;
+  if (synchronized_) {
+    rows.reserve(selection.size());
+    for (const GeneId gene : selection.ordered()) {
+      rows.push_back(
+          ZoomRow{gene, merged_->catalog().row_in(dataset, gene)});
+    }
+    return rows;
+  }
+  // Unsynchronized: the dataset's own ordering, measured genes only.
+  const expr::Dataset& ds = merged_->dataset(dataset);
+  for (const std::size_t row : ds.display_order()) {
+    const GeneId gene = merged_->catalog().id_of_row(dataset, row);
+    if (selection.contains(gene)) {
+      rows.push_back(ZoomRow{gene, row});
+    }
+  }
+  return rows;
+}
+
+}  // namespace fv::core

@@ -1,0 +1,68 @@
+// Selection model and visualization synchronization (paper §2).
+//
+// "When a set of genes is selected, the zoom view for each dataset shows the
+//  gene expression data in exactly the same order and same scroll position…
+//  If desired it is possible to turn off synchronous viewing in order to see
+//  the selected subsets in the underlying gene order of each dataset."
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/merged.hpp"
+
+namespace fv::core {
+
+/// Ordered set of selected genes (order = selection order, which becomes
+/// the shared display order in synchronized mode).
+class SelectionModel {
+ public:
+  void set(std::vector<GeneId> genes);
+  void add(GeneId gene);
+  void clear();
+
+  bool contains(GeneId gene) const { return set_.count(gene) > 0; }
+  const std::vector<GeneId>& ordered() const noexcept { return ordered_; }
+  std::size_t size() const noexcept { return ordered_.size(); }
+  bool empty() const noexcept { return ordered_.empty(); }
+
+ private:
+  std::vector<GeneId> ordered_;
+  std::unordered_set<GeneId> set_;
+};
+
+/// One row of a pane's zoom view: the gene, and its row in that dataset
+/// (nullopt = gene not measured there; synchronized mode renders a gap so
+/// rows stay aligned across panes).
+struct ZoomRow {
+  GeneId gene = 0;
+  std::optional<std::size_t> row;
+};
+
+class SyncController {
+ public:
+  explicit SyncController(const MergedDatasetInterface* merged);
+
+  bool synchronized() const noexcept { return synchronized_; }
+  void set_synchronized(bool on) noexcept { synchronized_ = on; }
+
+  /// Shared scroll position (first visible zoom row) in synchronized mode.
+  std::size_t scroll() const noexcept { return scroll_; }
+  void scroll_to(std::size_t first) noexcept { scroll_ = first; }
+
+  /// Zoom-view rows for one dataset pane under the current mode:
+  ///  - synchronized: selection order, one entry per selected gene (gaps for
+  ///    unmeasured genes) — identical length and gene sequence in every pane;
+  ///  - unsynchronized: the dataset's own display order filtered to the
+  ///    selection, measured genes only (no gaps).
+  std::vector<ZoomRow> zoom_rows(std::size_t dataset,
+                                 const SelectionModel& selection) const;
+
+ private:
+  const MergedDatasetInterface* merged_;
+  bool synchronized_ = true;
+  std::size_t scroll_ = 0;
+};
+
+}  // namespace fv::core

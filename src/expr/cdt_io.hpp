@@ -1,0 +1,36 @@
+// CDT/GTR/ATR clustered-dataset files, the Java TreeView triple that paper
+// Figure 1 lists as the dataset storage format.
+//
+// A CDT file is a PCL augmented with a GID column (linking each data row to
+// a gene-tree leaf) and an AID row (linking columns to array-tree leaves).
+// GTR/ATR files list merges bottom-up: "NODEkX  childA  childB  similarity".
+#pragma once
+
+#include <string>
+
+#include "expr/dataset.hpp"
+
+namespace fv::expr {
+
+/// In-memory image of the TreeView file triple.
+struct CdtBundle {
+  std::string cdt;  ///< clustered data table text
+  std::string gtr;  ///< gene tree text; empty when there is no gene tree
+  std::string atr;  ///< array tree text; empty when there is no array tree
+};
+
+/// Serializes a dataset (and its attached trees) to CDT/GTR/ATR text.
+/// Data rows are emitted in gene-tree display order, as TreeView does.
+CdtBundle format_cdt(const Dataset& dataset);
+
+/// Parses the triple back into a Dataset. Pass empty strings for absent
+/// trees. Rows keep the CDT file order; tree leaves are remapped to the
+/// parsed row positions so display_order() reproduces the file's ordering.
+Dataset parse_cdt(const CdtBundle& bundle, const std::string& name);
+
+/// Convenience wrappers writing/reading `<base>.cdt`, `<base>.gtr`,
+/// `<base>.atr` (tree files only when trees are attached / present).
+void write_cdt(const Dataset& dataset, const std::string& base_path);
+Dataset read_cdt(const std::string& base_path);
+
+}  // namespace fv::expr

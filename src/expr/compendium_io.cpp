@@ -1,0 +1,69 @@
+#include "expr/compendium_io.hpp"
+
+#include <filesystem>
+
+#include "expr/cdt_io.hpp"
+#include "expr/pcl_io.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "util/table_io.hpp"
+
+namespace fv::expr {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "compendium.manifest";
+
+}  // namespace
+
+void save_compendium_dir(const std::vector<Dataset>& datasets,
+                         const std::string& directory) {
+  FV_REQUIRE(!datasets.empty(), "cannot save an empty compendium");
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) throw IoError("cannot create directory: " + directory);
+
+  std::string manifest =
+      "# ForestView compendium manifest: one dataset per line\n";
+  for (const Dataset& dataset : datasets) {
+    FV_REQUIRE(!dataset.name().empty(), "dataset needs a name to be saved");
+    FV_REQUIRE(dataset.name().find('/') == std::string::npos &&
+                   dataset.name().find('\\') == std::string::npos,
+               "dataset name must not contain path separators");
+    const std::string base = directory + "/" + dataset.name();
+    if (dataset.gene_tree().has_value() || dataset.array_tree().has_value()) {
+      write_cdt(dataset, base);
+    } else {
+      write_pcl(dataset, base + ".pcl");
+    }
+    manifest += dataset.name() + "\n";
+  }
+  write_text_file(directory + "/" + kManifestName, manifest);
+}
+
+std::vector<Dataset> load_compendium_dir(const std::string& directory) {
+  const std::string manifest_path =
+      directory + "/" + kManifestName;
+  std::vector<Dataset> datasets;
+  for (const std::string& line : read_lines(manifest_path)) {
+    const std::string_view trimmed = str::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::string base = directory + "/" + std::string(trimmed);
+    if (fs::exists(base + ".cdt")) {
+      datasets.push_back(read_cdt(base));
+    } else if (fs::exists(base + ".pcl")) {
+      datasets.push_back(read_pcl(base + ".pcl"));
+    } else {
+      throw IoError("manifest entry '" + std::string(trimmed) +
+                    "' has no .cdt or .pcl file in " + directory);
+    }
+  }
+  if (datasets.empty()) {
+    throw ParseError("compendium manifest lists no datasets");
+  }
+  return datasets;
+}
+
+}  // namespace fv::expr

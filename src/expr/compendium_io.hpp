@@ -1,0 +1,31 @@
+// Compendium directory persistence.
+//
+// A compendium on disk is a directory of TreeView-compatible files plus a
+// small manifest listing the member datasets in display order:
+//
+//   compendium.manifest     (one dataset name per line, '#' comments)
+//   <name>.pcl              (datasets without trees)
+//   <name>.cdt/.gtr/.atr    (clustered datasets)
+//
+// This is how a lab would actually share a ForestView workspace: every file
+// remains readable by Java TreeView and Cluster 3.0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/dataset.hpp"
+
+namespace fv::expr {
+
+/// Writes all datasets plus the manifest into `directory` (created if
+/// needed). Datasets with trees are stored as CDT triples, others as PCL.
+void save_compendium_dir(const std::vector<Dataset>& datasets,
+                         const std::string& directory);
+
+/// Loads a compendium directory written by save_compendium_dir (or
+/// assembled by hand from TreeView files + manifest). Dataset order follows
+/// the manifest. Throws IoError / ParseError on problems.
+std::vector<Dataset> load_compendium_dir(const std::string& directory);
+
+}  // namespace fv::expr

@@ -1,0 +1,88 @@
+#include "expr/dataset.hpp"
+
+#include "util/string_util.hpp"
+
+namespace fv::expr {
+
+Dataset::Dataset(std::string name, std::vector<GeneInfo> genes,
+                 std::vector<std::string> conditions, ExpressionMatrix values)
+    : name_(std::move(name)),
+      genes_(std::move(genes)),
+      conditions_(std::move(conditions)),
+      values_(std::move(values)) {
+  FV_REQUIRE(genes_.size() == values_.rows(),
+             "gene list and matrix row count disagree");
+  FV_REQUIRE(conditions_.size() == values_.cols(),
+             "condition list and matrix column count disagree");
+  build_name_index();
+}
+
+const GeneInfo& Dataset::gene(std::size_t row) const {
+  FV_REQUIRE(row < genes_.size(), "gene row out of range");
+  return genes_[row];
+}
+
+const std::string& Dataset::condition(std::size_t col) const {
+  FV_REQUIRE(col < conditions_.size(), "condition column out of range");
+  return conditions_[col];
+}
+
+void Dataset::build_name_index() {
+  name_index_.clear();
+  name_index_.reserve(genes_.size() * 2);
+  for (std::size_t row = 0; row < genes_.size(); ++row) {
+    const GeneInfo& g = genes_[row];
+    if (!g.systematic_name.empty()) {
+      // First occurrence wins so duplicated identifiers stay deterministic.
+      name_index_.emplace(str::to_lower(g.systematic_name), row);
+    }
+    if (!g.common_name.empty()) {
+      name_index_.emplace(str::to_lower(g.common_name), row);
+    }
+  }
+}
+
+std::optional<std::size_t> Dataset::row_of(std::string_view gene_name) const {
+  const auto it = name_index_.find(str::to_lower(str::trim(gene_name)));
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::size_t> Dataset::search_annotation(
+    std::string_view query) const {
+  std::vector<std::size_t> hits;
+  const std::string_view needle = str::trim(query);
+  if (needle.empty()) return hits;
+  for (std::size_t row = 0; row < genes_.size(); ++row) {
+    const GeneInfo& g = genes_[row];
+    if (str::icontains(g.systematic_name, needle) ||
+        str::icontains(g.common_name, needle) ||
+        str::icontains(g.description, needle)) {
+      hits.push_back(row);
+    }
+  }
+  return hits;
+}
+
+void Dataset::attach_gene_tree(HierTree tree) {
+  FV_REQUIRE(tree.leaf_count() == gene_count(),
+             "gene tree leaf count must equal gene count");
+  FV_REQUIRE(tree.is_complete(), "gene tree must be a complete dendrogram");
+  gene_tree_ = std::move(tree);
+}
+
+void Dataset::attach_array_tree(HierTree tree) {
+  FV_REQUIRE(tree.leaf_count() == condition_count(),
+             "array tree leaf count must equal condition count");
+  FV_REQUIRE(tree.is_complete(), "array tree must be a complete dendrogram");
+  array_tree_ = std::move(tree);
+}
+
+std::vector<std::size_t> Dataset::display_order() const {
+  if (gene_tree_.has_value()) return gene_tree_->leaf_order();
+  std::vector<std::size_t> order(gene_count());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  return order;
+}
+
+}  // namespace fv::expr

@@ -1,0 +1,88 @@
+// One microarray dataset: the bottom boxes of paper Figure 1.
+//
+// A Dataset bundles the expression matrix with per-gene identity/annotation,
+// condition names and (optionally) the gene/array dendrograms that CDT+GTR
+// files carry. It also provides the per-dataset lookups ForestView's merged
+// interface and annotation search are built on.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expression_matrix.hpp"
+#include "expr/gene.hpp"
+#include "expr/tree.hpp"
+
+namespace fv::expr {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Requires genes.size() == values.rows() and
+  /// conditions.size() == values.cols().
+  Dataset(std::string name, std::vector<GeneInfo> genes,
+          std::vector<std::string> conditions, ExpressionMatrix values);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t gene_count() const noexcept { return genes_.size(); }
+  std::size_t condition_count() const noexcept { return conditions_.size(); }
+
+  const GeneInfo& gene(std::size_t row) const;
+  const std::vector<GeneInfo>& genes() const noexcept { return genes_; }
+  const std::string& condition(std::size_t col) const;
+  const std::vector<std::string>& conditions() const noexcept {
+    return conditions_;
+  }
+
+  const ExpressionMatrix& values() const noexcept { return values_; }
+  ExpressionMatrix& values() noexcept { return values_; }
+
+  /// Expression profile of one gene across all conditions.
+  std::span<const float> profile(std::size_t row) const {
+    return values_.row(row);
+  }
+
+  /// Row index of a gene by systematic or common name (case-insensitive);
+  /// nullopt when the gene is not measured in this dataset.
+  std::optional<std::size_t> row_of(std::string_view gene_name) const;
+
+  /// Rows whose systematic name, common name or description contains the
+  /// query (case-insensitive substring) — the paper's annotation search.
+  std::vector<std::size_t> search_annotation(std::string_view query) const;
+
+  /// Attaches the gene (row) dendrogram; must have gene_count() leaves.
+  void attach_gene_tree(HierTree tree);
+  /// Attaches the array (column) dendrogram; must have condition_count()
+  /// leaves.
+  void attach_array_tree(HierTree tree);
+
+  const std::optional<HierTree>& gene_tree() const noexcept {
+    return gene_tree_;
+  }
+  const std::optional<HierTree>& array_tree() const noexcept {
+    return array_tree_;
+  }
+
+  /// Row display order: the gene tree's leaf order when a tree is attached,
+  /// otherwise file order.
+  std::vector<std::size_t> display_order() const;
+
+ private:
+  std::string name_;
+  std::vector<GeneInfo> genes_;
+  std::vector<std::string> conditions_;
+  ExpressionMatrix values_;
+  std::optional<HierTree> gene_tree_;
+  std::optional<HierTree> array_tree_;
+  // Lower-cased systematic and common names -> row.
+  std::unordered_map<std::string, std::size_t> name_index_;
+
+  void build_name_index();
+};
+
+}  // namespace fv::expr

@@ -1,0 +1,25 @@
+// Gene identity and annotation records.
+//
+// Microarray files identify a gene by a systematic name (e.g. YAL001C), an
+// optional common name (e.g. TFC3) and a free-text description. ForestView's
+// annotation search (paper §2, "search over the gene annotation information")
+// matches against all three.
+#pragma once
+
+#include <string>
+
+namespace fv::expr {
+
+/// One gene's identity as carried in PCL/CDT files.
+struct GeneInfo {
+  std::string systematic_name;  ///< primary key, e.g. "YAL001C"
+  std::string common_name;      ///< may be empty, e.g. "TFC3"
+  std::string description;      ///< free-text annotation, may be empty
+
+  /// Display label: the common name when present, otherwise systematic.
+  const std::string& label() const {
+    return common_name.empty() ? systematic_name : common_name;
+  }
+};
+
+}  // namespace fv::expr

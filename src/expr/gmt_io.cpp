@@ -1,0 +1,61 @@
+#include "expr/gmt_io.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "util/table_io.hpp"
+
+namespace fv::expr {
+
+std::vector<GeneSet> parse_gmt(const std::string& content) {
+  std::vector<GeneSet> sets;
+  std::istringstream stream(content);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (str::trim(line).empty()) continue;
+    const auto fields = str::split(line, '\t');
+    if (fields.size() < 2) {
+      throw ParseError("GMT row needs at least name and description",
+                       line_no);
+    }
+    GeneSet set;
+    set.name = std::string(str::trim(fields[0]));
+    if (set.name.empty()) throw ParseError("GMT set name is empty", line_no);
+    set.description = std::string(str::trim(fields[1]));
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      const std::string_view gene = str::trim(fields[i]);
+      if (!gene.empty()) set.genes.emplace_back(gene);
+    }
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+std::string format_gmt(const std::vector<GeneSet>& sets) {
+  std::string out;
+  for (const GeneSet& set : sets) {
+    out += set.name;
+    out += '\t';
+    out += set.description;
+    for (const std::string& gene : set.genes) {
+      out += '\t';
+      out += gene;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<GeneSet> read_gmt(const std::string& path) {
+  return parse_gmt(read_text_file(path));
+}
+
+void write_gmt(const std::vector<GeneSet>& sets, const std::string& path) {
+  write_text_file(path, format_gmt(sets));
+}
+
+}  // namespace fv::expr

@@ -1,0 +1,26 @@
+// GMT gene-set files ("Export Gene List" in paper Figure 1 uses this
+// interchange format: one named set of gene identifiers per line).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fv::expr {
+
+struct GeneSet {
+  std::string name;
+  std::string description;
+  std::vector<std::string> genes;
+};
+
+/// Parses GMT text: name <tab> description <tab> gene1 <tab> gene2 ...
+std::vector<GeneSet> parse_gmt(const std::string& content);
+
+/// Serializes gene sets to GMT text.
+std::string format_gmt(const std::vector<GeneSet>& sets);
+
+/// File wrappers.
+std::vector<GeneSet> read_gmt(const std::string& path);
+void write_gmt(const std::vector<GeneSet>& sets, const std::string& path);
+
+}  // namespace fv::expr

@@ -1,0 +1,127 @@
+#include "expr/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace fv::expr {
+
+void log2_transform(ExpressionMatrix& matrix) {
+  for (float& v : matrix.data()) {
+    if (stats::is_missing(v)) continue;
+    FV_REQUIRE(v > 0.0f, "log2_transform requires positive values");
+    v = std::log2(v);
+  }
+}
+
+void median_center_rows(ExpressionMatrix& matrix) {
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    auto row = matrix.row(r);
+    const double med = stats::median(row);
+    if (std::isnan(med)) continue;
+    for (float& v : row) {
+      if (!stats::is_missing(v)) v = static_cast<float>(v - med);
+    }
+  }
+}
+
+void z_normalize_rows(ExpressionMatrix& matrix) {
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    stats::z_normalize(matrix.row(r));
+  }
+}
+
+std::size_t mean_impute(ExpressionMatrix& matrix) {
+  std::size_t imputed = 0;
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    auto row = matrix.row(r);
+    const double row_mean = stats::mean(row);
+    const float fill =
+        std::isnan(row_mean) ? 0.0f : static_cast<float>(row_mean);
+    for (float& v : row) {
+      if (stats::is_missing(v)) {
+        v = fill;
+        ++imputed;
+      }
+    }
+  }
+  return imputed;
+}
+
+namespace {
+
+/// Coverage-scaled Euclidean distance over shared present columns;
+/// infinity when fewer than 2 columns are shared.
+double impute_distance(std::span<const float> a, std::span<const float> b) {
+  double sum = 0.0;
+  std::size_t shared = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (stats::is_missing(a[i]) || stats::is_missing(b[i])) continue;
+    const double diff = static_cast<double>(a[i]) - b[i];
+    sum += diff * diff;
+    ++shared;
+  }
+  if (shared < 2) return std::numeric_limits<double>::infinity();
+  return std::sqrt(sum * static_cast<double>(a.size()) /
+                   static_cast<double>(shared));
+}
+
+}  // namespace
+
+std::size_t knn_impute(ExpressionMatrix& matrix, std::size_t k) {
+  FV_REQUIRE(k >= 1, "knn_impute needs k >= 1");
+  // Neighbor candidates are drawn from the original (pre-imputation) data so
+  // results are order-independent.
+  const ExpressionMatrix original = matrix;
+  std::size_t imputed = 0;
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    // Columns missing in this row.
+    std::vector<std::size_t> holes;
+    for (std::size_t c = 0; c < matrix.cols(); ++c) {
+      if (stats::is_missing(original.at(r, c))) holes.push_back(c);
+    }
+    if (holes.empty()) continue;
+
+    // k nearest rows by distance (partial selection keeps this O(n log k)).
+    std::vector<std::pair<double, std::size_t>> neighbors;
+    for (std::size_t other = 0; other < original.rows(); ++other) {
+      if (other == r) continue;
+      const double d = impute_distance(original.row(r), original.row(other));
+      if (std::isinf(d)) continue;
+      neighbors.emplace_back(d, other);
+    }
+    const std::size_t keep = std::min(k, neighbors.size());
+    std::partial_sort(neighbors.begin(),
+                      neighbors.begin() + static_cast<long>(keep),
+                      neighbors.end());
+    neighbors.resize(keep);
+
+    const double row_mean = stats::mean(original.row(r));
+    const float fallback =
+        std::isnan(row_mean) ? 0.0f : static_cast<float>(row_mean);
+    for (const std::size_t c : holes) {
+      double weighted = 0.0;
+      double weight_total = 0.0;
+      for (const auto& [distance, other] : neighbors) {
+        const float v = original.at(other, c);
+        if (stats::is_missing(v)) continue;
+        const double w = 1.0 / std::max(distance, 1e-9);
+        weighted += w * v;
+        weight_total += w;
+      }
+      matrix.set(r, c, weight_total > 0.0
+                           ? static_cast<float>(weighted / weight_total)
+                           : fallback);
+      ++imputed;
+    }
+  }
+  return imputed;
+}
+
+}  // namespace fv::expr

@@ -1,0 +1,30 @@
+// Per-row normalizations applied before clustering/search, mirroring the
+// preprocessing options of Cluster 3.0 / Java TreeView.
+#pragma once
+
+#include "expr/expression_matrix.hpp"
+
+namespace fv::expr {
+
+/// log2-transforms every present value; requires all present values > 0
+/// (raw intensity ratios). Missing cells stay missing.
+void log2_transform(ExpressionMatrix& matrix);
+
+/// Subtracts each row's median from its present values.
+void median_center_rows(ExpressionMatrix& matrix);
+
+/// Z-scores each row over present values (constant rows become zero).
+void z_normalize_rows(ExpressionMatrix& matrix);
+
+/// Replaces missing cells with their row mean; rows that are entirely
+/// missing become zero. Returns the number of imputed cells.
+std::size_t mean_impute(ExpressionMatrix& matrix);
+
+/// KNN imputation (Troyanskaya et al. 2001, the standard microarray
+/// preprocessing): each missing cell is filled with the weighted average of
+/// that column's values in the k nearest rows (Euclidean over shared
+/// present columns, weights 1/distance). Rows with no usable neighbor fall
+/// back to the row mean. Returns the number of imputed cells.
+std::size_t knn_impute(ExpressionMatrix& matrix, std::size_t k = 10);
+
+}  // namespace fv::expr

@@ -1,0 +1,33 @@
+// PCL file format (Stanford "pre-clustering" tab table), the paper's primary
+// on-disk dataset representation ("typically accessed through cdt or pcl
+// files", §2).
+//
+// Layout:
+//   ID <tab> NAME <tab> GWEIGHT <tab> cond1 ... condM
+//   EWEIGHT <tab> <tab> <tab> 1 ... 1            (optional)
+//   <systematic> <tab> <annotation> <tab> <w> <tab> v1 ... vM
+//
+// The NAME cell carries "common|description"; empty value cells are missing
+// measurements.
+#pragma once
+
+#include <string>
+
+#include "expr/dataset.hpp"
+
+namespace fv::expr {
+
+/// Parses a PCL file. The dataset name defaults to the file stem.
+Dataset read_pcl(const std::string& path);
+
+/// Parses PCL content from a string (dataset named `name`). Throws
+/// ParseError with a line number on malformed input.
+Dataset parse_pcl(const std::string& content, const std::string& name);
+
+/// Serializes to PCL text.
+std::string format_pcl(const Dataset& dataset);
+
+/// Writes a PCL file.
+void write_pcl(const Dataset& dataset, const std::string& path);
+
+}  // namespace fv::expr

@@ -1,0 +1,416 @@
+#include "expr/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace fv::expr {
+
+namespace {
+
+// Module name constants used by the response models below.
+constexpr std::string_view kEsrUp = "ESR_UP";
+constexpr std::string_view kRp = "RP";
+constexpr std::string_view kRibi = "RIBI";
+constexpr std::string_view kHsp = "HSP";
+constexpr std::string_view kOxi = "OXI";
+constexpr std::string_view kMito = "MITO";
+constexpr std::string_view kCellCycle = "CC";
+
+std::string systematic_name(std::size_t index) {
+  // Plausible yeast-style ORF names: Y + chromosome letter + arm + number +
+  // strand, e.g. YAL042W. Uniqueness comes from enumerating (chr, number).
+  const std::size_t per_chromosome = 2 * 999;
+  const std::size_t chromosome = index / per_chromosome;
+  const std::size_t rest = index % per_chromosome;
+  const char arm = (rest % 2 == 0) ? 'L' : 'R';
+  const std::size_t number = rest / 2 + 1;
+  const char strand = (number % 2 == 0) ? 'W' : 'C';
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "Y%c%c%03zu%c",
+                static_cast<char>('A' + chromosome % 16), arm, number, strand);
+  return buffer;
+}
+
+// Ramp over time points: fast rise, plateau — the canonical shock response.
+double time_ramp(std::size_t point, std::size_t total) {
+  if (total <= 1) return 1.0;
+  const double t = static_cast<double>(point) / static_cast<double>(total - 1);
+  return 1.0 - std::exp(-3.0 * t);
+}
+
+float noisy_value(double signal, double noise_sd, Rng& rng) {
+  return static_cast<float>(signal + rng.normal(0.0, noise_sd));
+}
+
+/// Shared scaffolding for dataset construction: picks the measured gene
+/// subset (shuffled so per-dataset row orders differ), then fills the matrix
+/// via a per-(gene, condition) signal model.
+template <typename SignalFn>
+Dataset build_dataset(const SynthGenome& genome, const std::string& name,
+                      const std::vector<std::string>& conditions,
+                      double measured_fraction, double missing_rate,
+                      double noise_sd, Rng& rng, SignalFn signal) {
+  FV_REQUIRE(measured_fraction > 0.0 && measured_fraction <= 1.0,
+             "measured_fraction must lie in (0, 1]");
+  const std::size_t total = genome.gene_count();
+  const std::size_t measured = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             static_cast<double>(total) * measured_fraction)));
+  std::vector<std::size_t> chosen =
+      rng.sample_without_replacement(total, measured);
+
+  std::vector<GeneInfo> genes;
+  genes.reserve(chosen.size());
+  for (std::size_t g : chosen) genes.push_back(genome.gene(g));
+
+  ExpressionMatrix matrix(chosen.size(), conditions.size());
+  for (std::size_t r = 0; r < chosen.size(); ++r) {
+    const std::size_t g = chosen[r];
+    for (std::size_t c = 0; c < conditions.size(); ++c) {
+      if (rng.bernoulli(missing_rate)) continue;  // leave missing
+      matrix.set(r, c, noisy_value(signal(g, c), noise_sd, rng));
+    }
+  }
+  return Dataset(name, std::move(genes), std::move(conditions),
+                 std::move(matrix));
+}
+
+}  // namespace
+
+GenomeSpec GenomeSpec::yeast_like(std::size_t gene_count) {
+  GenomeSpec spec;
+  spec.gene_count = gene_count;
+  spec.modules = {
+      {std::string(kEsrUp), 0.05, "DDR",
+       "environmental stress response, induced", 1.6},
+      {std::string(kRp), 0.04, "RPL",
+       "ribosomal protein; repressed under stress", 1.8},
+      {std::string(kRibi), 0.03, "UTP",
+       "ribosome biogenesis; growth-rate correlated", 1.4},
+      {std::string(kHsp), 0.012, "HSP", "heat shock protein chaperone", 2.0},
+      {std::string(kOxi), 0.012, "CTT",
+       "oxidative stress defense, catalase/peroxidase", 1.8},
+      {std::string(kMito), 0.02, "COX",
+       "mitochondrial respiration complex", 1.2},
+      {std::string(kCellCycle), 0.02, "CLN",
+       "cell cycle regulated cyclin", 1.3},
+  };
+  return spec;
+}
+
+SynthGenome::SynthGenome(std::vector<GeneInfo> genes,
+                         std::vector<int> module_of,
+                         std::vector<double> amplitude,
+                         std::vector<std::string> module_names)
+    : genes_(std::move(genes)),
+      module_of_(std::move(module_of)),
+      amplitude_(std::move(amplitude)),
+      module_names_(std::move(module_names)) {
+  FV_REQUIRE(genes_.size() == module_of_.size() &&
+                 genes_.size() == amplitude_.size(),
+             "genome arrays must be parallel");
+}
+
+const GeneInfo& SynthGenome::gene(std::size_t index) const {
+  FV_REQUIRE(index < genes_.size(), "gene index out of range");
+  return genes_[index];
+}
+
+int SynthGenome::module_of(std::size_t gene) const {
+  FV_REQUIRE(gene < module_of_.size(), "gene index out of range");
+  return module_of_[gene];
+}
+
+double SynthGenome::amplitude(std::size_t gene) const {
+  FV_REQUIRE(gene < amplitude_.size(), "gene index out of range");
+  return amplitude_[gene];
+}
+
+std::optional<std::size_t> SynthGenome::module_index(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < module_names_.size(); ++i) {
+    if (module_names_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> SynthGenome::module_members(
+    std::string_view name) const {
+  std::vector<std::size_t> members;
+  const auto index = module_index(name);
+  if (!index.has_value()) return members;
+  for (std::size_t g = 0; g < module_of_.size(); ++g) {
+    if (module_of_[g] == static_cast<int>(*index)) members.push_back(g);
+  }
+  return members;
+}
+
+SynthGenome make_genome(const GenomeSpec& spec, std::uint64_t seed) {
+  FV_REQUIRE(spec.gene_count > 0, "genome needs at least one gene");
+  double total_fraction = 0.0;
+  for (const ModuleSpec& m : spec.modules) total_fraction += m.fraction;
+  FV_REQUIRE(total_fraction <= 0.8,
+             "planted modules may cover at most 80% of the genome");
+
+  Rng rng(seed);
+  const std::size_t n = spec.gene_count;
+
+  std::vector<int> module_of(n, -1);
+  // Assign module members from a random permutation so membership is not
+  // correlated with systematic-name order.
+  std::vector<std::size_t> permutation(n);
+  for (std::size_t i = 0; i < n; ++i) permutation[i] = i;
+  rng.shuffle(permutation);
+  std::size_t cursor = 0;
+  std::vector<std::string> module_names;
+  std::vector<std::size_t> module_sizes;
+  for (const ModuleSpec& m : spec.modules) {
+    const auto size = static_cast<std::size_t>(
+        std::llround(m.fraction * static_cast<double>(n)));
+    module_names.push_back(m.name);
+    module_sizes.push_back(size);
+    for (std::size_t i = 0; i < size && cursor < n; ++i, ++cursor) {
+      module_of[permutation[cursor]] = static_cast<int>(module_names.size() - 1);
+    }
+  }
+
+  std::vector<GeneInfo> genes(n);
+  std::vector<double> amplitude(n, 1.0);
+  std::vector<std::size_t> member_counter(spec.modules.size(), 0);
+  for (std::size_t g = 0; g < n; ++g) {
+    GeneInfo& info = genes[g];
+    info.systematic_name = systematic_name(g);
+    const int m = module_of[g];
+    if (m >= 0) {
+      const ModuleSpec& mod = spec.modules[static_cast<std::size_t>(m)];
+      info.common_name =
+          mod.gene_prefix + std::to_string(++member_counter[static_cast<std::size_t>(m)]);
+      info.description = mod.description;
+      // Log-normal spread of response strengths around the module amplitude.
+      amplitude[g] = mod.amplitude * std::exp(rng.normal(0.0, 0.25));
+    } else {
+      info.description = "uncharacterized open reading frame";
+      amplitude[g] = std::exp(rng.normal(0.0, 0.25));
+    }
+  }
+  return SynthGenome(std::move(genes), std::move(module_of),
+                     std::move(amplitude), std::move(module_names));
+}
+
+namespace {
+
+/// Signed module response shared by the stress-like generators: +1 for
+/// induced ESR, -1 for growth machinery, stress-specific extras per stress.
+double stress_module_response(const SynthGenome& genome, std::size_t gene,
+                              std::string_view stress, double intensity) {
+  const int m = genome.module_of(gene);
+  if (m < 0) return 0.0;
+  const std::string& name = genome.module_names()[static_cast<std::size_t>(m)];
+  const double amp = genome.amplitude(gene);
+  if (name == kEsrUp) return +amp * intensity;
+  if (name == kRp) return -amp * intensity;
+  if (name == kRibi) return -0.8 * amp * intensity;
+  if (name == kHsp) {
+    return amp * intensity * (stress == "heat" ? 1.3 : 0.15);
+  }
+  if (name == kOxi) {
+    return amp * intensity * ((stress == "h2o2" || stress == "diamide") ? 1.3
+                                                                        : 0.15);
+  }
+  if (name == kMito) {
+    return stress == "starvation" ? 0.4 * amp * intensity : 0.0;
+  }
+  return 0.0;  // CC and other modules are stress-neutral
+}
+
+}  // namespace
+
+Dataset make_stress_dataset(const SynthGenome& genome,
+                            const StressDatasetSpec& spec,
+                            std::uint64_t seed) {
+  FV_REQUIRE(!spec.stresses.empty() && spec.time_points > 0,
+             "stress dataset needs stresses and time points");
+  Rng rng(seed);
+  std::vector<std::string> conditions;
+  conditions.reserve(spec.stresses.size() * spec.time_points);
+  for (const std::string& stress : spec.stresses) {
+    for (std::size_t t = 0; t < spec.time_points; ++t) {
+      conditions.push_back(stress + "_t" + std::to_string(5 * (t + 1)) + "min");
+    }
+  }
+  const std::size_t points = spec.time_points;
+  const auto& stresses = spec.stresses;
+  return build_dataset(
+      genome, spec.name, conditions, spec.measured_fraction,
+      spec.missing_rate, spec.noise_sd, rng,
+      [&](std::size_t gene, std::size_t condition) {
+        const std::size_t stress_index = condition / points;
+        const std::size_t t = condition % points;
+        return stress_module_response(genome, gene, stresses[stress_index],
+                                      time_ramp(t, points));
+      });
+}
+
+Dataset make_nutrient_dataset(const SynthGenome& genome,
+                              const NutrientDatasetSpec& spec,
+                              std::uint64_t seed) {
+  FV_REQUIRE(!spec.nutrients.empty() && !spec.growth_rates.empty(),
+             "nutrient dataset needs nutrients and growth rates");
+  Rng rng(seed);
+  std::vector<std::string> conditions;
+  for (const std::string& nutrient : spec.nutrients) {
+    for (double rate : spec.growth_rates) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s_lim_d%.2f", nutrient.c_str(),
+                    rate);
+      conditions.push_back(label);
+    }
+  }
+  const double max_rate =
+      *std::max_element(spec.growth_rates.begin(), spec.growth_rates.end());
+  const std::size_t rates = spec.growth_rates.size();
+  return build_dataset(
+      genome, spec.name, conditions, spec.measured_fraction,
+      spec.missing_rate, spec.noise_sd, rng,
+      [&](std::size_t gene, std::size_t condition) {
+        const std::size_t nutrient_index = condition / rates;
+        const double rate = spec.growth_rates[condition % rates];
+        // Slow growth expresses the generic stress program — the hidden
+        // cross-dataset signal of paper §4.
+        const double slowdown = (max_rate - rate) / max_rate;
+        double signal = stress_module_response(genome, gene, "slow_growth",
+                                               slowdown);
+        // Glucose limitation additionally de-represses respiration.
+        const int m = genome.module_of(gene);
+        if (m >= 0 &&
+            genome.module_names()[static_cast<std::size_t>(m)] == kMito &&
+            spec.nutrients[nutrient_index] == "glucose") {
+          signal += 0.8 * genome.amplitude(gene) * slowdown;
+        }
+        return signal;
+      });
+}
+
+KnockoutResult make_knockout_dataset(const SynthGenome& genome,
+                                     const KnockoutDatasetSpec& spec,
+                                     std::uint64_t seed) {
+  FV_REQUIRE(spec.knockouts > 0, "knockout dataset needs conditions");
+  Rng rng(seed);
+
+  const std::size_t module_count = genome.module_names().size();
+  KnockoutTruth truth;
+  truth.targeted_module.assign(spec.knockouts, -1);
+  truth.regulation_sign.assign(spec.knockouts, 0);
+  truth.slow_growth.assign(spec.knockouts, false);
+
+  // Reserve the first conditions as module regulators (shuffled afterwards
+  // via condition naming, not position, to keep the truth arrays simple).
+  std::size_t next_condition = 0;
+  for (std::size_t m = 0; m < module_count; ++m) {
+    for (std::size_t k = 0;
+         k < spec.regulators_per_module && next_condition < spec.knockouts;
+         ++k, ++next_condition) {
+      truth.targeted_module[next_condition] = static_cast<int>(m);
+      // Deleting an activator represses the module and vice versa; the sign
+      // is fixed per regulator so the module moves coherently.
+      truth.regulation_sign[next_condition] = rng.bernoulli(0.5) ? +1 : -1;
+    }
+  }
+  for (std::size_t c = 0; c < spec.knockouts; ++c) {
+    if (rng.bernoulli(spec.slow_growth_fraction)) {
+      truth.slow_growth[c] = true;
+    }
+  }
+
+  std::vector<std::string> conditions;
+  conditions.reserve(spec.knockouts);
+  for (std::size_t c = 0; c < spec.knockouts; ++c) {
+    if (truth.targeted_module[c] >= 0) {
+      const std::string& module =
+          genome.module_names()[static_cast<std::size_t>(
+              truth.targeted_module[c])];
+      conditions.push_back(str::to_lower(module) + "_reg" +
+                           std::to_string(c) + "-del");
+    } else {
+      conditions.push_back("orf" + std::to_string(c) + "-del");
+    }
+  }
+
+  Dataset dataset = build_dataset(
+      genome, spec.name, conditions, spec.measured_fraction,
+      spec.missing_rate, spec.noise_sd, rng,
+      [&](std::size_t gene, std::size_t condition) {
+        double signal = 0.0;
+        const int gene_module = genome.module_of(gene);
+        if (gene_module >= 0 &&
+            gene_module == truth.targeted_module[condition]) {
+          signal += static_cast<double>(truth.regulation_sign[condition]) *
+                    genome.amplitude(gene);
+        }
+        if (truth.slow_growth[condition]) {
+          signal += spec.slow_growth_scale *
+                    stress_module_response(genome, gene, "slow_growth", 1.0);
+        }
+        return signal;
+      });
+  return KnockoutResult{std::move(dataset), std::move(truth)};
+}
+
+Dataset make_noise_dataset(const SynthGenome& genome,
+                           const NoiseDatasetSpec& spec, std::uint64_t seed) {
+  FV_REQUIRE(spec.conditions > 0, "noise dataset needs conditions");
+  Rng rng(seed);
+  std::vector<std::string> conditions;
+  for (std::size_t c = 0; c < spec.conditions; ++c) {
+    conditions.push_back("array" + std::to_string(c));
+  }
+  return build_dataset(genome, spec.name, conditions, spec.measured_fraction,
+                       spec.missing_rate, spec.noise_sd, rng,
+                       [](std::size_t, std::size_t) { return 0.0; });
+}
+
+Compendium make_compendium(const CompendiumSpec& spec) {
+  Rng rng(spec.seed);
+  Compendium compendium(make_genome(spec.genome, rng.next_u64()));
+
+  for (std::size_t i = 0; i < spec.stress_datasets; ++i) {
+    StressDatasetSpec ds;
+    ds.name = "stress_" + std::to_string(i + 1);
+    ds.measured_fraction = spec.measured_fraction;
+    compendium.datasets.push_back(
+        make_stress_dataset(compendium.genome, ds, rng.next_u64()));
+  }
+  for (std::size_t i = 0; i < spec.nutrient_datasets; ++i) {
+    NutrientDatasetSpec ds;
+    ds.name = "nutrient_" + std::to_string(i + 1);
+    ds.measured_fraction = spec.measured_fraction;
+    compendium.datasets.push_back(
+        make_nutrient_dataset(compendium.genome, ds, rng.next_u64()));
+  }
+  for (std::size_t i = 0; i < spec.knockout_datasets; ++i) {
+    KnockoutDatasetSpec ds;
+    ds.name = "knockout_" + std::to_string(i + 1);
+    ds.measured_fraction = spec.measured_fraction;
+    KnockoutResult result =
+        make_knockout_dataset(compendium.genome, ds, rng.next_u64());
+    compendium.knockout_truth.emplace_back(compendium.datasets.size(),
+                                           std::move(result.truth));
+    compendium.datasets.push_back(std::move(result.dataset));
+  }
+  for (std::size_t i = 0; i < spec.noise_datasets; ++i) {
+    NoiseDatasetSpec ds;
+    ds.name = "noise_" + std::to_string(i + 1);
+    ds.measured_fraction = spec.measured_fraction;
+    compendium.datasets.push_back(
+        make_noise_dataset(compendium.genome, ds, rng.next_u64()));
+  }
+  return compendium;
+}
+
+}  // namespace fv::expr

@@ -1,0 +1,75 @@
+#include "expr/tree.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fv::expr {
+
+HierTree::HierTree(std::size_t leaf_count) : leaf_count_(leaf_count) {
+  nodes_.reserve(leaf_count > 0 ? leaf_count - 1 : 0);
+}
+
+int HierTree::add_node(int left, int right, double similarity) {
+  const int next_id = static_cast<int>(node_count());
+  FV_REQUIRE(left >= 0 && left < next_id, "left child id out of range");
+  FV_REQUIRE(right >= 0 && right < next_id, "right child id out of range");
+  FV_REQUIRE(left != right, "a node cannot merge with itself");
+  nodes_.push_back(HierTreeNode{left, right, similarity});
+  return next_id;
+}
+
+const HierTreeNode& HierTree::node(int id) const {
+  FV_REQUIRE(id >= 0 && static_cast<std::size_t>(id) >= leaf_count_ &&
+                 static_cast<std::size_t>(id) < node_count(),
+             "internal node id out of range");
+  return nodes_[static_cast<std::size_t>(id) - leaf_count_];
+}
+
+int HierTree::root() const {
+  FV_REQUIRE(node_count() > 0, "empty tree has no root");
+  return static_cast<int>(node_count()) - 1;
+}
+
+bool HierTree::is_complete() const {
+  if (leaf_count_ == 0) return false;
+  if (nodes_.size() != leaf_count_ - 1) return false;
+  // Count how many times each node id is used as a child.
+  std::vector<int> uses(node_count(), 0);
+  for (const HierTreeNode& n : nodes_) {
+    ++uses[static_cast<std::size_t>(n.left)];
+    ++uses[static_cast<std::size_t>(n.right)];
+  }
+  for (std::size_t id = 0; id + 1 < node_count(); ++id) {
+    if (uses[id] != 1) return false;
+  }
+  return uses[node_count() - 1] == 0;  // root is referenced by nobody
+}
+
+std::vector<std::size_t> HierTree::leaf_order() const {
+  if (node_count() == 0) return {};
+  return leaves_under(root());
+}
+
+std::vector<std::size_t> HierTree::leaves_under(int id) const {
+  FV_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < node_count(),
+             "node id out of range");
+  std::vector<std::size_t> leaves;
+  // Iterative DFS pushing right child first so the left subtree is emitted
+  // first, matching the file's visual ordering.
+  std::vector<int> stack{id};
+  while (!stack.empty()) {
+    const int current = stack.back();
+    stack.pop_back();
+    if (is_leaf(current)) {
+      leaves.push_back(static_cast<std::size_t>(current));
+      continue;
+    }
+    const HierTreeNode& n = node(current);
+    stack.push_back(n.right);
+    stack.push_back(n.left);
+  }
+  return leaves;
+}
+
+}  // namespace fv::expr

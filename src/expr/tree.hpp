@@ -1,0 +1,64 @@
+// Hierarchical-clustering tree model, matching the Java TreeView GTR/ATR
+// node structure: leaves 0..n-1 are matrix rows (or columns), internal nodes
+// are appended in merge order and carry the similarity at which their two
+// children were joined.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fv::expr {
+
+/// One internal merge node; children may be leaves (< leaf_count) or earlier
+/// internal nodes (>= leaf_count).
+struct HierTreeNode {
+  int left = -1;
+  int right = -1;
+  double similarity = 0.0;  ///< correlation at the merge, in [-1, 1]
+};
+
+class HierTree {
+ public:
+  HierTree() = default;
+  explicit HierTree(std::size_t leaf_count);
+
+  /// Appends a merge of `left` and `right` (ids of leaves or existing
+  /// internal nodes); returns the new node's id. Each node may be used as a
+  /// child exactly once.
+  int add_node(int left, int right, double similarity);
+
+  std::size_t leaf_count() const noexcept { return leaf_count_; }
+  std::size_t internal_count() const noexcept { return nodes_.size(); }
+
+  /// Total id space: leaves plus internal nodes.
+  std::size_t node_count() const noexcept {
+    return leaf_count_ + nodes_.size();
+  }
+
+  bool is_leaf(int id) const noexcept {
+    return id >= 0 && static_cast<std::size_t>(id) < leaf_count_;
+  }
+
+  /// Internal node record for id in [leaf_count, node_count).
+  const HierTreeNode& node(int id) const;
+
+  /// Root id; the last node added (or the single leaf when n == 1).
+  int root() const;
+
+  /// True when every node except the root is referenced exactly once and the
+  /// tree covers all leaves — i.e. a complete dendrogram.
+  bool is_complete() const;
+
+  /// Leaf ids in left-to-right dendrogram order (the display order used by
+  /// TreeView-style global views).
+  std::vector<std::size_t> leaf_order() const;
+
+  /// All leaves in the subtree rooted at `id`, in dendrogram order.
+  std::vector<std::size_t> leaves_under(int id) const;
+
+ private:
+  std::size_t leaf_count_ = 0;
+  std::vector<HierTreeNode> nodes_;
+};
+
+}  // namespace fv::expr

@@ -1,0 +1,67 @@
+#include "go/annotations.hpp"
+
+#include "util/error.hpp"
+
+namespace fv::go {
+
+AnnotationTable::AnnotationTable(std::shared_ptr<const Ontology> ontology)
+    : ontology_(std::move(ontology)) {
+  FV_REQUIRE(ontology_ != nullptr, "annotation table needs an ontology");
+  genes_by_term_.resize(ontology_->term_count());
+  gene_set_by_term_.resize(ontology_->term_count());
+}
+
+void AnnotationTable::annotate(std::string_view gene, TermIndex term) {
+  FV_REQUIRE(term < ontology_->term_count(), "term index out of range");
+  FV_REQUIRE(!gene.empty(), "gene name must be non-empty");
+  const std::string name(gene);
+  if (gene_index_.find(name) == gene_index_.end()) {
+    gene_index_.emplace(name, genes_.size());
+    genes_.push_back(name);
+  }
+  auto& terms = terms_by_gene_[name];
+  if (!terms.insert(term).second) return;  // already annotated
+  if (gene_set_by_term_[term].insert(name).second) {
+    genes_by_term_[term].push_back(name);
+  }
+}
+
+std::vector<TermIndex> AnnotationTable::terms_of(std::string_view gene) const {
+  const auto it = terms_by_gene_.find(std::string(gene));
+  if (it == terms_by_gene_.end()) return {};
+  return std::vector<TermIndex>(it->second.begin(), it->second.end());
+}
+
+const std::vector<std::string>& AnnotationTable::genes_of(
+    TermIndex term) const {
+  FV_REQUIRE(term < genes_by_term_.size(), "term index out of range");
+  return genes_by_term_[term];
+}
+
+std::size_t AnnotationTable::annotation_count(TermIndex term) const {
+  FV_REQUIRE(term < genes_by_term_.size(), "term index out of range");
+  return genes_by_term_[term].size();
+}
+
+AnnotationTable AnnotationTable::propagated() const {
+  AnnotationTable out(ontology_);
+  // Ancestor sets are shared across genes annotated to the same term, so
+  // compute each term's ancestor list once.
+  std::vector<std::vector<TermIndex>> ancestor_cache(ontology_->term_count());
+  std::vector<bool> cached(ontology_->term_count(), false);
+  for (const std::string& gene : genes_) {
+    for (const TermIndex term : terms_by_gene_.at(gene)) {
+      out.annotate(gene, term);
+      if (!cached[term]) {
+        ancestor_cache[term] = ontology_->ancestors(term);
+        cached[term] = true;
+      }
+      for (const TermIndex ancestor : ancestor_cache[term]) {
+        out.annotate(gene, ancestor);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fv::go

@@ -1,0 +1,62 @@
+// Gene-to-term annotation table with true-path propagation.
+//
+// GOLEM's enrichment statistics count, for every term, how many genes are
+// annotated to it *or any of its descendants* — the GO "true path rule".
+// The table stores direct annotations and can produce a propagated copy.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "go/ontology.hpp"
+
+namespace fv::go {
+
+class AnnotationTable {
+ public:
+  /// The table shares ownership of the ontology so that moving/copying
+  /// tables (and the structs that bundle them) can never dangle.
+  explicit AnnotationTable(std::shared_ptr<const Ontology> ontology);
+
+  /// Annotates `gene` (by name) with a term. Idempotent.
+  void annotate(std::string_view gene, TermIndex term);
+
+  /// Number of distinct annotated genes.
+  std::size_t gene_count() const noexcept { return terms_by_gene_.size(); }
+
+  /// Terms directly annotated to `gene` (empty for unknown genes).
+  std::vector<TermIndex> terms_of(std::string_view gene) const;
+
+  /// Genes annotated to `term`.
+  const std::vector<std::string>& genes_of(TermIndex term) const;
+
+  /// Number of genes annotated to `term`.
+  std::size_t annotation_count(TermIndex term) const;
+
+  /// All annotated gene names (stable insertion order).
+  const std::vector<std::string>& genes() const noexcept { return genes_; }
+
+  /// Returns a new table where every gene is also annotated to all
+  /// ancestors of its direct terms (true path rule).
+  AnnotationTable propagated() const;
+
+  const Ontology& ontology() const noexcept { return *ontology_; }
+  const std::shared_ptr<const Ontology>& ontology_ptr() const noexcept {
+    return ontology_;
+  }
+
+ private:
+  std::shared_ptr<const Ontology> ontology_;
+  std::vector<std::string> genes_;
+  std::unordered_map<std::string, std::size_t> gene_index_;
+  std::unordered_map<std::string, std::unordered_set<TermIndex>>
+      terms_by_gene_;
+  std::vector<std::vector<std::string>> genes_by_term_;
+  std::vector<std::unordered_set<std::string>> gene_set_by_term_;
+};
+
+}  // namespace fv::go

@@ -1,0 +1,77 @@
+#include "go/golem.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "stats/multiple_testing.hpp"
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace fv::go {
+
+EnrichmentResult enrich(const AnnotationTable& annotations,
+                        const std::vector<std::string>& query_genes,
+                        const EnrichmentOptions& options) {
+  EnrichmentResult result;
+  const Ontology& ontology = annotations.ontology();
+
+  // Deduplicate the query and split known from unknown genes.
+  std::unordered_set<std::string> query_set;
+  for (const std::string& gene : query_genes) {
+    if (!query_set.insert(gene).second) continue;
+    if (annotations.terms_of(gene).empty()) {
+      result.unknown_genes.push_back(gene);
+    } else {
+      ++result.recognized_genes;
+    }
+  }
+  const std::size_t n = result.recognized_genes;
+  const std::size_t N = options.population_override > 0
+                            ? options.population_override
+                            : annotations.gene_count();
+  FV_REQUIRE(n <= N, "query has more recognized genes than the population");
+  if (n == 0) return result;
+
+  // Per-term counts.
+  std::vector<EnrichedTerm> rows;
+  for (TermIndex t = 0; t < ontology.term_count(); ++t) {
+    const std::size_t K = annotations.annotation_count(t);
+    if (K < options.min_annotated || K > N) continue;
+    std::size_t k = 0;
+    for (const std::string& gene : annotations.genes_of(t)) {
+      if (query_set.count(gene) > 0) ++k;
+    }
+    if (k == 0 && options.skip_empty_terms) continue;
+    EnrichedTerm row;
+    row.term = t;
+    row.query_annotated = k;
+    row.population_annotated = K;
+    row.query_size = n;
+    row.population_size = N;
+    row.p_value = stats::hypergeometric_upper_tail(k, N, K, n);
+    row.fold_enrichment =
+        (static_cast<double>(k) / static_cast<double>(n)) /
+        (static_cast<double>(K) / static_cast<double>(N));
+    rows.push_back(row);
+  }
+
+  // Multiple-testing corrections over the tested family.
+  std::vector<double> p_values;
+  p_values.reserve(rows.size());
+  for (const EnrichedTerm& row : rows) p_values.push_back(row.p_value);
+  const auto bonferroni = stats::bonferroni(p_values);
+  const auto bh = stats::benjamini_hochberg(p_values);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].p_bonferroni = bonferroni[i];
+    rows[i].q_benjamini_hochberg = bh[i];
+  }
+
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const EnrichedTerm& a, const EnrichedTerm& b) {
+                     return a.p_value < b.p_value;
+                   });
+  result.terms = std::move(rows);
+  return result;
+}
+
+}  // namespace fv::go

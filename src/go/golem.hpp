@@ -1,0 +1,48 @@
+// GOLEM enrichment analysis (paper §3): given a list of genes (typically a
+// ForestView cluster selection), quantify the statistical functional
+// enrichment of every GO term via the hypergeometric upper tail, with
+// Bonferroni and Benjamini–Hochberg corrections.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "go/annotations.hpp"
+
+namespace fv::go {
+
+struct EnrichmentOptions {
+  /// Terms annotated to fewer genes than this (in the population) are
+  /// skipped — tiny terms produce unstable statistics.
+  std::size_t min_annotated = 2;
+  /// Terms with no query gene are skipped (their p-value is 1 by definition).
+  bool skip_empty_terms = true;
+  /// If > 0, overrides the population size (otherwise: all annotated genes).
+  std::size_t population_override = 0;
+};
+
+struct EnrichedTerm {
+  TermIndex term = 0;
+  std::size_t query_annotated = 0;       ///< k: query genes with the term
+  std::size_t population_annotated = 0;  ///< K: population genes with it
+  std::size_t query_size = 0;            ///< n: recognized query genes
+  std::size_t population_size = 0;       ///< N
+  double p_value = 1.0;
+  double p_bonferroni = 1.0;
+  double q_benjamini_hochberg = 1.0;
+  double fold_enrichment = 0.0;  ///< (k/n) / (K/N)
+};
+
+struct EnrichmentResult {
+  std::vector<EnrichedTerm> terms;      ///< ascending p-value
+  std::size_t recognized_genes = 0;     ///< query genes found in the table
+  std::vector<std::string> unknown_genes;  ///< query genes with no annotation
+};
+
+/// Runs the enrichment. `annotations` must already be propagated (true-path);
+/// enrich() works on whatever counts it is given.
+EnrichmentResult enrich(const AnnotationTable& annotations,
+                        const std::vector<std::string>& query_genes,
+                        const EnrichmentOptions& options = {});
+
+}  // namespace fv::go

@@ -1,0 +1,189 @@
+#include "go/local_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "render/draw.hpp"
+#include "render/font.hpp"
+#include "util/error.hpp"
+
+namespace fv::go {
+
+LocalExplorationMap build_local_map(
+    const Ontology& ontology, const std::vector<TermIndex>& focus_terms) {
+  LocalExplorationMap map;
+  if (focus_terms.empty()) return map;
+
+  // Closure: focus terms plus all ancestors.
+  std::unordered_set<TermIndex> included;
+  std::unordered_set<TermIndex> focus_set;
+  for (const TermIndex t : focus_terms) {
+    FV_REQUIRE(t < ontology.term_count(), "focus term out of range");
+    focus_set.insert(t);
+    if (included.insert(t).second) {
+      for (const TermIndex a : ontology.ancestors(t)) included.insert(a);
+    }
+  }
+
+  // Layer = global DAG depth, so maps of different selections are
+  // vertically comparable.
+  const auto depths = ontology.depths();
+  std::vector<TermIndex> terms(included.begin(), included.end());
+  std::sort(terms.begin(), terms.end());  // deterministic base order
+
+  std::unordered_map<TermIndex, std::size_t> node_of_term;
+  for (const TermIndex t : terms) {
+    MapNode node;
+    node.term = t;
+    node.layer = depths[t];
+    node.focus = focus_set.count(t) > 0;
+    node_of_term.emplace(t, map.nodes.size());
+    map.nodes.push_back(node);
+    map.layer_count = std::max(map.layer_count, node.layer + 1);
+  }
+
+  // Edges between included terms only.
+  for (const TermIndex t : terms) {
+    for (const TermIndex parent : ontology.parents(t)) {
+      const auto it = node_of_term.find(parent);
+      if (it == node_of_term.end()) continue;
+      map.edges.push_back(MapEdge{it->second, node_of_term.at(t)});
+    }
+  }
+
+  // Initial slots: order of appearance per layer.
+  std::vector<std::vector<std::size_t>> layers(map.layer_count);
+  for (std::size_t n = 0; n < map.nodes.size(); ++n) {
+    layers[map.nodes[n].layer].push_back(n);
+  }
+  // Barycenter sweep (two passes) to reduce edge crossings: order each layer
+  // by the mean slot of connected nodes in the previous layer processed.
+  const auto sweep = [&](bool downward) {
+    for (std::size_t step = 0; step < map.layer_count; ++step) {
+      const std::size_t layer = downward ? step : map.layer_count - 1 - step;
+      auto& nodes_in_layer = layers[layer];
+      std::vector<double> barycenter(map.nodes.size(), 0.0);
+      for (const std::size_t n : nodes_in_layer) {
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (const MapEdge& e : map.edges) {
+          const std::size_t other = e.parent_node == n ? e.child_node
+                                    : e.child_node == n ? e.parent_node
+                                                        : map.nodes.size();
+          if (other == map.nodes.size()) continue;
+          sum += static_cast<double>(map.nodes[other].slot);
+          ++count;
+        }
+        barycenter[n] = count > 0
+                            ? sum / static_cast<double>(count)
+                            : static_cast<double>(map.nodes[n].slot);
+      }
+      std::stable_sort(nodes_in_layer.begin(), nodes_in_layer.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return barycenter[a] < barycenter[b];
+                       });
+      for (std::size_t slot = 0; slot < nodes_in_layer.size(); ++slot) {
+        map.nodes[nodes_in_layer[slot]].slot = slot;
+      }
+    }
+  };
+  // Seed slots, then two alternating sweeps.
+  for (auto& layer : layers) {
+    for (std::size_t slot = 0; slot < layer.size(); ++slot) {
+      map.nodes[layer[slot]].slot = slot;
+    }
+    map.max_layer_width = std::max(map.max_layer_width, layer.size());
+  }
+  sweep(/*downward=*/true);
+  sweep(/*downward=*/false);
+  return map;
+}
+
+LocalExplorationMap build_local_map(const Ontology& ontology,
+                                    const EnrichmentResult& enrichment,
+                                    double max_q_value) {
+  std::vector<TermIndex> focus;
+  std::unordered_map<TermIndex, double> p_of_term;
+  for (const EnrichedTerm& row : enrichment.terms) {
+    if (row.q_benjamini_hochberg <= max_q_value) {
+      focus.push_back(row.term);
+      p_of_term.emplace(row.term, row.p_value);
+    }
+  }
+  LocalExplorationMap map = build_local_map(ontology, focus);
+  for (MapNode& node : map.nodes) {
+    const auto it = p_of_term.find(node.term);
+    if (it != p_of_term.end()) node.p_value = it->second;
+  }
+  return map;
+}
+
+void draw_local_map(render::Framebuffer& fb, const Ontology& ontology,
+                    const LocalExplorationMap& map, long x, long y,
+                    long width, long height) {
+  using namespace render;
+  FV_REQUIRE(width > 0 && height > 0, "map area must be non-empty");
+  if (map.nodes.empty()) return;
+
+  const long layer_height =
+      height / static_cast<long>(std::max<std::size_t>(map.layer_count, 1));
+  const long box_height = std::max<long>(8, layer_height * 3 / 5);
+
+  // Node centers by (layer, slot).
+  std::vector<std::size_t> layer_width(map.layer_count, 0);
+  for (const MapNode& node : map.nodes) {
+    layer_width[node.layer] =
+        std::max(layer_width[node.layer], node.slot + 1);
+  }
+  const auto center_of = [&](const MapNode& node) {
+    const long slots = static_cast<long>(layer_width[node.layer]);
+    const long cx = x + (2 * static_cast<long>(node.slot) + 1) * width /
+                            (2 * slots);
+    const long cy = y + static_cast<long>(node.layer) * layer_height +
+                    layer_height / 2;
+    return std::pair<long, long>{cx, cy};
+  };
+  const long box_width =
+      std::max<long>(16, width / static_cast<long>(map.max_layer_width) - 4);
+
+  // Edges first (under the boxes): vertical drop, horizontal run, drop.
+  for (const MapEdge& edge : map.edges) {
+    const auto [px, py] = center_of(map.nodes[edge.parent_node]);
+    const auto [cx, cy] = center_of(map.nodes[edge.child_node]);
+    const long mid_y = (py + cy) / 2;
+    draw_vline(fb, px, py, mid_y, colors::kLightGray);
+    draw_hline(fb, px, cx, mid_y, colors::kLightGray);
+    draw_vline(fb, cx, mid_y, cy, colors::kLightGray);
+  }
+  // Boxes and labels.
+  for (const MapNode& node : map.nodes) {
+    const auto [cx, cy] = center_of(node);
+    const long bx = cx - box_width / 2;
+    const long by = cy - box_height / 2;
+    if (node.focus) {
+      // Fill saturation encodes significance: p=1 -> dim, p<=1e-10 -> full.
+      const double strength =
+          std::clamp(-std::log10(std::max(node.p_value, 1e-10)) / 10.0, 0.1,
+                     1.0);
+      fill_rect(fb, bx, by, box_width, box_height,
+                lerp(colors::kDarkGray, colors::kYellow, strength));
+      draw_rect(fb, bx, by, box_width, box_height, colors::kWhite);
+    } else {
+      draw_rect(fb, bx, by, box_width, box_height, colors::kGray);
+    }
+    const std::string& name = ontology.term(node.term).name;
+    const long max_chars = std::max<long>(0, (box_width - 4) / kGlyphAdvance);
+    if (max_chars >= 3 && box_height >= kGlyphHeight + 2) {
+      const std::string label =
+          name.size() > static_cast<std::size_t>(max_chars)
+              ? name.substr(0, static_cast<std::size_t>(max_chars))
+              : name;
+      draw_text(fb, bx + 2, cy - kGlyphHeight / 2, label,
+                node.focus ? colors::kBlack : colors::kLightGray);
+    }
+  }
+}
+
+}  // namespace fv::go

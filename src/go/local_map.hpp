@@ -1,0 +1,54 @@
+// GOLEM's Local Exploration Map (paper Figure 5): the sub-hierarchy around a
+// set of focus terms (typically the significantly enriched ones), laid out
+// in layers for drawing. Includes a renderer producing the boxed-DAG view.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "go/golem.hpp"
+#include "go/ontology.hpp"
+#include "render/framebuffer.hpp"
+
+namespace fv::go {
+
+struct MapNode {
+  TermIndex term = 0;
+  std::size_t layer = 0;  ///< depth layer (0 = roots)
+  std::size_t slot = 0;   ///< position within the layer after ordering
+  bool focus = false;     ///< true for the requested (enriched) terms
+  double p_value = 1.0;   ///< carried over for color coding (1 when unknown)
+};
+
+struct MapEdge {
+  std::size_t parent_node = 0;  ///< indexes into LocalExplorationMap::nodes
+  std::size_t child_node = 0;
+};
+
+struct LocalExplorationMap {
+  std::vector<MapNode> nodes;
+  std::vector<MapEdge> edges;
+  std::size_t layer_count = 0;
+  std::size_t max_layer_width = 0;
+};
+
+/// Builds the map: focus terms plus all of their ancestors, layered by DAG
+/// depth, with barycenter ordering inside each layer to reduce crossings.
+LocalExplorationMap build_local_map(const Ontology& ontology,
+                                    const std::vector<TermIndex>& focus_terms);
+
+/// Convenience: map of all terms with q-value <= threshold from an
+/// enrichment result (p-values are attached to the nodes for coloring).
+LocalExplorationMap build_local_map(const Ontology& ontology,
+                                    const EnrichmentResult& enrichment,
+                                    double max_q_value);
+
+/// Rasterizes the map into `fb` inside the given rectangle: one box per
+/// node (focus terms filled, ancestors outlined; fill saturation encodes
+/// -log10 p), orthogonal edges between layers, term names inside boxes
+/// where space allows.
+void draw_local_map(render::Framebuffer& fb, const Ontology& ontology,
+                    const LocalExplorationMap& map, long x, long y,
+                    long width, long height);
+
+}  // namespace fv::go

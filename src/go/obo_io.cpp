@@ -1,0 +1,140 @@
+#include "go/obo_io.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "util/table_io.hpp"
+
+namespace fv::go {
+
+namespace {
+
+Namespace parse_namespace(std::string_view text, std::size_t line) {
+  if (text == "biological_process") return Namespace::kBiologicalProcess;
+  if (text == "molecular_function") return Namespace::kMolecularFunction;
+  if (text == "cellular_component") return Namespace::kCellularComponent;
+  throw ParseError("unknown GO namespace '" + std::string(text) + "'", line);
+}
+
+std::string_view namespace_text(Namespace ns) {
+  switch (ns) {
+    case Namespace::kBiologicalProcess:
+      return "biological_process";
+    case Namespace::kMolecularFunction:
+      return "molecular_function";
+    case Namespace::kCellularComponent:
+      return "cellular_component";
+  }
+  return "biological_process";
+}
+
+struct PendingTerm {
+  Term term;
+  std::vector<std::string> is_a;  // parent accessions, resolved later
+  std::size_t line = 0;
+};
+
+}  // namespace
+
+Ontology parse_obo(const std::string& content) {
+  std::istringstream stream(content);
+  std::string line;
+  std::size_t line_no = 0;
+
+  std::vector<PendingTerm> pending;
+  bool in_term_stanza = false;
+
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string_view text = str::trim(line);
+    if (text.empty()) continue;
+    if (text.front() == '[') {
+      in_term_stanza = (text == "[Term]");
+      if (in_term_stanza) {
+        pending.emplace_back();
+        pending.back().line = line_no;
+      }
+      continue;
+    }
+    if (!in_term_stanza) continue;  // header or other stanza types
+
+    const std::size_t colon = text.find(':');
+    if (colon == std::string_view::npos) {
+      throw ParseError("malformed OBO line (missing ':')", line_no);
+    }
+    const std::string_view key = str::trim(text.substr(0, colon));
+    std::string_view value = str::trim(text.substr(colon + 1));
+    // Strip trailing comments ("! comment").
+    if (const std::size_t bang = value.find(" ! ");
+        bang != std::string_view::npos) {
+      value = str::trim(value.substr(0, bang));
+    }
+    PendingTerm& current = pending.back();
+    if (key == "id") {
+      current.term.id = std::string(value);
+    } else if (key == "name") {
+      current.term.name = std::string(value);
+    } else if (key == "namespace") {
+      current.term.ns = parse_namespace(value, line_no);
+    } else if (key == "is_a") {
+      // Value may be "GO:0008150 ! biological_process"; the comment part was
+      // stripped above, but handle a bare trailing word defensively.
+      const std::size_t space = value.find(' ');
+      current.is_a.emplace_back(space == std::string_view::npos
+                                    ? value
+                                    : str::trim(value.substr(0, space)));
+    } else if (key == "is_obsolete") {
+      current.term.obsolete = str::iequals(value, "true");
+    }
+    // Other keys (def, synonym, xref, ...) are intentionally skipped.
+  }
+
+  Ontology ontology;
+  for (PendingTerm& p : pending) {
+    if (p.term.id.empty()) {
+      throw ParseError("[Term] stanza without an id", p.line);
+    }
+    ontology.add_term(p.term);
+  }
+  for (const PendingTerm& p : pending) {
+    const auto child = ontology.find(p.term.id);
+    for (const std::string& parent_id : p.is_a) {
+      const auto parent = ontology.find(parent_id);
+      if (!parent.has_value()) {
+        throw ParseError("is_a references unknown term '" + parent_id + "'",
+                         p.line);
+      }
+      ontology.add_is_a(*child, *parent);
+    }
+  }
+  ontology.validate();
+  return ontology;
+}
+
+std::string format_obo(const Ontology& ontology) {
+  std::string out = "format-version: 1.2\n";
+  for (TermIndex i = 0; i < ontology.term_count(); ++i) {
+    const Term& term = ontology.term(i);
+    out += "\n[Term]\nid: " + term.id + "\nname: " + term.name +
+           "\nnamespace: " + std::string(namespace_text(term.ns)) + "\n";
+    if (term.obsolete) out += "is_obsolete: true\n";
+    for (TermIndex parent : ontology.parents(i)) {
+      out += "is_a: " + ontology.term(parent).id + " ! " +
+             ontology.term(parent).name + "\n";
+    }
+  }
+  return out;
+}
+
+Ontology read_obo(const std::string& path) {
+  return parse_obo(read_text_file(path));
+}
+
+void write_obo(const Ontology& ontology, const std::string& path) {
+  write_text_file(path, format_obo(ontology));
+}
+
+}  // namespace fv::go

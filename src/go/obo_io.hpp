@@ -1,0 +1,23 @@
+// OBO 1.2 flat-file parsing/serialization — the format the GO Consortium
+// ships and GOLEM loads ("the plain text format it is provided in", §3).
+// Supported keys: [Term] stanzas with id, name, namespace, is_a, is_obsolete.
+// Unknown keys and other stanza types are skipped, as GO tools convention.
+#pragma once
+
+#include <string>
+
+#include "go/ontology.hpp"
+
+namespace fv::go {
+
+/// Parses OBO text into an Ontology (validated acyclic).
+Ontology parse_obo(const std::string& content);
+
+/// Serializes an ontology back to OBO text.
+std::string format_obo(const Ontology& ontology);
+
+/// File wrappers.
+Ontology read_obo(const std::string& path);
+void write_obo(const Ontology& ontology, const std::string& path);
+
+}  // namespace fv::go

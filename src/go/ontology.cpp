@@ -1,0 +1,141 @@
+#include "go/ontology.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fv::go {
+
+TermIndex Ontology::add_term(Term term) {
+  FV_REQUIRE(!term.id.empty(), "term needs an accession id");
+  FV_REQUIRE(index_by_id_.find(term.id) == index_by_id_.end(),
+             "duplicate term accession: " + term.id);
+  const TermIndex index = terms_.size();
+  index_by_id_.emplace(term.id, index);
+  terms_.push_back(std::move(term));
+  parents_.emplace_back();
+  children_.emplace_back();
+  return index;
+}
+
+void Ontology::add_is_a(TermIndex child, TermIndex parent) {
+  FV_REQUIRE(child < terms_.size() && parent < terms_.size(),
+             "term index out of range");
+  FV_REQUIRE(child != parent, "a term cannot be its own parent");
+  // Duplicate edges are merged silently (OBO files repeat is_a lines).
+  auto& existing = parents_[child];
+  if (std::find(existing.begin(), existing.end(), parent) != existing.end()) {
+    return;
+  }
+  existing.push_back(parent);
+  children_[parent].push_back(child);
+}
+
+const Term& Ontology::term(TermIndex index) const {
+  FV_REQUIRE(index < terms_.size(), "term index out of range");
+  return terms_[index];
+}
+
+void Ontology::set_term_name(TermIndex index, std::string name) {
+  FV_REQUIRE(index < terms_.size(), "term index out of range");
+  terms_[index].name = std::move(name);
+}
+
+std::optional<TermIndex> Ontology::find(std::string_view accession) const {
+  const auto it = index_by_id_.find(std::string(accession));
+  if (it == index_by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<TermIndex>& Ontology::parents(TermIndex index) const {
+  FV_REQUIRE(index < terms_.size(), "term index out of range");
+  return parents_[index];
+}
+
+const std::vector<TermIndex>& Ontology::children(TermIndex index) const {
+  FV_REQUIRE(index < terms_.size(), "term index out of range");
+  return children_[index];
+}
+
+std::vector<TermIndex> Ontology::roots() const {
+  std::vector<TermIndex> result;
+  for (TermIndex i = 0; i < terms_.size(); ++i) {
+    if (parents_[i].empty()) result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<TermIndex> Ontology::topological_order() const {
+  // Kahn's algorithm over parent->child edges.
+  std::vector<std::size_t> pending(terms_.size());
+  for (TermIndex i = 0; i < terms_.size(); ++i) {
+    pending[i] = parents_[i].size();
+  }
+  std::vector<TermIndex> queue = roots();
+  std::vector<TermIndex> order;
+  order.reserve(terms_.size());
+  while (!queue.empty()) {
+    const TermIndex current = queue.back();
+    queue.pop_back();
+    order.push_back(current);
+    for (TermIndex child : children_[current]) {
+      if (--pending[child] == 0) queue.push_back(child);
+    }
+  }
+  return order;  // shorter than term_count() iff there is a cycle
+}
+
+void Ontology::validate() const {
+  if (topological_order().size() != terms_.size()) {
+    throw ParseError("ontology graph contains a cycle");
+  }
+}
+
+namespace {
+
+std::vector<TermIndex> reachable(const Ontology& ontology, TermIndex start,
+                                 bool upward) {
+  std::vector<bool> seen(ontology.term_count(), false);
+  std::vector<TermIndex> stack{start};
+  std::vector<TermIndex> found;
+  seen[start] = true;
+  while (!stack.empty()) {
+    const TermIndex current = stack.back();
+    stack.pop_back();
+    const auto& next = upward ? ontology.parents(current)
+                              : ontology.children(current);
+    for (TermIndex n : next) {
+      if (seen[n]) continue;
+      seen[n] = true;
+      found.push_back(n);
+      stack.push_back(n);
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+std::vector<TermIndex> Ontology::ancestors(TermIndex index) const {
+  FV_REQUIRE(index < terms_.size(), "term index out of range");
+  return reachable(*this, index, /*upward=*/true);
+}
+
+std::vector<TermIndex> Ontology::descendants(TermIndex index) const {
+  FV_REQUIRE(index < terms_.size(), "term index out of range");
+  return reachable(*this, index, /*upward=*/false);
+}
+
+std::vector<std::size_t> Ontology::depths() const {
+  const auto order = topological_order();
+  FV_ASSERT(order.size() == terms_.size(), "depths() needs an acyclic graph");
+  std::vector<std::size_t> depth(terms_.size(), 0);
+  for (TermIndex t : order) {
+    for (TermIndex child : children_[t]) {
+      depth[child] = std::max(depth[child], depth[t] + 1);
+    }
+  }
+  return depth;
+}
+
+}  // namespace fv::go

@@ -1,0 +1,82 @@
+// Gene Ontology DAG model.
+//
+// GO is a rooted directed acyclic graph: terms with is_a edges to one or
+// more parents, partitioned into three namespaces. GOLEM (paper §3) needs
+// ancestor closure (the "true path rule"), depths for layered drawing, and
+// subgraph extraction around enriched terms.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fv::go {
+
+/// Dense term handle (index into the ontology's term table).
+using TermIndex = std::size_t;
+
+enum class Namespace {
+  kBiologicalProcess,
+  kMolecularFunction,
+  kCellularComponent,
+};
+
+struct Term {
+  std::string id;    ///< accession, e.g. "GO:0006950"
+  std::string name;  ///< human-readable, e.g. "response to stress"
+  Namespace ns = Namespace::kBiologicalProcess;
+  bool obsolete = false;
+};
+
+class Ontology {
+ public:
+  /// Adds a term; its accession must be unique. Returns the new index.
+  TermIndex add_term(Term term);
+
+  /// Adds an is_a edge child -> parent. Both must exist; self-loops are
+  /// rejected immediately, larger cycles by validate().
+  void add_is_a(TermIndex child, TermIndex parent);
+
+  std::size_t term_count() const noexcept { return terms_.size(); }
+  const Term& term(TermIndex index) const;
+
+  /// Renames a term (accession stays fixed — it is the identity key).
+  void set_term_name(TermIndex index, std::string name);
+
+  /// Index lookup by accession; nullopt when unknown.
+  std::optional<TermIndex> find(std::string_view accession) const;
+
+  const std::vector<TermIndex>& parents(TermIndex index) const;
+  const std::vector<TermIndex>& children(TermIndex index) const;
+
+  /// Terms with no parents (per namespace there is usually exactly one).
+  std::vector<TermIndex> roots() const;
+
+  /// Throws ParseError if the graph has a cycle (called by the OBO parser;
+  /// callers building programmatically should call it too).
+  void validate() const;
+
+  /// All ancestors of `index` (excluding itself), deduplicated.
+  std::vector<TermIndex> ancestors(TermIndex index) const;
+
+  /// All descendants of `index` (excluding itself), deduplicated.
+  std::vector<TermIndex> descendants(TermIndex index) const;
+
+  /// Longest-path depth from any root (roots have depth 0). Used as the
+  /// layer assignment of the local exploration map.
+  std::vector<std::size_t> depths() const;
+
+  /// Topological order (parents before children).
+  std::vector<TermIndex> topological_order() const;
+
+ private:
+  std::vector<Term> terms_;
+  std::vector<std::vector<TermIndex>> parents_;
+  std::vector<std::vector<TermIndex>> children_;
+  std::unordered_map<std::string, TermIndex> index_by_id_;
+};
+
+}  // namespace fv::go

@@ -1,0 +1,126 @@
+#include "go/synth_ontology.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fv::go {
+
+namespace {
+
+std::string accession(std::size_t number) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "GO:%07zu", number + 1);
+  return buffer;
+}
+
+}  // namespace
+
+SynthOntology make_synth_ontology(const expr::SynthGenome& genome,
+                                  const SynthOntologySpec& spec) {
+  FV_REQUIRE(spec.depth >= 1 && spec.branching >= 2,
+             "ontology needs depth >= 1 and branching >= 2");
+  FV_REQUIRE(spec.module_annotation_rate > 0.0 &&
+                 spec.module_annotation_rate <= 1.0,
+             "module_annotation_rate must lie in (0, 1]");
+  Rng rng(spec.seed);
+
+  auto ontology_ptr = std::make_shared<Ontology>();
+  Ontology& ontology = *ontology_ptr;
+  std::size_t next_accession = 0;
+  const TermIndex root = ontology.add_term(
+      Term{accession(next_accession++), "biological_process",
+           Namespace::kBiologicalProcess, false});
+
+  // Build a balanced tree layer by layer, then sprinkle cross edges.
+  std::vector<std::vector<TermIndex>> layers{{root}};
+  for (std::size_t d = 1; d <= spec.depth; ++d) {
+    std::vector<TermIndex> layer;
+    for (const TermIndex parent : layers.back()) {
+      for (std::size_t b = 0; b < spec.branching; ++b) {
+        const TermIndex child = ontology.add_term(
+            Term{accession(next_accession++),
+                 "process " + std::to_string(d) + "." +
+                     std::to_string(layer.size()),
+                 Namespace::kBiologicalProcess, false});
+        ontology.add_is_a(child, parent);
+        layer.push_back(child);
+      }
+    }
+    // Cross edges: an extra parent from the same upper layer keeps the
+    // graph acyclic while making it a genuine DAG, like real GO.
+    for (const TermIndex child : layer) {
+      if (rng.bernoulli(spec.extra_parent_rate) && layers.back().size() > 1) {
+        const TermIndex extra = layers.back()[static_cast<std::size_t>(
+            rng.uniform_u64(layers.back().size()))];
+        ontology.add_is_a(child, extra);
+      }
+    }
+    layers.push_back(std::move(layer));
+  }
+
+  // Pick one leaf-layer term per module and rename it after the module so
+  // tests and demos read naturally.
+  auto leaf_pool = layers.back();
+  rng.shuffle(leaf_pool);
+  FV_REQUIRE(leaf_pool.size() >= genome.module_names().size(),
+             "ontology too small for the module count; increase depth or "
+             "branching");
+
+  AnnotationTable direct(ontology_ptr);
+  std::unordered_map<std::string, TermIndex> module_terms;
+  for (std::size_t m = 0; m < genome.module_names().size(); ++m) {
+    module_terms.emplace(genome.module_names()[m], leaf_pool[m]);
+    // Rename the planted term after its module so enrichment output reads
+    // naturally ("ESR_UP program" instead of "process 4.197").
+    ontology.set_term_name(leaf_pool[m],
+                           genome.module_names()[m] + " program");
+  }
+
+  // Annotate module genes to their true term (with dropout), everyone to
+  // random leaf terms as background, and every gene at least once.
+  const auto& leaves = layers.back();
+  for (std::size_t g = 0; g < genome.gene_count(); ++g) {
+    const std::string& name = genome.gene(g).systematic_name;
+    const int module = genome.module_of(g);
+    bool annotated = false;
+    if (module >= 0 &&
+        rng.bernoulli(spec.module_annotation_rate)) {
+      direct.annotate(
+          name,
+          module_terms.at(
+              genome.module_names()[static_cast<std::size_t>(module)]));
+      annotated = true;
+    }
+    for (std::size_t a = 0; a < spec.background_annotations; ++a) {
+      // Background draws avoid module terms so planted signal stays clean.
+      const TermIndex t = leaves[static_cast<std::size_t>(
+          rng.uniform_u64(leaves.size()))];
+      bool is_module_term = false;
+      for (const auto& [unused, module_term] : module_terms) {
+        if (t == module_term) {
+          is_module_term = true;
+          break;
+        }
+      }
+      if (!is_module_term) {
+        direct.annotate(name, t);
+        annotated = true;
+      }
+    }
+    if (!annotated) {
+      // Guarantee population membership.
+      direct.annotate(name, root);
+    }
+  }
+
+  ontology.validate();
+  AnnotationTable propagated = direct.propagated();
+  SynthOntology result(ontology_ptr, std::move(direct),
+                       std::move(propagated));
+  result.module_terms = std::move(module_terms);
+  return result;
+}
+
+}  // namespace fv::go

@@ -1,0 +1,45 @@
+// Integer rectangle math used by the pane layout engine and the wall tiler.
+#pragma once
+
+#include <algorithm>
+
+namespace fv::layout {
+
+struct Rect {
+  long x = 0;
+  long y = 0;
+  long width = 0;
+  long height = 0;
+
+  bool empty() const noexcept { return width <= 0 || height <= 0; }
+  long right() const noexcept { return x + width; }    ///< exclusive
+  long bottom() const noexcept { return y + height; }  ///< exclusive
+
+  bool contains(long px, long py) const noexcept {
+    return px >= x && px < right() && py >= y && py < bottom();
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Intersection; empty Rect (width/height 0) when disjoint.
+inline Rect intersect(const Rect& a, const Rect& b) {
+  const long x0 = std::max(a.x, b.x);
+  const long y0 = std::max(a.y, b.y);
+  const long x1 = std::min(a.right(), b.right());
+  const long y1 = std::min(a.bottom(), b.bottom());
+  if (x1 <= x0 || y1 <= y0) return Rect{};
+  return Rect{x0, y0, x1 - x0, y1 - y0};
+}
+
+inline bool overlaps(const Rect& a, const Rect& b) {
+  return !intersect(a, b).empty();
+}
+
+/// Rect shrunk by `margin` on every side (may become empty).
+inline Rect inset(const Rect& r, long margin) {
+  return Rect{r.x + margin, r.y + margin, r.width - 2 * margin,
+              r.height - 2 * margin};
+}
+
+}  // namespace fv::layout

@@ -1,0 +1,98 @@
+#include "layout/pane.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fv::layout {
+
+PaneLayout layout_pane(const Rect& pane, const PaneConfig& config) {
+  PaneLayout out;
+  out.pane = pane;
+  if (pane.empty()) return out;
+
+  const long pad = config.padding;
+  long top = pane.y;
+
+  // Header across the whole pane.
+  if (config.header_height > 0 && pane.height > config.header_height) {
+    out.header = Rect{pane.x, top, pane.width, config.header_height};
+    top += config.header_height + pad;
+  }
+
+  const long body_height = pane.bottom() - top;
+  if (body_height <= 0) return out;
+
+  long left = pane.x;
+  // Global view strip on the far left, full body height.
+  if (config.global_width > 0 &&
+      pane.width > config.global_width + 2 * pad) {
+    out.global_view = Rect{left, top, config.global_width, body_height};
+    left += config.global_width + pad;
+  }
+  // Gene tree gutter.
+  if (config.tree_gutter > 0 &&
+      pane.right() - left > config.tree_gutter + 2 * pad) {
+    out.gene_tree = Rect{left, top, config.tree_gutter, body_height};
+    left += config.tree_gutter + pad;
+  }
+  // Annotation column on the far right.
+  long right = pane.right();
+  if (config.annotation_width > 0 &&
+      right - left > config.annotation_width + 2 * pad) {
+    right -= config.annotation_width;
+    out.annotations = Rect{right, top, config.annotation_width, body_height};
+    right -= pad;
+  }
+  // Remaining center: array tree strip above the zoom view.
+  const long center_width = right - left;
+  if (center_width <= 0) return out;
+  long zoom_top = top;
+  if (config.array_tree_height > 0 &&
+      body_height > config.array_tree_height + 2 * pad) {
+    out.array_tree = Rect{left, zoom_top, center_width,
+                          config.array_tree_height};
+    zoom_top += config.array_tree_height + pad;
+  }
+  const long zoom_height = pane.bottom() - zoom_top;
+  if (zoom_height > 0) {
+    out.zoom_view = Rect{left, zoom_top, center_width, zoom_height};
+  }
+  // The gene tree and annotation columns should align with the zoom view
+  // vertically (they describe its rows), so shrink them to match.
+  if (!out.gene_tree.empty() && !out.zoom_view.empty()) {
+    out.gene_tree.y = out.zoom_view.y;
+    out.gene_tree.height = out.zoom_view.height;
+  }
+  if (!out.annotations.empty() && !out.zoom_view.empty()) {
+    out.annotations.y = out.zoom_view.y;
+    out.annotations.height = out.zoom_view.height;
+  }
+  return out;
+}
+
+std::vector<Rect> split_vertical_panes(long width, long height,
+                                       std::size_t count, long gap) {
+  FV_REQUIRE(count >= 1, "need at least one pane");
+  FV_REQUIRE(width > 0 && height > 0, "canvas must be non-empty");
+  FV_REQUIRE(gap >= 0, "gap must be non-negative");
+  std::vector<Rect> panes;
+  panes.reserve(count);
+  const long total_gap = gap * static_cast<long>(count - 1);
+  const long usable = width - total_gap;
+  FV_REQUIRE(usable >= static_cast<long>(count),
+             "canvas too narrow for the requested pane count");
+  long cursor = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Distribute remainder pixels one per leading pane.
+    const long base = usable / static_cast<long>(count);
+    const long extra =
+        static_cast<long>(i) < usable % static_cast<long>(count) ? 1 : 0;
+    const long pane_width = base + extra;
+    panes.push_back(Rect{cursor, 0, pane_width, height});
+    cursor += pane_width + gap;
+  }
+  return panes;
+}
+
+}  // namespace fv::layout

@@ -1,0 +1,52 @@
+// Geometry of one dataset pane (paper Figure 2): header, global view strip,
+// gene-tree gutter, zoom view, annotation column, and array-tree strip.
+//
+//   +--------------------------------------------------+
+//   | header (dataset name)                             |
+//   +------+--------+----------------------+-----------+
+//   |      |        | array tree           |           |
+//   | glo  | gene   +----------------------+ annot     |
+//   | bal  | tree   | zoom view (heatmap)  | labels    |
+//   | view | gutter |                      |           |
+//   +------+--------+----------------------+-----------+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace fv::layout {
+
+/// Fixed pixel budgets for the non-heatmap parts of a pane.
+struct PaneConfig {
+  long header_height = 12;
+  long global_width = 48;      ///< global-view strip width
+  long tree_gutter = 40;       ///< gene dendrogram width
+  long array_tree_height = 24; ///< array dendrogram height
+  long annotation_width = 90;  ///< gene label column width
+  long padding = 2;
+};
+
+/// Computed sub-rectangles of a pane.
+struct PaneLayout {
+  Rect pane;        ///< the full pane
+  Rect header;
+  Rect global_view;
+  Rect gene_tree;
+  Rect array_tree;
+  Rect zoom_view;
+  Rect annotations;
+};
+
+/// Splits `pane` into its parts. Degrades gracefully on small panes: parts
+/// that do not fit come back empty (callers skip drawing empty rects).
+PaneLayout layout_pane(const Rect& pane, const PaneConfig& config);
+
+/// Splits a canvas of `width` x `height` pixels into `count` equal vertical
+/// panes separated by `gap` pixels (paper: "display is divided into multiple
+/// vertical panes, each pane displaying one dataset").
+std::vector<Rect> split_vertical_panes(long width, long height,
+                                       std::size_t count, long gap);
+
+}  // namespace fv::layout

@@ -1,0 +1,73 @@
+// Scroll/zoom state of a zoom view: which slice of the (ordered) gene list
+// is visible and at what cell size. This is the state the synchronization
+// layer replicates across panes so every dataset shows "exactly the same
+// order and same scroll position" (paper §2).
+#pragma once
+
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace fv::layout {
+
+class Viewport {
+ public:
+  Viewport() = default;
+
+  /// `visible_pixels` is the pixel height of the zoom view; `cell_size` the
+  /// pixel height of one gene row (zoom level).
+  Viewport(long visible_pixels, int cell_size) { resize(visible_pixels, cell_size); }
+
+  void resize(long visible_pixels, int cell_size) {
+    FV_REQUIRE(visible_pixels >= 0, "viewport extent must be non-negative");
+    FV_REQUIRE(cell_size >= 1, "cell size must be at least 1 pixel");
+    visible_pixels_ = visible_pixels;
+    cell_size_ = cell_size;
+  }
+
+  int cell_size() const noexcept { return cell_size_; }
+  long visible_pixels() const noexcept { return visible_pixels_; }
+
+  /// First visible item index.
+  std::size_t scroll_offset() const noexcept { return scroll_offset_; }
+
+  /// Number of item rows that fit (the last may be partial; rounded up).
+  std::size_t visible_count() const noexcept {
+    return static_cast<std::size_t>(
+        (visible_pixels_ + cell_size_ - 1) / cell_size_);
+  }
+
+  /// Scrolls so that `first` is the top visible item, clamped such that the
+  /// view never scrolls past the end of an `item_count`-item list.
+  void scroll_to(std::size_t first, std::size_t item_count) {
+    const std::size_t fit = visible_count();
+    const std::size_t max_first = item_count > fit ? item_count - fit : 0;
+    scroll_offset_ = std::min(first, max_first);
+  }
+
+  /// Zoom in/out by whole pixels per cell, keeping the top item stable.
+  void set_zoom(int cell_size) {
+    FV_REQUIRE(cell_size >= 1, "cell size must be at least 1 pixel");
+    cell_size_ = cell_size;
+  }
+
+  /// Pixel y (relative to the view top) of item `index`, or negative when
+  /// the item is above the current scroll position.
+  long item_y(std::size_t index) const noexcept {
+    return (static_cast<long>(index) - static_cast<long>(scroll_offset_)) *
+           cell_size_;
+  }
+
+  /// Item index under relative pixel y.
+  std::size_t item_at(long y) const noexcept {
+    if (y < 0) return scroll_offset_;
+    return scroll_offset_ + static_cast<std::size_t>(y / cell_size_);
+  }
+
+ private:
+  long visible_pixels_ = 0;
+  int cell_size_ = 8;
+  std::size_t scroll_offset_ = 0;
+};
+
+}  // namespace fv::layout

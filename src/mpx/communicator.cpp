@@ -1,0 +1,146 @@
+#include "mpx/communicator.hpp"
+
+#include <thread>
+
+namespace fv::mpx {
+
+GroupState::GroupState(int size) : size_(size) {
+  FV_REQUIRE(size >= 1, "group needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Mailbox& GroupState::mailbox(int rank) {
+  FV_REQUIRE(rank >= 0 && rank < size_, "rank out of range");
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+void GroupState::barrier_wait() {
+  std::unique_lock lock(barrier_mutex_);
+  if (aborted_) throw Error("mpx group aborted during barrier");
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_waiting_ == size_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] {
+    return barrier_generation_ != generation || aborted_;
+  });
+  if (aborted_ && barrier_generation_ == generation) {
+    throw Error("mpx group aborted during barrier");
+  }
+}
+
+void GroupState::abort() {
+  {
+    std::unique_lock lock(barrier_mutex_);
+    aborted_ = true;
+  }
+  barrier_cv_.notify_all();
+  for (auto& mailbox : mailboxes_) mailbox->abort();
+}
+
+bool GroupState::aborted() const {
+  std::unique_lock lock(barrier_mutex_);
+  return aborted_;
+}
+
+Comm::Comm(GroupState* state, int rank) : state_(state), rank_(rank) {
+  FV_REQUIRE(state != nullptr, "communicator needs a group");
+  FV_REQUIRE(rank >= 0 && rank < state->size(), "rank out of range");
+}
+
+void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
+  FV_REQUIRE(tag >= 0, "user messages must use non-negative tags");
+  deliver(dest, tag, std::move(payload));
+}
+
+void Comm::deliver(int dest, int tag, std::vector<std::byte> payload) {
+  FV_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
+  Message message;
+  message.source = rank_;
+  message.tag = tag;
+  message.payload = std::move(payload);
+  state_->mailbox(dest).deliver(std::move(message));
+}
+
+Message Comm::recv(int source, int tag) {
+  return state_->mailbox(rank_).receive(source, tag);
+}
+
+std::optional<Message> Comm::try_recv(int source, int tag) {
+  return state_->mailbox(rank_).try_receive(source, tag);
+}
+
+Message Comm::recv_reserved(int source, int tag) {
+  return state_->mailbox(rank_).receive(source, tag);
+}
+
+void Comm::barrier() { state_->barrier_wait(); }
+
+void Comm::check_root(int root) const {
+  FV_REQUIRE(root >= 0 && root < size(), "collective root out of range");
+}
+
+double Comm::reduce(int root, double value,
+                    const std::function<double(double, double)>& combine) {
+  check_root(root);
+  if (rank_ != root) {
+    PayloadWriter writer;
+    writer.write(value);
+    deliver(root, reserved_tag::kReduce, writer.take());
+    return value;
+  }
+  double accumulated = 0.0;
+  bool first = true;
+  for (int source = 0; source < size(); ++source) {
+    double contribution;
+    if (source == rank_) {
+      contribution = value;
+    } else {
+      Message message = recv_reserved(source, reserved_tag::kReduce);
+      PayloadReader reader(message.payload);
+      contribution = reader.read<double>();
+    }
+    accumulated = first ? contribution : combine(accumulated, contribution);
+    first = false;
+  }
+  return accumulated;
+}
+
+double Comm::all_reduce_sum(double value) {
+  const std::vector<double> values = all_gather_value(value);
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+void run_group(int ranks, const std::function<void(Comm&)>& body) {
+  FV_REQUIRE(ranks >= 1, "group needs at least one rank");
+  FV_REQUIRE(body != nullptr, "group body must be callable");
+  GroupState state(ranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(&state, r);
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        state.abort();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace fv::mpx

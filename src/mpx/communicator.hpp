@@ -1,0 +1,209 @@
+// Communicator: the per-rank handle for point-to-point messaging and
+// collective operations, mirroring the MPI subset the display-wall code
+// needs (send/recv, barrier, broadcast, scatter, gather, reduce).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpx/mailbox.hpp"
+#include "mpx/message.hpp"
+
+namespace fv::mpx {
+
+/// State shared by every rank of one group: mailboxes plus barrier bookkeeping.
+class GroupState {
+ public:
+  explicit GroupState(int size);
+
+  int size() const noexcept { return size_; }
+  Mailbox& mailbox(int rank);
+
+  /// Sense-reversing central barrier; throws if the group aborts.
+  void barrier_wait();
+
+  /// Marks the group failed and wakes every blocked rank.
+  void abort();
+  bool aborted() const;
+
+ private:
+  const int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  mutable std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  bool aborted_ = false;
+};
+
+/// Reserved (negative) tags used internally by collectives. User tags must
+/// be non-negative.
+namespace reserved_tag {
+inline constexpr int kBroadcast = -2;
+inline constexpr int kGather = -3;
+inline constexpr int kReduce = -4;
+inline constexpr int kScatter = -5;
+inline constexpr int kAllGather = -6;
+}  // namespace reserved_tag
+
+class Comm {
+ public:
+  Comm(GroupState* state, int rank);
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return state_->size(); }
+
+  // -- point to point ------------------------------------------------------
+
+  /// Sends a raw payload; tag must be >= 0 for user traffic.
+  void send(int dest, int tag, std::vector<std::byte> payload);
+
+  /// Blocking receive; wildcards allowed.
+  Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking receive.
+  std::optional<Message> try_recv(int source = kAnySource, int tag = kAnyTag);
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    PayloadWriter writer;
+    writer.write(value);
+    send(dest, tag, writer.take());
+  }
+
+  template <typename T>
+  T recv_value(int source = kAnySource, int tag = kAnyTag,
+               int* actual_source = nullptr) {
+    Message message = recv(source, tag);
+    if (actual_source != nullptr) *actual_source = message.source;
+    PayloadReader reader(message.payload);
+    return reader.read<T>();
+  }
+
+  template <typename T>
+  void send_vector(int dest, int tag, std::span<const T> values) {
+    PayloadWriter writer;
+    writer.write_span(values);
+    send(dest, tag, writer.take());
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector(int source = kAnySource, int tag = kAnyTag,
+                             int* actual_source = nullptr) {
+    Message message = recv(source, tag);
+    if (actual_source != nullptr) *actual_source = message.source;
+    PayloadReader reader(message.payload);
+    return reader.read_vector<T>();
+  }
+
+  // -- collectives (every rank of the group must participate) --------------
+
+  void barrier();
+
+  /// Root's buffer is distributed to every rank (buffer is replaced on
+  /// non-root ranks; sizes may differ per call).
+  template <typename T>
+  void broadcast(int root, std::vector<T>& data) {
+    check_root(root);
+    if (rank_ == root) {
+      for (int dest = 0; dest < size(); ++dest) {
+        if (dest == rank_) continue;
+        PayloadWriter writer;
+        writer.write_span(std::span<const T>(data));
+        deliver(dest, reserved_tag::kBroadcast, writer.take());
+      }
+    } else {
+      Message message = recv_reserved(root, reserved_tag::kBroadcast);
+      PayloadReader reader(message.payload);
+      data = reader.read_vector<T>();
+    }
+  }
+
+  /// Root collects one vector per rank (ordered by rank); non-roots get {}.
+  template <typename T>
+  std::vector<std::vector<T>> gather(int root, std::span<const T> mine) {
+    check_root(root);
+    if (rank_ != root) {
+      PayloadWriter writer;
+      writer.write_span(mine);
+      deliver(root, reserved_tag::kGather, writer.take());
+      return {};
+    }
+    std::vector<std::vector<T>> parts(static_cast<std::size_t>(size()));
+    parts[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
+    for (int source = 0; source < size(); ++source) {
+      if (source == rank_) continue;
+      Message message = recv_reserved(source, reserved_tag::kGather);
+      PayloadReader reader(message.payload);
+      parts[static_cast<std::size_t>(source)] = reader.read_vector<T>();
+    }
+    return parts;
+  }
+
+  /// Every rank receives every rank's value, ordered by rank.
+  template <typename T>
+  std::vector<T> all_gather_value(const T& value) {
+    for (int dest = 0; dest < size(); ++dest) {
+      if (dest == rank_) continue;
+      PayloadWriter writer;
+      writer.write(value);
+      deliver(dest, reserved_tag::kAllGather, writer.take());
+    }
+    std::vector<T> values(static_cast<std::size_t>(size()));
+    values[static_cast<std::size_t>(rank_)] = value;
+    for (int source = 0; source < size(); ++source) {
+      if (source == rank_) continue;
+      Message message = recv_reserved(source, reserved_tag::kAllGather);
+      PayloadReader reader(message.payload);
+      values[static_cast<std::size_t>(source)] = reader.read<T>();
+    }
+    return values;
+  }
+
+  /// Root receives `combine` folded over all ranks' values (rank order);
+  /// non-roots receive the identity-folded local value unchanged.
+  double reduce(int root, double value,
+                const std::function<double(double, double)>& combine);
+
+  /// Sum-reduction delivered to every rank.
+  double all_reduce_sum(double value);
+
+  /// Root hands parts[r] to rank r; returns this rank's part.
+  template <typename T>
+  std::vector<T> scatter(int root, const std::vector<std::vector<T>>& parts) {
+    check_root(root);
+    if (rank_ == root) {
+      FV_REQUIRE(parts.size() == static_cast<std::size_t>(size()),
+                 "scatter needs exactly one part per rank");
+      for (int dest = 0; dest < size(); ++dest) {
+        if (dest == rank_) continue;
+        PayloadWriter writer;
+        writer.write_span(
+            std::span<const T>(parts[static_cast<std::size_t>(dest)]));
+        deliver(dest, reserved_tag::kScatter, writer.take());
+      }
+      return parts[static_cast<std::size_t>(rank_)];
+    }
+    Message message = recv_reserved(root, reserved_tag::kScatter);
+    PayloadReader reader(message.payload);
+    return reader.read_vector<T>();
+  }
+
+ private:
+  void check_root(int root) const;
+  /// Internal delivery used by collectives (reserved tags allowed).
+  void deliver(int dest, int tag, std::vector<std::byte> payload);
+  Message recv_reserved(int source, int tag);
+
+  GroupState* state_;
+  int rank_;
+};
+
+/// Runs `body` once per rank on dedicated threads and joins them.
+/// If any rank throws, the group is aborted (unblocking the others) and the
+/// lowest-rank exception is rethrown.
+void run_group(int ranks, const std::function<void(Comm&)>& body);
+
+}  // namespace fv::mpx

@@ -1,0 +1,57 @@
+#include "mpx/mailbox.hpp"
+
+namespace fv::mpx {
+
+void Mailbox::deliver(Message message) {
+  {
+    std::unique_lock lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  arrived_.notify_all();
+}
+
+std::optional<Message> Mailbox::match_locked(int source, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const bool source_ok = source == kAnySource || it->source == source;
+    const bool tag_ok = tag == kAnyTag || it->tag == tag;
+    if (source_ok && tag_ok) {
+      Message found = std::move(*it);
+      queue_.erase(it);
+      return found;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Mailbox::receive(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (auto found = match_locked(source, tag); found.has_value()) {
+      return std::move(*found);
+    }
+    if (aborted_) {
+      throw Error("mpx group aborted while a rank was blocked in receive");
+    }
+    arrived_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_receive(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  return match_locked(source, tag);
+}
+
+std::size_t Mailbox::pending() const {
+  std::unique_lock lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::abort() {
+  {
+    std::unique_lock lock(mutex_);
+    aborted_ = true;
+  }
+  arrived_.notify_all();
+}
+
+}  // namespace fv::mpx

@@ -1,0 +1,43 @@
+// Per-rank message queue with MPI-style (source, tag) selective receive.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mpx/message.hpp"
+
+namespace fv::mpx {
+
+class Mailbox {
+ public:
+  /// Enqueues a message (called from the sender's thread).
+  void deliver(Message message);
+
+  /// Blocks until a message matching (source, tag) is available and removes
+  /// it. kAnySource / kAnyTag act as wildcards. Matching preserves per-
+  /// (source, tag) FIFO order: the oldest matching message is returned.
+  /// Throws Error if the group is aborted while waiting.
+  Message receive(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking variant; nullopt when no matching message is queued.
+  std::optional<Message> try_receive(int source = kAnySource,
+                                     int tag = kAnyTag);
+
+  /// Number of queued messages (for diagnostics/tests).
+  std::size_t pending() const;
+
+  /// Wakes all blocked receivers with an error; further receives throw.
+  void abort();
+
+ private:
+  std::optional<Message> match_locked(int source, int tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace fv::mpx

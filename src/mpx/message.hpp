@@ -1,0 +1,113 @@
+// Message representation and payload (de)serialization for mpx, the
+// in-process message-passing layer.
+//
+// mpx mirrors MPI's point-to-point semantics (ranked processes exchanging
+// tagged, typed payloads) so the display-wall code is written exactly as it
+// would be against a real cluster: the paper's wall is driven by one PC per
+// projector tile. Payloads are byte buffers with explicit little-endian-
+// agnostic in-process packing — trivially copyable types only.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fv::mpx {
+
+/// Matches any source rank in receive calls.
+inline constexpr int kAnySource = -1;
+/// Matches any non-reserved tag in receive calls.
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = kAnySource;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Sequentially packs trivially copyable values into a byte buffer.
+class PayloadWriter {
+ public:
+  template <typename T>
+  void write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "payloads carry trivially copyable types only");
+    const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+    buffer_.insert(buffer_.end(), bytes, bytes + sizeof(T));
+  }
+
+  template <typename T>
+  void write_span(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "payloads carry trivially copyable types only");
+    write<std::uint64_t>(values.size());
+    const auto* bytes = reinterpret_cast<const std::byte*>(values.data());
+    buffer_.insert(buffer_.end(), bytes, bytes + values.size_bytes());
+  }
+
+  void write_string(std::string_view text) {
+    write<std::uint64_t>(text.size());
+    const auto* bytes = reinterpret_cast<const std::byte*>(text.data());
+    buffer_.insert(buffer_.end(), bytes, bytes + text.size());
+  }
+
+  std::vector<std::byte> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Sequentially unpacks values written by PayloadWriter; throws on overrun.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::byte> payload)
+      : payload_(payload) {}
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "payloads carry trivially copyable types only");
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, payload_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    const auto count = read<std::uint64_t>();
+    require(count * sizeof(T));
+    std::vector<T> values(count);
+    std::memcpy(values.data(), payload_.data() + offset_, count * sizeof(T));
+    offset_ += count * sizeof(T);
+    return values;
+  }
+
+  std::string read_string() {
+    const auto size = read<std::uint64_t>();
+    require(size);
+    std::string text(reinterpret_cast<const char*>(payload_.data() + offset_),
+                     size);
+    offset_ += size;
+    return text;
+  }
+
+  std::size_t remaining() const noexcept { return payload_.size() - offset_; }
+
+ private:
+  void require(std::size_t bytes) const {
+    FV_REQUIRE(offset_ + bytes <= payload_.size(),
+               "payload underrun: message shorter than expected");
+  }
+
+  std::span<const std::byte> payload_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace fv::mpx

@@ -1,0 +1,163 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace fv::par {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  FV_REQUIRE(task != nullptr, "cannot submit an empty task");
+  {
+    std::unique_lock lock(mutex_);
+    FV_REQUIRE(!stopping_, "cannot submit to a stopping pool");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();  // task wrappers below capture exceptions; plain submits may not
+    {
+      std::unique_lock lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+struct ChunkRange {
+  std::size_t begin, end;
+};
+
+std::vector<ChunkRange> make_chunks(std::size_t begin, std::size_t end,
+                                    std::size_t grain,
+                                    std::size_t max_chunks) {
+  std::vector<ChunkRange> chunks;
+  if (begin >= end) return chunks;
+  const std::size_t total = end - begin;
+  const std::size_t min_grain = std::max<std::size_t>(grain, 1);
+  std::size_t count = std::min(max_chunks, (total + min_grain - 1) / min_grain);
+  count = std::max<std::size_t>(count, 1);
+  const std::size_t base = total / count;
+  std::size_t remainder = total % count;
+  std::size_t cursor = begin;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t size = base + (i < remainder ? 1 : 0);
+    chunks.push_back({cursor, cursor + size});
+    cursor += size;
+  }
+  return chunks;
+}
+
+/// Runs one callable per chunk on the pool and blocks; rethrows the first
+/// exception (by chunk order) raised by any chunk.
+void run_chunks(ThreadPool& pool, const std::vector<ChunkRange>& chunks,
+                const std::function<void(std::size_t, std::size_t,
+                                         std::size_t)>& body) {
+  if (chunks.empty()) return;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = chunks.size();
+  std::vector<std::exception_ptr> errors(chunks.size());
+
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    pool.submit([&, c] {
+      try {
+        body(chunks[c].begin, chunks[c].end, c);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+      {
+        std::unique_lock lock(done_mutex);
+        --remaining;
+      }
+      done_cv.notify_one();
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t)>& fn) {
+  // 4 chunks per worker gives decent load balance without tiny tasks.
+  const auto chunks = make_chunks(begin, end, grain, pool.thread_count() * 4);
+  run_chunks(pool, chunks,
+             [&](std::size_t chunk_begin, std::size_t chunk_end, std::size_t) {
+               for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+             });
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for(ThreadPool::shared(), begin, end, 1, fn);
+}
+
+double parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                       std::size_t grain,
+                       const std::function<double(std::size_t, std::size_t)>& map,
+                       const std::function<double(double, double)>& combine,
+                       double identity) {
+  const auto chunks = make_chunks(begin, end, grain, pool.thread_count() * 4);
+  std::vector<double> partials(chunks.size(), identity);
+  run_chunks(pool, chunks,
+             [&](std::size_t chunk_begin, std::size_t chunk_end,
+                 std::size_t index) {
+               partials[index] = map(chunk_begin, chunk_end);
+             });
+  double result = identity;
+  for (double partial : partials) result = combine(result, partial);
+  return result;
+}
+
+}  // namespace fv::par

@@ -1,0 +1,75 @@
+// Shared-memory parallelism substrate: a fixed thread pool plus blocking
+// parallel_for / parallel_reduce helpers.
+//
+// ForestView uses this for distance-matrix construction, per-pane rendering
+// and SPELL's per-dataset scoring. The pool is deliberately simple (mutex +
+// condition variable work queue): workloads here are coarse-grained chunks,
+// so queue overhead is irrelevant, and determinism of *results* is preserved
+// because chunks write disjoint output ranges.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fv::par {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not block on other tasks in the same pool.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  /// Process-wide pool for callers that do not manage their own.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
+/// Work is split into contiguous chunks of at least `grain` iterations.
+/// The first exception thrown by any chunk is rethrown here.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, const std::function<void(std::size_t)>& fn);
+
+/// Convenience overload using the shared pool and an automatic grain.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Chunked parallel reduction: `map` produces a partial result for a chunk
+/// [chunk_begin, chunk_end); partials are combined left-to-right in chunk
+/// order, so the result is deterministic for associative `combine`.
+double parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                       std::size_t grain,
+                       const std::function<double(std::size_t, std::size_t)>& map,
+                       const std::function<double(double, double)>& combine,
+                       double identity);
+
+}  // namespace fv::par

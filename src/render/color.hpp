@@ -1,0 +1,35 @@
+// 24-bit RGB color and the small palette ForestView uses.
+#pragma once
+
+#include <cstdint>
+
+namespace fv::render {
+
+struct Rgb8 {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend bool operator==(const Rgb8&, const Rgb8&) = default;
+};
+
+/// Linear interpolation between two colors; t is clamped to [0, 1].
+Rgb8 lerp(Rgb8 a, Rgb8 b, double t);
+
+namespace colors {
+inline constexpr Rgb8 kBlack{0, 0, 0};
+inline constexpr Rgb8 kWhite{255, 255, 255};
+inline constexpr Rgb8 kRed{255, 0, 0};
+inline constexpr Rgb8 kGreen{0, 255, 0};
+inline constexpr Rgb8 kBlue{0, 0, 255};
+inline constexpr Rgb8 kYellow{255, 255, 0};
+inline constexpr Rgb8 kGray{128, 128, 128};
+inline constexpr Rgb8 kDarkGray{64, 64, 64};
+inline constexpr Rgb8 kLightGray{200, 200, 200};
+/// Missing-value cells in heatmaps (TreeView convention: neutral gray).
+inline constexpr Rgb8 kMissing{96, 96, 96};
+/// Selection highlight used in global views.
+inline constexpr Rgb8 kHighlight{255, 255, 255};
+}  // namespace colors
+
+}  // namespace fv::render

@@ -1,0 +1,41 @@
+#include "render/colormap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace fv::render {
+
+ExpressionColormap::ExpressionColormap(ColorScheme scheme, double contrast)
+    : scheme_(scheme), contrast_(contrast) {
+  FV_REQUIRE(contrast > 0.0, "colormap contrast must be positive");
+}
+
+Rgb8 ExpressionColormap::map(float value) const {
+  if (stats::is_missing(value)) return colors::kMissing;
+  const double t = std::clamp(static_cast<double>(value) / contrast_, -1.0,
+                              1.0);
+  const double magnitude = std::abs(t);
+  switch (scheme_) {
+    case ColorScheme::kRedGreen:
+      return t >= 0.0 ? lerp(colors::kBlack, colors::kRed, magnitude)
+                      : lerp(colors::kBlack, colors::kGreen, magnitude);
+    case ColorScheme::kBlueYellow:
+      return t >= 0.0 ? lerp(colors::kBlack, colors::kYellow, magnitude)
+                      : lerp(colors::kBlack, colors::kBlue, magnitude);
+    case ColorScheme::kGrayscale: {
+      // -contrast -> black, 0 -> mid gray, +contrast -> white.
+      return lerp(colors::kBlack, colors::kWhite, (t + 1.0) / 2.0);
+    }
+  }
+  FV_ASSERT(false, "unhandled color scheme");
+  return colors::kBlack;
+}
+
+ExpressionColormap ExpressionColormap::with_contrast(double contrast) const {
+  return ExpressionColormap(scheme_, contrast);
+}
+
+}  // namespace fv::render

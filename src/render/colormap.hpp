@@ -1,0 +1,40 @@
+// Expression-value color mapping.
+//
+// Microarray log-ratios render on the classic red/green scale (red =
+// induced, green = repressed, black = unchanged); the paper notes that
+// "expression level colors can be adjusted independently for datasets", so
+// the map carries a per-dataset contrast (saturation) setting and scheme.
+#pragma once
+
+#include "render/color.hpp"
+
+namespace fv::render {
+
+enum class ColorScheme {
+  kRedGreen,    ///< TreeView default: green(-) / black(0) / red(+)
+  kBlueYellow,  ///< colorblind-safe alternative: blue(-) / black / yellow(+)
+  kGrayscale,   ///< black(-) .. white(+), for print
+};
+
+class ExpressionColormap {
+ public:
+  /// `contrast` is the |value| that saturates the scale; must be > 0.
+  explicit ExpressionColormap(ColorScheme scheme = ColorScheme::kRedGreen,
+                              double contrast = 2.0);
+
+  /// Color for an expression log-ratio; missing (NaN) maps to the neutral
+  /// missing-value gray.
+  Rgb8 map(float value) const;
+
+  ColorScheme scheme() const noexcept { return scheme_; }
+  double contrast() const noexcept { return contrast_; }
+
+  /// Returns a copy with a different contrast (per-dataset adjustment).
+  ExpressionColormap with_contrast(double contrast) const;
+
+ private:
+  ColorScheme scheme_;
+  double contrast_;
+};
+
+}  // namespace fv::render

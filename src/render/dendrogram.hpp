@@ -1,0 +1,35 @@
+// Dendrogram rasterization for the gene/array tree gutters of a pane.
+#pragma once
+
+#include "expr/tree.hpp"
+#include "render/canvas.hpp"
+#include "render/framebuffer.hpp"
+
+namespace fv::render {
+
+/// Draws `tree` into the rectangle (x, y, width, height) with leaves laid
+/// out vertically: leaf i of the display order is centered at
+/// y + (i + 0.5) * slot, where slot = total_height / leaf_count (fractional
+/// slots are fine — whole-genome trees squeeze into a global-view strip).
+/// Depth (merge similarity) maps linearly onto the horizontal extent —
+/// similarity 1 at the leaf edge (right), the root's similarity at the far
+/// left. All segments are axis-aligned, TreeView style.
+void draw_gene_dendrogram(Canvas& canvas, const expr::HierTree& tree, long x,
+                          long y, long width, long total_height, Rgb8 color);
+
+/// Horizontal variant for the array (column) tree: leaves laid out left to
+/// right above the heatmap, depth mapping onto the vertical extent (leaves
+/// at the bottom edge).
+void draw_array_dendrogram(Canvas& canvas, const expr::HierTree& tree,
+                           long x, long y, long total_width, long height,
+                           Rgb8 color);
+
+/// Framebuffer convenience wrappers with explicit per-leaf cell sizes
+/// (row_height / col_width pixels per leaf).
+void draw_gene_dendrogram(Framebuffer& fb, const expr::HierTree& tree, long x,
+                          long y, long width, int row_height, Rgb8 color);
+void draw_array_dendrogram(Framebuffer& fb, const expr::HierTree& tree,
+                           long x, long y, long height, int col_width,
+                           Rgb8 color);
+
+}  // namespace fv::render

@@ -1,0 +1,33 @@
+// 2-D drawing primitives over Framebuffer: rectangles, Bresenham lines,
+// bitmap text. These are the only operations the pane renderers and the
+// display-wall command stream need.
+#pragma once
+
+#include <string_view>
+
+#include "render/framebuffer.hpp"
+
+namespace fv::render {
+
+/// Filled axis-aligned rectangle, clipped to the framebuffer.
+void fill_rect(Framebuffer& fb, long x, long y, long width, long height,
+               Rgb8 color);
+
+/// 1-pixel rectangle outline, clipped.
+void draw_rect(Framebuffer& fb, long x, long y, long width, long height,
+               Rgb8 color);
+
+/// Bresenham line from (x0,y0) to (x1,y1), clipped per pixel.
+void draw_line(Framebuffer& fb, long x0, long y0, long x1, long y1,
+               Rgb8 color);
+
+/// Horizontal / vertical fast paths (dendrograms are all axis-aligned).
+void draw_hline(Framebuffer& fb, long x0, long x1, long y, Rgb8 color);
+void draw_vline(Framebuffer& fb, long x, long y0, long y1, Rgb8 color);
+
+/// Renders text with the 5x7 font at integer scale >= 1; (x, y) is the
+/// top-left corner. Returns the x coordinate just past the rendered text.
+long draw_text(Framebuffer& fb, long x, long y, std::string_view text,
+               Rgb8 color, int scale = 1);
+
+}  // namespace fv::render

@@ -1,0 +1,66 @@
+// In-memory RGB framebuffer with PPM (P6) input/output.
+//
+// All ForestView rendering — desktop panes and display-wall tiles alike —
+// rasterizes into Framebuffers; the wall compositor stitches per-tile
+// buffers into one frame, and tests compare buffers byte-exactly against a
+// single-pass reference rendering.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "render/color.hpp"
+
+namespace fv::render {
+
+class Framebuffer {
+ public:
+  Framebuffer() = default;
+  Framebuffer(std::size_t width, std::size_t height,
+              Rgb8 fill = colors::kBlack);
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t height() const noexcept { return height_; }
+  std::size_t pixel_count() const noexcept { return pixels_.size(); }
+
+  /// Unclipped accessors; out-of-range indices throw.
+  Rgb8 at(std::size_t x, std::size_t y) const;
+  void set(std::size_t x, std::size_t y, Rgb8 color);
+
+  /// Clipped write: silently ignores out-of-bounds coordinates (callers
+  /// rasterizing primitives near edges rely on this).
+  void set_clipped(long x, long y, Rgb8 color);
+
+  void clear(Rgb8 color);
+
+  /// Copies `source` with its top-left corner at (x, y); parts that fall
+  /// outside are clipped.
+  void blit(const Framebuffer& source, long x, long y);
+
+  /// Extracts a sub-rectangle (clipped to bounds).
+  Framebuffer crop(long x, long y, std::size_t width,
+                   std::size_t height) const;
+
+  const std::vector<Rgb8>& pixels() const noexcept { return pixels_; }
+
+  friend bool operator==(const Framebuffer&, const Framebuffer&) = default;
+
+  /// Number of pixels differing from `other` (sizes must match).
+  std::size_t diff_count(const Framebuffer& other) const;
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<Rgb8> pixels_;
+};
+
+/// Serializes as binary PPM (P6).
+std::string format_ppm(const Framebuffer& fb);
+void write_ppm(const Framebuffer& fb, const std::string& path);
+
+/// Parses binary PPM (P6, maxval 255). Throws ParseError on malformed input.
+Framebuffer parse_ppm(const std::string& content);
+Framebuffer read_ppm(const std::string& path);
+
+}  // namespace fv::render

@@ -1,0 +1,69 @@
+#include "render/heatmap.hpp"
+
+#include <algorithm>
+
+#include "render/draw.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace fv::render {
+
+void render_heatmap(Framebuffer& fb, const expr::ExpressionMatrix& matrix,
+                    std::span<const std::size_t> row_order,
+                    const ExpressionColormap& colormap, long x, long y,
+                    int cell_w, int cell_h) {
+  FV_REQUIRE(cell_w >= 1 && cell_h >= 1, "heatmap cells need positive size");
+  for (std::size_t r = 0; r < row_order.size(); ++r) {
+    const std::size_t row = row_order[r];
+    FV_REQUIRE(row < matrix.rows(), "row order references missing row");
+    const auto values = matrix.row(row);
+    const long cell_y = y + static_cast<long>(r) * cell_h;
+    if (cell_y >= static_cast<long>(fb.height())) break;  // rest is below
+    for (std::size_t c = 0; c < values.size(); ++c) {
+      const long cell_x = x + static_cast<long>(c) * cell_w;
+      if (cell_x >= static_cast<long>(fb.width())) break;
+      fill_rect(fb, cell_x, cell_y, cell_w, cell_h, colormap.map(values[c]));
+    }
+  }
+}
+
+void render_global_view(Framebuffer& fb, const expr::ExpressionMatrix& matrix,
+                        std::span<const std::size_t> row_order,
+                        const ExpressionColormap& colormap, long x, long y,
+                        std::size_t width, std::size_t height) {
+  FV_REQUIRE(width > 0 && height > 0, "global view needs positive size");
+  if (row_order.empty() || matrix.cols() == 0) {
+    fill_rect(fb, x, y, static_cast<long>(width), static_cast<long>(height),
+              colors::kMissing);
+    return;
+  }
+  const std::size_t rows = row_order.size();
+  const std::size_t cols = matrix.cols();
+  // Box-filter downsampling: output pixel (px, py) covers source rows
+  // [py*rows/height, (py+1)*rows/height) and analogous columns.
+  for (std::size_t py = 0; py < height; ++py) {
+    const std::size_t r0 = py * rows / height;
+    const std::size_t r1 = std::max(r0 + 1, (py + 1) * rows / height);
+    for (std::size_t px = 0; px < width; ++px) {
+      const std::size_t c0 = px * cols / width;
+      const std::size_t c1 = std::max(c0 + 1, (px + 1) * cols / width);
+      double sum = 0.0;
+      std::size_t present = 0;
+      for (std::size_t r = r0; r < r1 && r < rows; ++r) {
+        const auto values = matrix.row(row_order[r]);
+        for (std::size_t c = c0; c < c1 && c < cols; ++c) {
+          if (stats::is_missing(values[c])) continue;
+          sum += values[c];
+          ++present;
+        }
+      }
+      const float average =
+          present > 0 ? static_cast<float>(sum / static_cast<double>(present))
+                      : stats::missing_value();
+      fb.set_clipped(x + static_cast<long>(px), y + static_cast<long>(py),
+                     colormap.map(average));
+    }
+  }
+}
+
+}  // namespace fv::render

@@ -1,0 +1,30 @@
+// Heatmap rasterization: the zoom view (one cell per measurement) and the
+// global view (whole dataset downsampled to a strip) of each ForestView pane.
+#pragma once
+
+#include <span>
+
+#include "expr/expression_matrix.hpp"
+#include "render/colormap.hpp"
+#include "render/framebuffer.hpp"
+
+namespace fv::render {
+
+/// Renders rows `row_order` of `matrix` as a cell grid with top-left corner
+/// (x, y); each cell is cell_w x cell_h pixels. Rows/columns that would fall
+/// outside the framebuffer are clipped.
+void render_heatmap(Framebuffer& fb, const expr::ExpressionMatrix& matrix,
+                    std::span<const std::size_t> row_order,
+                    const ExpressionColormap& colormap, long x, long y,
+                    int cell_w, int cell_h);
+
+/// Renders the whole matrix (rows in `row_order`) scaled into a width x
+/// height region at (x, y) — the pane's global view. Each output pixel
+/// averages the present expression values it covers; pixels covering only
+/// missing cells use the missing color.
+void render_global_view(Framebuffer& fb, const expr::ExpressionMatrix& matrix,
+                        std::span<const std::size_t> row_order,
+                        const ExpressionColormap& colormap, long x, long y,
+                        std::size_t width, std::size_t height);
+
+}  // namespace fv::render

@@ -1,0 +1,45 @@
+#include "spell/eval.hpp"
+
+#include <algorithm>
+
+namespace fv::spell {
+
+double precision_at_k(const std::vector<GeneScore>& ranking,
+                      const std::unordered_set<std::string>& relevant,
+                      std::size_t k) {
+  k = std::min(k, ranking.size());
+  if (k == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (relevant.count(ranking[i].gene) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double recall_at_k(const std::vector<GeneScore>& ranking,
+                   const std::unordered_set<std::string>& relevant,
+                   std::size_t k) {
+  if (relevant.empty()) return 0.0;
+  k = std::min(k, ranking.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (relevant.count(ranking[i].gene) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double average_precision(const std::vector<GeneScore>& ranking,
+                         const std::unordered_set<std::string>& relevant) {
+  if (relevant.empty() || ranking.empty()) return 0.0;
+  double sum = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (relevant.count(ranking[i].gene) == 0) continue;
+    ++hits;
+    sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+  }
+  if (hits == 0) return 0.0;
+  return sum / static_cast<double>(relevant.size());
+}
+
+}  // namespace fv::spell

@@ -1,0 +1,29 @@
+// Retrieval-quality metrics used to validate SPELL against the planted
+// ground truth (the paper could only eyeball the web interface; we can
+// measure precision because our compendium has known modules).
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "spell/spell.hpp"
+
+namespace fv::spell {
+
+/// Fraction of the top-k ranked genes that are relevant. k is clamped to
+/// the ranking length; returns 0 for an empty ranking.
+double precision_at_k(const std::vector<GeneScore>& ranking,
+                      const std::unordered_set<std::string>& relevant,
+                      std::size_t k);
+
+/// Fraction of relevant genes found in the top-k.
+double recall_at_k(const std::vector<GeneScore>& ranking,
+                   const std::unordered_set<std::string>& relevant,
+                   std::size_t k);
+
+/// Mean average precision over the full ranking.
+double average_precision(const std::vector<GeneScore>& ranking,
+                         const std::unordered_set<std::string>& relevant);
+
+}  // namespace fv::spell

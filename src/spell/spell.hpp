@@ -1,0 +1,91 @@
+// SPELL — Serial Patterns of Expression Levels Locator (paper §3).
+//
+// Query-driven search over a microarray compendium: given a small set of
+// related genes, (1) weight each dataset by how coherently it co-expresses
+// the query, then (2) score every gene by its weighted average correlation
+// to the query across the compendium. Output is exactly what the paper
+// describes: "an ordered list of genes and an ordered list of datasets".
+//
+// The per-dataset work (z-scoring query rows, correlating all genes against
+// the query centroid) is independent across datasets and runs on the thread
+// pool — this is the paper's scalability story for very large compendia.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/dataset.hpp"
+#include "par/thread_pool.hpp"
+
+namespace fv::spell {
+
+struct SpellOptions {
+  /// Datasets whose query-coherence weight is below this contribute nothing.
+  double min_dataset_weight = 0.0;
+  /// Genes measured in fewer than this many weighted datasets are dropped
+  /// from the ranking (too little evidence).
+  std::size_t min_dataset_support = 1;
+  /// Exclude the query genes themselves from the gene ranking (they match
+  /// trivially). The web interface shows them separately.
+  bool exclude_query_from_ranking = false;
+};
+
+struct DatasetScore {
+  std::size_t dataset_index = 0;
+  double weight = 0.0;             ///< query-coherence weight (>= 0)
+  std::size_t query_genes_found = 0;
+};
+
+struct GeneScore {
+  std::string gene;        ///< systematic name
+  double score = 0.0;      ///< weighted mean correlation to the query
+  std::size_t support = 0; ///< datasets contributing evidence
+};
+
+struct SpellResult {
+  std::vector<DatasetScore> dataset_ranking;  ///< descending weight
+  std::vector<GeneScore> gene_ranking;        ///< descending score
+  std::size_t query_genes_recognized = 0;     ///< found in >= 1 dataset
+};
+
+class SpellSearch {
+ public:
+  /// The search holds a reference to the compendium; it must outlive it.
+  explicit SpellSearch(const std::vector<expr::Dataset>& datasets);
+
+  /// Runs a query (gene names, systematic or common). Unknown genes are
+  /// ignored; at least one query gene must be found somewhere.
+  SpellResult search(const std::vector<std::string>& query,
+                     const SpellOptions& options = {}) const;
+
+  SpellResult search(const std::vector<std::string>& query,
+                     const SpellOptions& options,
+                     par::ThreadPool& pool) const;
+
+ private:
+  const std::vector<expr::Dataset>* datasets_;
+};
+
+/// Text-match baseline (what the paper contrasts SPELL against: "searching
+/// through a collection of data by text matches"): ranks genes by how many
+/// annotation tokens they share with the query genes' annotations.
+SpellResult text_match_baseline(const std::vector<expr::Dataset>& datasets,
+                                const std::vector<std::string>& query);
+
+/// Iterative refinement (paper §2: "iteratively adjust the viewed gene
+/// subsets in tandem with statistical analysis"): after each round the
+/// `expand_per_round` strongest non-query hits join the query and the
+/// search repeats, letting a small seed grow into its whole co-expression
+/// program. Returns the final round's result plus the expanded query.
+struct IterativeResult {
+  SpellResult final_result;
+  std::vector<std::string> expanded_query;  ///< seed + adopted genes
+  std::size_t rounds_run = 0;
+};
+IterativeResult iterative_search(const SpellSearch& search,
+                                 const std::vector<std::string>& seed,
+                                 std::size_t rounds,
+                                 std::size_t expand_per_round,
+                                 const SpellOptions& options = {});
+
+}  // namespace fv::spell

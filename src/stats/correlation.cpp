@@ -1,0 +1,119 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/ranking.hpp"
+#include "util/error.hpp"
+
+namespace fv::stats {
+
+namespace {
+
+constexpr std::size_t kMinCompletePairs = 3;
+
+struct PairAccumulator {
+  std::size_t n = 0;
+  double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+
+  void add(double a, double b) {
+    ++n;
+    sum_a += a;
+    sum_b += b;
+    sum_aa += a * a;
+    sum_bb += b * b;
+    sum_ab += a * b;
+  }
+};
+
+double finish_centered(const PairAccumulator& acc) {
+  if (acc.n < kMinCompletePairs) return 0.0;
+  const double n = static_cast<double>(acc.n);
+  const double cov = acc.sum_ab - acc.sum_a * acc.sum_b / n;
+  const double var_a = acc.sum_aa - acc.sum_a * acc.sum_a / n;
+  const double var_b = acc.sum_bb - acc.sum_b * acc.sum_b / n;
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  const double r = cov / std::sqrt(var_a * var_b);
+  return std::clamp(r, -1.0, 1.0);
+}
+
+}  // namespace
+
+double pearson(std::span<const float> a, std::span<const float> b) {
+  FV_REQUIRE(a.size() == b.size(), "pearson requires equal-length profiles");
+  PairAccumulator acc;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (is_missing(a[i]) || is_missing(b[i])) continue;
+    acc.add(a[i], b[i]);
+  }
+  return finish_centered(acc);
+}
+
+double uncentered_pearson(std::span<const float> a, std::span<const float> b) {
+  FV_REQUIRE(a.size() == b.size(),
+             "uncentered_pearson requires equal-length profiles");
+  PairAccumulator acc;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (is_missing(a[i]) || is_missing(b[i])) continue;
+    acc.add(a[i], b[i]);
+  }
+  if (acc.n < kMinCompletePairs) return 0.0;
+  if (acc.sum_aa <= 0.0 || acc.sum_bb <= 0.0) return 0.0;
+  const double r = acc.sum_ab / std::sqrt(acc.sum_aa * acc.sum_bb);
+  return std::clamp(r, -1.0, 1.0);
+}
+
+double spearman(std::span<const float> a, std::span<const float> b) {
+  FV_REQUIRE(a.size() == b.size(), "spearman requires equal-length profiles");
+  // Collect pairwise-complete observations, then correlate their mid-ranks.
+  std::vector<float> xa, xb;
+  xa.reserve(a.size());
+  xb.reserve(b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (is_missing(a[i]) || is_missing(b[i])) continue;
+    xa.push_back(a[i]);
+    xb.push_back(b[i]);
+  }
+  if (xa.size() < kMinCompletePairs) return 0.0;
+  const std::vector<double> ra = midranks(xa);
+  const std::vector<double> rb = midranks(xb);
+  PairAccumulator acc;
+  for (std::size_t i = 0; i < ra.size(); ++i) acc.add(ra[i], rb[i]);
+  return finish_centered(acc);
+}
+
+std::size_t z_normalize(std::span<float> values) {
+  const Moments m = moments(values);
+  if (m.count == 0) return 0;
+  const double sd = m.stddev();
+  for (float& v : values) {
+    if (is_missing(v)) continue;
+    v = sd > 0.0 ? static_cast<float>((v - m.mean) / sd) : 0.0f;
+  }
+  return m.count;
+}
+
+ZProfile ZProfile::from(std::span<const float> values) {
+  ZProfile profile;
+  profile.z.assign(values.begin(), values.end());
+  profile.present = z_normalize(profile.z);
+  for (float& v : profile.z) {
+    if (is_missing(v)) v = 0.0f;
+  }
+  return profile;
+}
+
+double zdot(const ZProfile& a, const ZProfile& b) {
+  FV_REQUIRE(a.z.size() == b.z.size(), "zdot requires equal-length profiles");
+  const std::size_t n = std::min(a.present, b.present);
+  if (n < kMinCompletePairs) return 0.0;
+  double dot = 0.0;
+  for (std::size_t i = 0; i < a.z.size(); ++i) {
+    dot += static_cast<double>(a.z[i]) * static_cast<double>(b.z[i]);
+  }
+  const double r = dot / static_cast<double>(n - 1);
+  return std::clamp(r, -1.0, 1.0);
+}
+
+}  // namespace fv::stats

@@ -1,0 +1,50 @@
+// Similarity measures between expression profiles.
+//
+// Pearson correlation (centered and uncentered, as in Eisen's Cluster 3.0)
+// and Spearman rank correlation, all with pairwise-complete handling of
+// missing values. SPELL and the clustering substrate are built on these.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fv::stats {
+
+/// Pearson correlation over pairwise-complete observations.
+/// Returns 0 when fewer than 3 pairs are complete or either side is
+/// constant (the convention used by microarray clustering tools, which
+/// treat degenerate profiles as uninformative rather than undefined).
+double pearson(std::span<const float> a, std::span<const float> b);
+
+/// Uncentered Pearson (cosine around zero) over pairwise-complete
+/// observations — Cluster 3.0's "uncentered correlation". Same degenerate
+/// conventions as pearson().
+double uncentered_pearson(std::span<const float> a, std::span<const float> b);
+
+/// Spearman rank correlation: Pearson over mid-ranks of the pairwise-complete
+/// observations (average ranks for ties).
+double spearman(std::span<const float> a, std::span<const float> b);
+
+/// Z-normalizes in place: subtract mean, divide by sample stddev, both over
+/// present values. Missing values stay missing; a constant vector becomes
+/// all zeros. Returns the number of present values.
+std::size_t z_normalize(std::span<float> values);
+
+/// Pre-normalized profile for fast repeated correlation: missing values are
+/// replaced by 0 after z-scoring, so a plain dot product divided by
+/// (count-1) equals Pearson on complete data.
+struct ZProfile {
+  std::vector<float> z;     ///< z-scored values, 0 where missing
+  std::size_t present = 0;  ///< number of present values
+
+  static ZProfile from(std::span<const float> values);
+};
+
+/// Fast approximate Pearson between two ZProfiles of equal length:
+/// exact when neither profile has missing values; with missing values it
+/// treats absent cells as mean-valued (the standard compendium-search
+/// approximation used so profiles can be normalized once, not per pair).
+double zdot(const ZProfile& a, const ZProfile& b);
+
+}  // namespace fv::stats

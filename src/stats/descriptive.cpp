@@ -1,0 +1,75 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace fv::stats {
+
+Moments moments(std::span<const float> values) {
+  Moments m;
+  double m2 = 0.0;
+  for (float v : values) {
+    if (is_missing(v)) continue;
+    ++m.count;
+    const double delta = static_cast<double>(v) - m.mean;
+    m.mean += delta / static_cast<double>(m.count);
+    m2 += delta * (static_cast<double>(v) - m.mean);
+  }
+  if (m.count >= 2) {
+    m.variance = m2 / static_cast<double>(m.count - 1);
+  }
+  if (m.count == 0) m.mean = std::numeric_limits<double>::quiet_NaN();
+  return m;
+}
+
+double mean(std::span<const float> values) { return moments(values).mean; }
+
+double variance(std::span<const float> values) {
+  return moments(values).variance;
+}
+
+double median(std::span<const float> values) {
+  std::vector<float> present;
+  present.reserve(values.size());
+  for (float v : values) {
+    if (!is_missing(v)) present.push_back(v);
+  }
+  if (present.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const std::size_t mid = present.size() / 2;
+  std::nth_element(present.begin(), present.begin() + static_cast<long>(mid),
+                   present.end());
+  const double upper = present[mid];
+  if (present.size() % 2 == 1) return upper;
+  const auto lower_it =
+      std::max_element(present.begin(), present.begin() + static_cast<long>(mid));
+  return (static_cast<double>(*lower_it) + upper) / 2.0;
+}
+
+double min_present(std::span<const float> values) {
+  double best = std::numeric_limits<double>::quiet_NaN();
+  for (float v : values) {
+    if (is_missing(v)) continue;
+    if (std::isnan(best) || v < best) best = v;
+  }
+  return best;
+}
+
+double max_present(std::span<const float> values) {
+  double best = std::numeric_limits<double>::quiet_NaN();
+  for (float v : values) {
+    if (is_missing(v)) continue;
+    if (std::isnan(best) || v > best) best = v;
+  }
+  return best;
+}
+
+std::size_t present_count(std::span<const float> values) {
+  std::size_t n = 0;
+  for (float v : values) {
+    if (!is_missing(v)) ++n;
+  }
+  return n;
+}
+
+}  // namespace fv::stats

@@ -1,0 +1,52 @@
+// Descriptive statistics over expression vectors.
+//
+// Expression values are stored as float with missing measurements encoded as
+// quiet NaN (microarray files leave those cells empty). All reductions here
+// accumulate in double and skip missing values, reporting how many values
+// actually contributed.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace fv::stats {
+
+/// True when the stored expression value is a missing measurement.
+inline bool is_missing(float value) { return std::isnan(value); }
+
+/// Sentinel used to encode a missing measurement.
+inline float missing_value() { return std::nanf(""); }
+
+/// Result of a single-pass moment computation over present values.
+struct Moments {
+  std::size_t count = 0;   ///< number of non-missing values
+  double mean = 0.0;       ///< arithmetic mean of present values
+  double variance = 0.0;   ///< unbiased sample variance (0 when count < 2)
+
+  double stddev() const { return variance > 0.0 ? std::sqrt(variance) : 0.0; }
+};
+
+/// Computes count/mean/sample-variance in one numerically stable pass
+/// (Welford). Missing values are skipped.
+Moments moments(std::span<const float> values);
+
+/// Mean of present values; NaN when every value is missing.
+double mean(std::span<const float> values);
+
+/// Unbiased sample variance of present values; 0 when fewer than 2 present.
+double variance(std::span<const float> values);
+
+/// Median of present values; NaN when every value is missing.
+double median(std::span<const float> values);
+
+/// Minimum over present values; NaN when every value is missing.
+double min_present(std::span<const float> values);
+
+/// Maximum over present values; NaN when every value is missing.
+double max_present(std::span<const float> values);
+
+/// Number of non-missing entries.
+std::size_t present_count(std::span<const float> values);
+
+}  // namespace fv::stats

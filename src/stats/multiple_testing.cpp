@@ -1,0 +1,47 @@
+#include "stats/multiple_testing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace fv::stats {
+
+std::vector<double> bonferroni(std::span<const double> p_values) {
+  const double m = static_cast<double>(p_values.size());
+  std::vector<double> adjusted;
+  adjusted.reserve(p_values.size());
+  for (double p : p_values) {
+    FV_REQUIRE(p >= 0.0 && p <= 1.0, "p-values must lie in [0, 1]");
+    adjusted.push_back(std::min(1.0, p * m));
+  }
+  return adjusted;
+}
+
+std::vector<double> benjamini_hochberg(std::span<const double> p_values) {
+  const std::size_t m = p_values.size();
+  std::vector<double> adjusted(m, 0.0);
+  if (m == 0) return adjusted;
+
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return p_values[a] < p_values[b];
+                   });
+
+  // Walk from the largest p downward, applying q_i = p_i * m / rank and the
+  // running minimum that makes the adjusted values monotone.
+  double running_min = 1.0;
+  for (std::size_t i = m; i-- > 0;) {
+    const double p = p_values[order[i]];
+    FV_REQUIRE(p >= 0.0 && p <= 1.0, "p-values must lie in [0, 1]");
+    const double q =
+        p * static_cast<double>(m) / static_cast<double>(i + 1);
+    running_min = std::min(running_min, q);
+    adjusted[order[i]] = std::min(running_min, 1.0);
+  }
+  return adjusted;
+}
+
+}  // namespace fv::stats

@@ -1,0 +1,16 @@
+// Multiple-hypothesis corrections applied to GOLEM's per-term p-values.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fv::stats {
+
+/// Bonferroni-adjusted p-values: min(1, p * m).
+std::vector<double> bonferroni(std::span<const double> p_values);
+
+/// Benjamini–Hochberg FDR-adjusted p-values (step-up, with the cumulative
+/// minimum applied so the output is monotone in the input order statistics).
+std::vector<double> benjamini_hochberg(std::span<const double> p_values);
+
+}  // namespace fv::stats

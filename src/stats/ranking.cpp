@@ -1,0 +1,46 @@
+#include "stats/ranking.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fv::stats {
+
+std::vector<std::size_t> argsort(std::span<const float> values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return values[a] < values[b];
+                   });
+  return order;
+}
+
+std::vector<std::size_t> argsort_descending(std::span<const double> values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return values[a] > values[b];
+                   });
+  return order;
+}
+
+std::vector<double> midranks(std::span<const float> values) {
+  const std::vector<std::size_t> order = argsort(values);
+  std::vector<double> ranks(values.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    // Ranks are 1-based; a tie block spanning sorted positions [i, j] gets
+    // the average rank (i + j) / 2 + 1.
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace fv::stats

@@ -1,0 +1,20 @@
+// Ranking utilities: argsort and mid-ranks (used by Spearman correlation and
+// by SPELL's rank-combined gene ordering).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fv::stats {
+
+/// Indices that would sort `values` ascending (stable for ties).
+std::vector<std::size_t> argsort(std::span<const float> values);
+
+/// Indices that would sort `values` descending (stable for ties).
+std::vector<std::size_t> argsort_descending(std::span<const double> values);
+
+/// Mid-ranks (1-based; ties get the average of their rank range).
+std::vector<double> midranks(std::span<const float> values);
+
+}  // namespace fv::stats

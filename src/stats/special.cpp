@@ -1,0 +1,102 @@
+#include "stats/special.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fv::stats {
+
+double log_gamma(double x) {
+  FV_REQUIRE(x > 0.0, "log_gamma requires x > 0");
+  // Lanczos approximation with g = 7, n = 9 coefficients.
+  static constexpr double kCoefficients[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula keeps accuracy for small x.
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double sum = kCoefficients[0];
+  for (int i = 1; i < 9; ++i) {
+    sum += kCoefficients[i] / (z + static_cast<double>(i));
+  }
+  const double t = z + 7.5;
+  return 0.5 * std::log(2.0 * M_PI) + (z + 0.5) * std::log(t) - t +
+         std::log(sum);
+}
+
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  FV_REQUIRE(k <= n, "log_choose requires k <= n");
+  if (k == 0 || k == n) return 0.0;
+  return log_gamma(static_cast<double>(n) + 1.0) -
+         log_gamma(static_cast<double>(k) + 1.0) -
+         log_gamma(static_cast<double>(n - k) + 1.0);
+}
+
+namespace {
+
+void check_hypergeometric_args(std::uint64_t N, std::uint64_t K,
+                               std::uint64_t n) {
+  FV_REQUIRE(K <= N, "annotated count K must not exceed population N");
+  FV_REQUIRE(n <= N, "sample size n must not exceed population N");
+}
+
+}  // namespace
+
+double hypergeometric_pmf(std::uint64_t k, std::uint64_t N, std::uint64_t K,
+                          std::uint64_t n) {
+  check_hypergeometric_args(N, K, n);
+  // Support: max(0, n - (N - K)) <= k <= min(n, K).
+  const std::uint64_t lo = (n > N - K) ? n - (N - K) : 0;
+  const std::uint64_t hi = std::min(n, K);
+  if (k < lo || k > hi) return 0.0;
+  const double log_p = log_choose(K, k) + log_choose(N - K, n - k) -
+                       log_choose(N, n);
+  return std::exp(log_p);
+}
+
+double hypergeometric_upper_tail(std::uint64_t k, std::uint64_t N,
+                                 std::uint64_t K, std::uint64_t n) {
+  check_hypergeometric_args(N, K, n);
+  if (k == 0) return 1.0;
+  const std::uint64_t hi = std::min(n, K);
+  if (k > hi) return 0.0;
+  // Sum the PMF over [k, hi]; summing the (shorter) upper tail directly is
+  // stable because terms decay geometrically past the mode.
+  double total = 0.0;
+  for (std::uint64_t i = k; i <= hi; ++i) {
+    total += hypergeometric_pmf(i, N, K, n);
+  }
+  return std::min(total, 1.0);
+}
+
+double hypergeometric_lower_tail(std::uint64_t k, std::uint64_t N,
+                                 std::uint64_t K, std::uint64_t n) {
+  check_hypergeometric_args(N, K, n);
+  const std::uint64_t hi = std::min(n, K);
+  const std::uint64_t upper = std::min(k, hi);
+  double total = 0.0;
+  for (std::uint64_t i = 0; i <= upper; ++i) {
+    total += hypergeometric_pmf(i, N, K, n);
+  }
+  return std::min(total, 1.0);
+}
+
+double fisher_exact_enrichment(std::uint64_t in_set_annotated,
+                               std::uint64_t in_set_total,
+                               std::uint64_t population_annotated,
+                               std::uint64_t population_total) {
+  FV_REQUIRE(in_set_annotated <= in_set_total,
+             "set annotation count exceeds set size");
+  FV_REQUIRE(in_set_total <= population_total,
+             "set size exceeds population size");
+  FV_REQUIRE(population_annotated <= population_total,
+             "population annotation count exceeds population size");
+  return hypergeometric_upper_tail(in_set_annotated, population_total,
+                                   population_annotated, in_set_total);
+}
+
+}  // namespace fv::stats

@@ -1,0 +1,42 @@
+// Special functions and exact tests used by GOLEM's enrichment analysis.
+//
+// Everything works in log space so that compendium-scale parameters
+// (N ≈ 6000 genes, K up to thousands of annotations) stay finite.
+#pragma once
+
+#include <cstdint>
+
+namespace fv::stats {
+
+/// Natural log of the gamma function (Lanczos approximation, |err| < 1e-10
+/// for x > 0).
+double log_gamma(double x);
+
+/// log(n choose k); requires 0 <= k <= n.
+double log_choose(std::uint64_t n, std::uint64_t k);
+
+/// Hypergeometric PMF: probability of drawing exactly k annotated genes when
+/// sampling n genes without replacement from a population of N genes of
+/// which K are annotated.
+double hypergeometric_pmf(std::uint64_t k, std::uint64_t N, std::uint64_t K,
+                          std::uint64_t n);
+
+/// Upper-tail hypergeometric probability P[X >= k] — the classic
+/// over-representation ("enrichment") p-value used by GOLEM / GO term
+/// finders. Returns 1 when k == 0.
+double hypergeometric_upper_tail(std::uint64_t k, std::uint64_t N,
+                                 std::uint64_t K, std::uint64_t n);
+
+/// Lower-tail hypergeometric probability P[X <= k] (depletion).
+double hypergeometric_lower_tail(std::uint64_t k, std::uint64_t N,
+                                 std::uint64_t K, std::uint64_t n);
+
+/// One-sided Fisher exact test for enrichment of the 2x2 table
+///   [in_set & annotated, in_set & not] / [out & annotated, out & not].
+/// Identical to hypergeometric_upper_tail with the matching parameters.
+double fisher_exact_enrichment(std::uint64_t in_set_annotated,
+                               std::uint64_t in_set_total,
+                               std::uint64_t population_annotated,
+                               std::uint64_t population_total);
+
+}  // namespace fv::stats

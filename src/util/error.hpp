@@ -1,0 +1,88 @@
+// Error types and precondition checking used throughout ForestView.
+//
+// The library reports unrecoverable misuse (bad arguments, broken invariants)
+// and environmental failures (I/O, parse errors) through exceptions rooted at
+// fv::Error, so callers can catch one type at an application boundary.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fv {
+
+/// Root of the ForestView exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Filesystem / stream failures (file missing, short read, write failure).
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Malformed input data (PCL/CDT/OBO/GMT syntax errors). Carries the
+/// 1-based line number when known; 0 means "not line-addressable".
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& message, std::size_t line = 0)
+      : Error(line == 0 ? message
+                        : "line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  /// 1-based source line of the problem, or 0 when unknown.
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_ = 0;
+};
+
+/// Caller violated an API precondition.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant broke; indicates a bug in ForestView itself.
+class LogicError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(std::string_view kind,
+                                             std::string_view expr,
+                                             std::string_view file, int line,
+                                             const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  if (kind == "invariant") throw LogicError(os.str());
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace fv
+
+/// Validate a public API precondition; throws fv::InvalidArgument on failure.
+#define FV_REQUIRE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::fv::detail::throw_check_failure("precondition", #cond, __FILE__,    \
+                                        __LINE__, std::string(msg));        \
+    }                                                                       \
+  } while (false)
+
+/// Validate an internal invariant; throws fv::LogicError on failure.
+#define FV_ASSERT(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::fv::detail::throw_check_failure("invariant", #cond, __FILE__,       \
+                                        __LINE__, std::string(msg));        \
+    }                                                                       \
+  } while (false)

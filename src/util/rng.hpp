@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// ForestView's synthetic-compendium generator and the test/bench harnesses
+// need reproducible randomness that is identical across platforms, so we
+// implement xoshiro256** (seeded through splitmix64) rather than relying on
+// implementation-defined std::mt19937 distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace fv {
+
+/// Deterministic, splittable random number generator (xoshiro256**).
+///
+/// Distribution helpers (uniform / normal / shuffle) are implemented in
+/// terms of the raw stream, so results are bit-reproducible everywhere.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling,
+  /// so the result is exactly uniform.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (second deviate is cached).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    if (values.size() < 2) return;
+    for (std::size_t i = values.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i + 1));
+      using std::swap;
+      swap(values[i], values[j]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n) in random order. Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Derives an independent child generator; the parent stream advances.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace fv

@@ -1,0 +1,46 @@
+#include "util/table_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fv {
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open file for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw IoError("read failure on file: " + path);
+  return buffer.str();
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  const std::string content = read_text_file(path);
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) {
+      if (start < content.size()) {
+        lines.emplace_back(content.substr(start));
+      }
+      break;
+    }
+    std::size_t len = end - start;
+    if (len > 0 && content[start + len - 1] == '\r') --len;
+    lines.emplace_back(content.substr(start, len));
+    start = end + 1;
+  }
+  return lines;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open file for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) throw IoError("write failure on file: " + path);
+}
+
+}  // namespace fv

@@ -1,0 +1,19 @@
+// Line-oriented text file helpers shared by the tabular parsers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fv {
+
+/// Reads a whole text file as lines. Handles both LF and CRLF endings and
+/// drops a trailing empty line. Throws IoError if the file cannot be read.
+std::vector<std::string> read_lines(const std::string& path);
+
+/// Reads a whole file into one string. Throws IoError on failure.
+std::string read_text_file(const std::string& path);
+
+/// Writes (replaces) a text file. Throws IoError on failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace fv

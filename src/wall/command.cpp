@@ -1,0 +1,161 @@
+#include "wall/command.hpp"
+
+#include <algorithm>
+
+#include "render/font.hpp"
+#include "util/error.hpp"
+
+namespace fv::wall {
+
+layout::Rect RenderCommand::bounds() const {
+  switch (type) {
+    case CommandType::kFillRect:
+    case CommandType::kDrawRect:
+      return layout::Rect{x0, y0, x1, y1};  // x1/y1 hold width/height
+    case CommandType::kHLine: {
+      const long lo = std::min(x0, x1);
+      return layout::Rect{lo, y0, std::max(x0, x1) - lo + 1, 1};
+    }
+    case CommandType::kVLine: {
+      const long lo = std::min(y0, y1);
+      return layout::Rect{x0, lo, 1, std::max(y0, y1) - lo + 1};
+    }
+    case CommandType::kLine: {
+      const long lx = std::min(x0, x1);
+      const long ly = std::min(y0, y1);
+      return layout::Rect{lx, ly, std::max(x0, x1) - lx + 1,
+                          std::max(y0, y1) - ly + 1};
+    }
+    case CommandType::kText: {
+      const long width =
+          static_cast<long>(render::text_width(text)) * scale + scale;
+      return layout::Rect{x0, y0, std::max(width, 1L),
+                          static_cast<long>(render::kGlyphHeight) * scale};
+    }
+  }
+  FV_ASSERT(false, "unhandled command type");
+  return {};
+}
+
+void RecordingCanvas::fill_rect(long x, long y, long width, long height,
+                                render::Rgb8 color) {
+  if (width <= 0 || height <= 0) return;
+  commands_.push_back(
+      RenderCommand{CommandType::kFillRect, x, y, width, height, color, 1,
+                    {}});
+}
+
+void RecordingCanvas::draw_rect(long x, long y, long width, long height,
+                                render::Rgb8 color) {
+  if (width <= 0 || height <= 0) return;
+  commands_.push_back(
+      RenderCommand{CommandType::kDrawRect, x, y, width, height, color, 1,
+                    {}});
+}
+
+void RecordingCanvas::hline(long x0, long x1, long y, render::Rgb8 color) {
+  commands_.push_back(
+      RenderCommand{CommandType::kHLine, x0, y, x1, y, color, 1, {}});
+}
+
+void RecordingCanvas::vline(long x, long y0, long y1, render::Rgb8 color) {
+  commands_.push_back(
+      RenderCommand{CommandType::kVLine, x, y0, x, y1, color, 1, {}});
+}
+
+void RecordingCanvas::line(long x0, long y0, long x1, long y1,
+                           render::Rgb8 color) {
+  commands_.push_back(
+      RenderCommand{CommandType::kLine, x0, y0, x1, y1, color, 1, {}});
+}
+
+void RecordingCanvas::text(long x, long y, std::string_view content,
+                           render::Rgb8 color, int scale) {
+  FV_REQUIRE(scale >= 1, "text scale must be at least 1");
+  commands_.push_back(RenderCommand{CommandType::kText, x, y, 0, 0, color,
+                                    scale, std::string(content)});
+}
+
+std::size_t replay_commands(render::Framebuffer& fb,
+                            const CommandList& commands, long origin_x,
+                            long origin_y) {
+  render::FramebufferCanvas canvas(fb);
+  const layout::Rect viewport{origin_x, origin_y,
+                              static_cast<long>(fb.width()),
+                              static_cast<long>(fb.height())};
+  std::size_t executed = 0;
+  for (const RenderCommand& command : commands) {
+    if (!layout::overlaps(command.bounds(), viewport)) continue;
+    ++executed;
+    const long x0 = command.x0 - origin_x;
+    const long y0 = command.y0 - origin_y;
+    switch (command.type) {
+      case CommandType::kFillRect:
+        canvas.fill_rect(x0, y0, command.x1, command.y1, command.color);
+        break;
+      case CommandType::kDrawRect:
+        canvas.draw_rect(x0, y0, command.x1, command.y1, command.color);
+        break;
+      case CommandType::kHLine:
+        canvas.hline(x0, command.x1 - origin_x, y0, command.color);
+        break;
+      case CommandType::kVLine:
+        canvas.vline(x0, y0, command.y1 - origin_y, command.color);
+        break;
+      case CommandType::kLine:
+        canvas.line(x0, y0, command.x1 - origin_x, command.y1 - origin_y,
+                    command.color);
+        break;
+      case CommandType::kText:
+        canvas.text(x0, y0, command.text, command.color,
+                    static_cast<int>(command.scale));
+        break;
+    }
+  }
+  return executed;
+}
+
+void write_commands(mpx::PayloadWriter& writer, const CommandList& commands) {
+  writer.write<std::uint64_t>(commands.size());
+  for (const RenderCommand& command : commands) {
+    writer.write<std::uint8_t>(static_cast<std::uint8_t>(command.type));
+    writer.write<std::int64_t>(command.x0);
+    writer.write<std::int64_t>(command.y0);
+    writer.write<std::int64_t>(command.x1);
+    writer.write<std::int64_t>(command.y1);
+    writer.write<std::uint8_t>(command.color.r);
+    writer.write<std::uint8_t>(command.color.g);
+    writer.write<std::uint8_t>(command.color.b);
+    writer.write<std::int32_t>(command.scale);
+    writer.write_string(command.text);
+  }
+}
+
+CommandList read_commands(mpx::PayloadReader& reader) {
+  const auto count = reader.read<std::uint64_t>();
+  CommandList commands;
+  commands.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RenderCommand command;
+    command.type = static_cast<CommandType>(reader.read<std::uint8_t>());
+    command.x0 = static_cast<long>(reader.read<std::int64_t>());
+    command.y0 = static_cast<long>(reader.read<std::int64_t>());
+    command.x1 = static_cast<long>(reader.read<std::int64_t>());
+    command.y1 = static_cast<long>(reader.read<std::int64_t>());
+    command.color.r = reader.read<std::uint8_t>();
+    command.color.g = reader.read<std::uint8_t>();
+    command.color.b = reader.read<std::uint8_t>();
+    command.scale = reader.read<std::int32_t>();
+    command.text = reader.read_string();
+    commands.push_back(std::move(command));
+  }
+  return commands;
+}
+
+std::size_t serialized_size(const CommandList& commands) {
+  mpx::PayloadWriter writer;
+  write_commands(writer, commands);
+  return writer.take().size();
+}
+
+}  // namespace fv::wall

@@ -1,0 +1,74 @@
+// Render-command stream: the unit of work the wall master broadcasts to its
+// tile nodes. Each command is one Canvas primitive with enough geometry to
+// cull it against a tile's viewport before rasterizing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/geometry.hpp"
+#include "mpx/message.hpp"
+#include "render/canvas.hpp"
+
+namespace fv::wall {
+
+enum class CommandType : std::uint8_t {
+  kFillRect,
+  kDrawRect,
+  kHLine,
+  kVLine,
+  kLine,
+  kText,
+};
+
+struct RenderCommand {
+  CommandType type = CommandType::kFillRect;
+  long x0 = 0, y0 = 0, x1 = 0, y1 = 0;  ///< geometry; meaning depends on type
+  render::Rgb8 color;
+  std::int32_t scale = 1;  ///< text scale
+  std::string text;        ///< text content (empty for non-text commands)
+
+  /// Conservative bounding box in canvas coordinates (for tile culling).
+  layout::Rect bounds() const;
+};
+
+using CommandList = std::vector<RenderCommand>;
+
+/// Canvas backend that records primitives instead of rasterizing them.
+class RecordingCanvas final : public render::Canvas {
+ public:
+  void fill_rect(long x, long y, long width, long height,
+                 render::Rgb8 color) override;
+  void draw_rect(long x, long y, long width, long height,
+                 render::Rgb8 color) override;
+  void hline(long x0, long x1, long y, render::Rgb8 color) override;
+  void vline(long x, long y0, long y1, render::Rgb8 color) override;
+  void line(long x0, long y0, long x1, long y1, render::Rgb8 color) override;
+  void text(long x, long y, std::string_view content, render::Rgb8 color,
+            int scale) override;
+
+  const CommandList& commands() const noexcept { return commands_; }
+  CommandList take() { return std::move(commands_); }
+
+ private:
+  CommandList commands_;
+};
+
+/// Replays commands into a framebuffer, translating canvas coordinates by
+/// (-origin_x, -origin_y) — i.e. the framebuffer shows the canvas region
+/// starting at that origin (a tile). Returns the number of commands whose
+/// bounds intersected the framebuffer region (after the caller's cull this
+/// should equal commands.size()).
+std::size_t replay_commands(render::Framebuffer& fb,
+                            const CommandList& commands, long origin_x,
+                            long origin_y);
+
+/// Serialization for mpx transport.
+void write_commands(mpx::PayloadWriter& writer, const CommandList& commands);
+CommandList read_commands(mpx::PayloadReader& reader);
+
+/// Total serialized size in bytes (for bandwidth accounting).
+std::size_t serialized_size(const CommandList& commands);
+
+}  // namespace fv::wall

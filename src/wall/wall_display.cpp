@@ -1,0 +1,178 @@
+#include "wall/wall_display.hpp"
+
+#include <algorithm>
+
+#include "mpx/communicator.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace fv::wall {
+
+layout::Rect WallSpec::tile_rect(std::size_t index) const {
+  FV_REQUIRE(index < tile_count(), "tile index out of range");
+  const std::size_t col = index % tile_cols;
+  const std::size_t row = index / tile_cols;
+  return layout::Rect{static_cast<long>(col * tile_width),
+                      static_cast<long>(row * tile_height),
+                      static_cast<long>(tile_width),
+                      static_cast<long>(tile_height)};
+}
+
+namespace {
+
+constexpr int kTagCommands = 1;
+constexpr int kTagPixels = 2;
+constexpr int kTagStats = 3;
+
+/// Commands whose bounds intersect `region`, in stream order.
+CommandList cull_for_region(const CommandList& commands,
+                            const layout::Rect& region) {
+  CommandList kept;
+  for (const RenderCommand& command : commands) {
+    if (layout::overlaps(command.bounds(), region)) kept.push_back(command);
+  }
+  return kept;
+}
+
+/// Tiles handled by a node (round-robin assignment, master excluded).
+std::vector<std::size_t> tiles_of_node(std::size_t node,
+                                       std::size_t node_count,
+                                       std::size_t tile_count) {
+  std::vector<std::size_t> tiles;
+  for (std::size_t t = node; t < tile_count; t += node_count) {
+    tiles.push_back(t);
+  }
+  return tiles;
+}
+
+struct NodeReport {
+  double render_seconds = 0.0;
+  std::uint64_t executed = 0;
+};
+
+}  // namespace
+
+render::Framebuffer render_reference(const CommandList& commands,
+                                     std::size_t width, std::size_t height) {
+  render::Framebuffer fb(width, height);
+  replay_commands(fb, commands, 0, 0);
+  return fb;
+}
+
+FrameResult render_wall_frame(const CommandList& commands,
+                              const WallSpec& spec, Distribution distribution,
+                              std::size_t node_count) {
+  FV_REQUIRE(spec.tile_count() >= 1, "wall needs at least one tile");
+  if (node_count == 0) node_count = spec.tile_count();
+  node_count = std::min(node_count, spec.tile_count());
+
+  FrameResult result;
+  result.frame =
+      render::Framebuffer(spec.total_width(), spec.total_height());
+  result.stats.commands_total = commands.size();
+  result.stats.pixels = spec.total_pixels();
+
+  Timer frame_timer;
+  // Rank 0 = master (holds the command stream, composites); ranks 1..N are
+  // the per-tile cluster nodes.
+  const int ranks = static_cast<int>(node_count) + 1;
+  mpx::run_group(ranks, [&](mpx::Comm& comm) {
+    if (comm.rank() == 0) {
+      // --- master: distribute -------------------------------------------
+      std::size_t bytes = 0;
+      if (distribution == Distribution::kBroadcast) {
+        mpx::PayloadWriter writer;
+        write_commands(writer, commands);
+        auto payload = writer.take();
+        bytes = payload.size() * node_count;
+        for (int node = 1; node < ranks; ++node) {
+          comm.send(node, kTagCommands, payload);  // copy per node
+        }
+      } else {
+        for (int node = 1; node < ranks; ++node) {
+          // Union region of this node's tiles; ship only what it needs.
+          CommandList node_commands;
+          for (const std::size_t tile :
+               tiles_of_node(static_cast<std::size_t>(node - 1), node_count,
+                             spec.tile_count())) {
+            const auto culled =
+                cull_for_region(commands, spec.tile_rect(tile));
+            node_commands.insert(node_commands.end(), culled.begin(),
+                                 culled.end());
+          }
+          mpx::PayloadWriter writer;
+          write_commands(writer, node_commands);
+          auto payload = writer.take();
+          bytes += payload.size();
+          comm.send(node, kTagCommands, std::move(payload));
+        }
+      }
+      result.stats.bytes_distributed = bytes;
+
+      // --- master: composite gathered tiles ------------------------------
+      for (std::size_t tile = 0; tile < spec.tile_count(); ++tile) {
+        const auto pixels = comm.recv_vector<render::Rgb8>(mpx::kAnySource,
+                                                           kTagPixels);
+        // First element encodes the tile index (avoids a second message).
+        FV_ASSERT(!pixels.empty(), "tile pixel message is empty");
+        const auto tile_index =
+            static_cast<std::size_t>(pixels.front().r) +
+            (static_cast<std::size_t>(pixels.front().g) << 8);
+        const layout::Rect rect = spec.tile_rect(tile_index);
+        render::Framebuffer tile_fb(static_cast<std::size_t>(rect.width),
+                                    static_cast<std::size_t>(rect.height));
+        FV_ASSERT(pixels.size() == tile_fb.pixel_count() + 1,
+                  "tile pixel payload has wrong size");
+        for (std::size_t i = 0; i < tile_fb.pixel_count(); ++i) {
+          tile_fb.set(i % tile_fb.width(), i / tile_fb.width(),
+                      pixels[i + 1]);
+        }
+        result.frame.blit(tile_fb, rect.x, rect.y);
+      }
+      // Per-node reports.
+      for (int node = 1; node < ranks; ++node) {
+        const auto report = comm.recv_vector<double>(node, kTagStats);
+        FV_ASSERT(report.size() == 2, "bad node report");
+        result.stats.max_node_render_seconds =
+            std::max(result.stats.max_node_render_seconds, report[0]);
+        result.stats.commands_executed +=
+            static_cast<std::size_t>(report[1]);
+      }
+    } else {
+      // --- render node ----------------------------------------------------
+      mpx::Message message = comm.recv(0, kTagCommands);
+      mpx::PayloadReader reader(message.payload);
+      const CommandList node_commands = read_commands(reader);
+
+      NodeReport report;
+      Timer render_timer;
+      for (const std::size_t tile :
+           tiles_of_node(static_cast<std::size_t>(comm.rank() - 1),
+                         node_count, spec.tile_count())) {
+        const layout::Rect rect = spec.tile_rect(tile);
+        render::Framebuffer tile_fb(static_cast<std::size_t>(rect.width),
+                                    static_cast<std::size_t>(rect.height));
+        report.executed +=
+            replay_commands(tile_fb, node_commands, rect.x, rect.y);
+        // Prefix the pixel payload with the tile index (16-bit, packed into
+        // one Rgb8) so the master can composite out-of-order arrivals.
+        std::vector<render::Rgb8> pixels;
+        pixels.reserve(tile_fb.pixel_count() + 1);
+        pixels.push_back(render::Rgb8{
+            static_cast<std::uint8_t>(tile & 0xff),
+            static_cast<std::uint8_t>((tile >> 8) & 0xff), 0});
+        pixels.insert(pixels.end(), tile_fb.pixels().begin(),
+                      tile_fb.pixels().end());
+        comm.send_vector<render::Rgb8>(0, kTagPixels, pixels);
+      }
+      report.render_seconds = render_timer.seconds();
+      const std::vector<double> packed{
+          report.render_seconds, static_cast<double>(report.executed)};
+      comm.send_vector<double>(0, kTagStats, packed);
+    }
+  });
+  result.stats.total_seconds = frame_timer.seconds();
+  return result;
+}
+
+}  // namespace fv::wall

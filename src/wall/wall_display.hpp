@@ -1,0 +1,77 @@
+// The scalable display wall (paper Figure 3, substituted per DESIGN.md):
+// an R x C grid of projector tiles, each owned by one cluster node. The
+// master rank distributes a frame's command stream over mpx, every node
+// culls + rasterizes its tile, and the compositor gathers the tiles back
+// into one frame for inspection (on the physical wall the gather is
+// replaced by photons; everything before it is the same pipeline).
+#pragma once
+
+#include <vector>
+
+#include "layout/geometry.hpp"
+#include "render/framebuffer.hpp"
+#include "wall/command.hpp"
+
+namespace fv::wall {
+
+struct WallSpec {
+  std::size_t tile_cols = 4;
+  std::size_t tile_rows = 3;
+  std::size_t tile_width = 1024;   ///< pixels per projector, paper-era XGA
+  std::size_t tile_height = 768;
+
+  std::size_t tile_count() const noexcept { return tile_cols * tile_rows; }
+  std::size_t total_width() const noexcept { return tile_cols * tile_width; }
+  std::size_t total_height() const noexcept {
+    return tile_rows * tile_height;
+  }
+  std::size_t total_pixels() const noexcept {
+    return total_width() * total_height();
+  }
+
+  /// Canvas-space rectangle of tile `index` (row-major).
+  layout::Rect tile_rect(std::size_t index) const;
+
+  /// The Princeton wall configuration referenced by the paper's display
+  /// wall project: 24 projectors in a 6x4 grid.
+  static WallSpec princeton_wall() { return WallSpec{6, 4, 1024, 768}; }
+  /// A paper-era 2-Mpixel desktop monitor as a 1x1 "wall".
+  static WallSpec desktop() { return WallSpec{1, 1, 1600, 1200}; }
+};
+
+/// How the master distributes the command stream (ablation A2 in DESIGN.md).
+enum class Distribution {
+  kBroadcast,     ///< one collective broadcast of the full stream
+  kPointToPoint,  ///< per-node send of only the commands its tiles need
+};
+
+struct FrameStats {
+  double total_seconds = 0.0;          ///< wall-clock for the whole frame
+  double max_node_render_seconds = 0.0;///< slowest node's raster time
+  std::size_t commands_total = 0;      ///< commands in the stream
+  std::size_t commands_executed = 0;   ///< sum over tiles after culling
+  std::size_t bytes_distributed = 0;   ///< payload bytes shipped to nodes
+  std::size_t pixels = 0;              ///< pixels in the assembled frame
+};
+
+struct FrameResult {
+  render::Framebuffer frame;  ///< composited full-wall image
+  FrameStats stats;
+};
+
+/// Renders one frame on the simulated wall. `node_count` cluster nodes are
+/// spawned as mpx ranks plus one master rank; tiles are assigned to nodes
+/// round-robin. node_count defaults to one node per tile (the paper's
+/// one-PC-per-projector layout).
+FrameResult render_wall_frame(const CommandList& commands,
+                              const WallSpec& spec,
+                              Distribution distribution =
+                                  Distribution::kBroadcast,
+                              std::size_t node_count = 0);
+
+/// Single-pass reference rendering of the same command stream (desktop
+/// path); wall output must match it pixel for pixel.
+render::Framebuffer render_reference(const CommandList& commands,
+                                     std::size_t width, std::size_t height);
+
+}  // namespace fv::wall

@@ -1,0 +1,257 @@
+// Tests for hierarchical clustering, distances, tree cuts and k-means.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "cluster/distance.hpp"
+#include "cluster/hclust.hpp"
+#include "cluster/kmeans.hpp"
+#include "expr/synth.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace cl = fv::cluster;
+namespace ex = fv::expr;
+
+ex::ExpressionMatrix two_blob_matrix(std::size_t per_blob, std::size_t cols,
+                                     std::uint64_t seed) {
+  // Rows 0..per_blob-1 follow +pattern, the rest -pattern, plus small noise.
+  fv::Rng rng(seed);
+  ex::ExpressionMatrix m(2 * per_blob, cols);
+  for (std::size_t r = 0; r < 2 * per_blob; ++r) {
+    const double sign = r < per_blob ? 1.0 : -1.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double pattern = std::sin(0.7 * static_cast<double>(c + 1));
+      m.set(r, c,
+            static_cast<float>(sign * pattern + rng.normal(0.0, 0.05)));
+    }
+  }
+  return m;
+}
+
+TEST(DistanceTest, PearsonDistanceZeroForIdenticalProfiles) {
+  const std::vector<float> a{1, 2, 3, 4, 5};
+  EXPECT_NEAR(cl::profile_distance(a, a, cl::Metric::kPearson), 0.0, 1e-9);
+}
+
+TEST(DistanceTest, PearsonDistanceTwoForAnticorrelated) {
+  const std::vector<float> a{1, 2, 3, 4, 5};
+  const std::vector<float> b{5, 4, 3, 2, 1};
+  EXPECT_NEAR(cl::profile_distance(a, b, cl::Metric::kPearson), 2.0, 1e-9);
+}
+
+TEST(DistanceTest, EuclideanMatchesHandComputation) {
+  const std::vector<float> a{0, 0, 0};
+  const std::vector<float> b{1, 2, 2};
+  EXPECT_NEAR(cl::profile_distance(a, b, cl::Metric::kEuclidean), 3.0, 1e-9);
+}
+
+TEST(DistanceTest, EuclideanScalesForMissingCoverage) {
+  const float kMissing = fv::stats::missing_value();
+  const std::vector<float> a{0, 0, kMissing, 0};
+  const std::vector<float> b{3, 4, 5, kMissing};
+  // Present pairs: (0,3), (0,4) -> sum 25 over 2 of 4 coords -> 25*4/2 = 50.
+  EXPECT_NEAR(cl::profile_distance(a, b, cl::Metric::kEuclidean),
+              std::sqrt(50.0), 1e-9);
+}
+
+TEST(DistanceTest, MatrixIsSymmetricWithZeroDiagonal) {
+  const auto m = two_blob_matrix(6, 10, 3);
+  const auto d = cl::row_distances(m, cl::Metric::kPearson);
+  ASSERT_EQ(d.size(), 12u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_FLOAT_EQ(d.at(i, i), 0.0f);
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      EXPECT_FLOAT_EQ(d.at(i, j), d.at(j, i));
+    }
+  }
+}
+
+TEST(DistanceTest, ColumnDistancesMatchManualColumns) {
+  const auto m = two_blob_matrix(4, 6, 5);
+  fv::par::ThreadPool pool(2);
+  const auto d = cl::column_distances(m, cl::Metric::kEuclidean, pool);
+  ASSERT_EQ(d.size(), 6u);
+  const auto c0 = m.column(0);
+  const auto c3 = m.column(3);
+  EXPECT_NEAR(d.at(0, 3),
+              cl::profile_distance(c0, c3, cl::Metric::kEuclidean), 1e-5);
+}
+
+TEST(HclustTest, MergesAreMonotoneNonDecreasing) {
+  const auto m = two_blob_matrix(8, 12, 7);
+  for (const auto linkage :
+       {cl::Linkage::kSingle, cl::Linkage::kComplete, cl::Linkage::kAverage}) {
+    const auto merges = cl::agglomerate(
+        cl::row_distances(m, cl::Metric::kPearson), linkage);
+    ASSERT_EQ(merges.size(), m.rows() - 1);
+    for (std::size_t i = 1; i < merges.size(); ++i) {
+      EXPECT_GE(merges[i].distance + 1e-9, merges[i - 1].distance);
+    }
+  }
+}
+
+TEST(HclustTest, RecoversPlantedBlobsAtTopSplit) {
+  const std::size_t per_blob = 10;
+  const auto m = two_blob_matrix(per_blob, 14, 9);
+  const auto merges = cl::agglomerate(
+      cl::row_distances(m, cl::Metric::kPearson), cl::Linkage::kAverage);
+  const auto tree = cl::merges_to_tree(merges, m.rows(),
+                                       cl::correlation_similarity);
+  const auto clusters = cl::cut_tree_k(tree, 2);
+  ASSERT_EQ(clusters.size(), 2u);
+  // Each cluster must be exactly one blob.
+  for (const auto& cluster : clusters) {
+    ASSERT_EQ(cluster.size(), per_blob);
+    const bool first_blob = cluster[0] < per_blob;
+    for (std::size_t leaf : cluster) {
+      EXPECT_EQ(leaf < per_blob, first_blob);
+    }
+  }
+}
+
+TEST(HclustTest, SingleElementNeedsNoMerges) {
+  cl::DistanceMatrix d(1);
+  const auto merges = cl::agglomerate(std::move(d), cl::Linkage::kAverage);
+  EXPECT_TRUE(merges.empty());
+}
+
+TEST(HclustTest, TreeFromMergesIsComplete) {
+  const auto m = two_blob_matrix(5, 8, 11);
+  const auto merges = cl::agglomerate(
+      cl::row_distances(m, cl::Metric::kEuclidean), cl::Linkage::kComplete);
+  const auto tree =
+      cl::merges_to_tree(merges, m.rows(), cl::negated_similarity);
+  EXPECT_TRUE(tree.is_complete());
+  EXPECT_EQ(tree.leaf_count(), m.rows());
+}
+
+TEST(HclustTest, WrongMergeCountThrows) {
+  std::vector<cl::Merge> merges;  // empty but leaf_count 3
+  EXPECT_THROW(cl::merges_to_tree(merges, 3, cl::correlation_similarity),
+               fv::InvalidArgument);
+}
+
+TEST(HclustTest, ClusterGenesAttachesTree) {
+  auto genome = ex::make_genome(ex::GenomeSpec::yeast_like(120), 3);
+  ex::StressDatasetSpec spec;
+  spec.missing_rate = 0.0;
+  auto ds = ex::make_stress_dataset(genome, spec, 5);
+  fv::par::ThreadPool pool(2);
+  cl::cluster_genes(ds, cl::Metric::kPearson, cl::Linkage::kAverage, pool);
+  ASSERT_TRUE(ds.gene_tree().has_value());
+  EXPECT_EQ(ds.gene_tree()->leaf_count(), ds.gene_count());
+  // Display order is a permutation of all rows.
+  auto order = ds.display_order();
+  std::sort(order.begin(), order.end());
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(HclustTest, ClusterArraysAttachesTree) {
+  auto genome = ex::make_genome(ex::GenomeSpec::yeast_like(80), 3);
+  ex::StressDatasetSpec spec;
+  spec.missing_rate = 0.0;
+  auto ds = ex::make_stress_dataset(genome, spec, 5);
+  fv::par::ThreadPool pool(2);
+  cl::cluster_arrays(ds, cl::Metric::kEuclidean, cl::Linkage::kAverage, pool);
+  ASSERT_TRUE(ds.array_tree().has_value());
+  EXPECT_EQ(ds.array_tree()->leaf_count(), ds.condition_count());
+}
+
+TEST(TreeCutTest, SimilarityCutPartitionsLeaves) {
+  const auto m = two_blob_matrix(6, 10, 13);
+  const auto merges = cl::agglomerate(
+      cl::row_distances(m, cl::Metric::kPearson), cl::Linkage::kAverage);
+  const auto tree =
+      cl::merges_to_tree(merges, m.rows(), cl::correlation_similarity);
+  for (const double threshold : {-1.0, 0.0, 0.5, 0.9, 1.1}) {
+    const auto clusters = cl::cut_tree_at_similarity(tree, threshold);
+    std::set<std::size_t> seen;
+    for (const auto& cluster : clusters) {
+      for (std::size_t leaf : cluster) {
+        EXPECT_TRUE(seen.insert(leaf).second) << "duplicate leaf";
+      }
+    }
+    EXPECT_EQ(seen.size(), m.rows());
+  }
+}
+
+TEST(TreeCutTest, ThresholdAboveAllMergesGivesSingletons) {
+  const auto m = two_blob_matrix(4, 8, 15);
+  const auto merges = cl::agglomerate(
+      cl::row_distances(m, cl::Metric::kPearson), cl::Linkage::kAverage);
+  const auto tree =
+      cl::merges_to_tree(merges, m.rows(), cl::correlation_similarity);
+  const auto clusters = cl::cut_tree_at_similarity(tree, 2.0);
+  EXPECT_EQ(clusters.size(), m.rows());
+}
+
+TEST(TreeCutTest, CutKExtremes) {
+  const auto m = two_blob_matrix(5, 8, 17);
+  const auto merges = cl::agglomerate(
+      cl::row_distances(m, cl::Metric::kPearson), cl::Linkage::kAverage);
+  const auto tree =
+      cl::merges_to_tree(merges, m.rows(), cl::correlation_similarity);
+  EXPECT_EQ(cl::cut_tree_k(tree, 1).size(), 1u);
+  EXPECT_EQ(cl::cut_tree_k(tree, m.rows()).size(), m.rows());
+  EXPECT_THROW(cl::cut_tree_k(tree, 0), fv::InvalidArgument);
+  EXPECT_THROW(cl::cut_tree_k(tree, m.rows() + 1), fv::InvalidArgument);
+}
+
+// Property sweep: cut_tree_k returns exactly k clusters forming a partition.
+class CutKPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CutKPropertyTest, PartitionWithExactlyK) {
+  const auto m = two_blob_matrix(8, 10, 21);
+  const auto merges = cl::agglomerate(
+      cl::row_distances(m, cl::Metric::kPearson), cl::Linkage::kComplete);
+  const auto tree =
+      cl::merges_to_tree(merges, m.rows(), cl::correlation_similarity);
+  const auto k = static_cast<std::size_t>(GetParam());
+  const auto clusters = cl::cut_tree_k(tree, k);
+  EXPECT_EQ(clusters.size(), k);
+  std::set<std::size_t> seen;
+  for (const auto& cluster : clusters) {
+    for (std::size_t leaf : cluster) seen.insert(leaf);
+  }
+  EXPECT_EQ(seen.size(), m.rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, CutKPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(KMeansTest, SeparatesPlantedBlobs) {
+  const auto m = two_blob_matrix(12, 10, 23);
+  fv::Rng rng(1);
+  const auto result = cl::kmeans_rows(m, 2, rng);
+  ASSERT_EQ(result.assignment.size(), m.rows());
+  // All rows of one blob share a label, and the blobs differ.
+  for (std::size_t r = 1; r < 12; ++r) {
+    EXPECT_EQ(result.assignment[r], result.assignment[0]);
+  }
+  for (std::size_t r = 13; r < 24; ++r) {
+    EXPECT_EQ(result.assignment[r], result.assignment[12]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[12]);
+}
+
+TEST(KMeansTest, KEqualsRowsGivesZeroInertia) {
+  const auto m = two_blob_matrix(3, 6, 25);
+  fv::Rng rng(2);
+  const auto result = cl::kmeans_rows(m, m.rows(), rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-6);
+}
+
+TEST(KMeansTest, InvalidKThrows) {
+  const auto m = two_blob_matrix(3, 6, 27);
+  fv::Rng rng(3);
+  EXPECT_THROW(cl::kmeans_rows(m, 0, rng), fv::InvalidArgument);
+  EXPECT_THROW(cl::kmeans_rows(m, m.rows() + 1, rng), fv::InvalidArgument);
+}
+
+}  // namespace

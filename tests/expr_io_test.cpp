@@ -1,0 +1,221 @@
+// Round-trip and failure-injection tests for PCL/CDT/GTR/ATR/GMT parsers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/cdt_io.hpp"
+#include "expr/gmt_io.hpp"
+#include "expr/pcl_io.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using fv::expr::CdtBundle;
+using fv::expr::Dataset;
+using fv::expr::ExpressionMatrix;
+using fv::expr::GeneInfo;
+using fv::expr::GeneSet;
+using fv::expr::HierTree;
+
+Dataset sample_dataset() {
+  std::vector<GeneInfo> genes{
+      {"YAL001C", "TFC3", "transcription factor TFIIIC subunit"},
+      {"YBR072W", "HSP26", "small heat shock protein"},
+      {"YGR192C", "TDH3", ""},
+      {"YDL229W", "", "uncharacterized"},
+  };
+  std::vector<std::string> conditions{"heat_5min", "heat_15min", "h2o2_10"};
+  ExpressionMatrix m(4, 3);
+  m.set(0, 0, 0.5f);
+  m.set(0, 1, 1.25f);
+  m.set(0, 2, -0.75f);
+  m.set(1, 0, 2.0f);
+  // (1,1) missing
+  m.set(1, 2, 3.5f);
+  m.set(2, 0, -1.0f);
+  m.set(2, 1, -2.0f);
+  m.set(2, 2, -3.0f);
+  // row 3: all missing
+  return Dataset("sample", std::move(genes), std::move(conditions),
+                 std::move(m));
+}
+
+void expect_same_content(const Dataset& a, const Dataset& b,
+                         bool same_row_order) {
+  ASSERT_EQ(a.gene_count(), b.gene_count());
+  ASSERT_EQ(a.condition_count(), b.condition_count());
+  EXPECT_EQ(a.conditions(), b.conditions());
+  for (std::size_t r = 0; r < a.gene_count(); ++r) {
+    const std::size_t rb =
+        same_row_order ? r : *b.row_of(a.gene(r).systematic_name);
+    EXPECT_EQ(a.gene(r).systematic_name, b.gene(rb).systematic_name);
+    EXPECT_EQ(a.gene(r).common_name, b.gene(rb).common_name);
+    EXPECT_EQ(a.gene(r).description, b.gene(rb).description);
+    for (std::size_t c = 0; c < a.condition_count(); ++c) {
+      const float va = a.values().at(r, c);
+      const float vb = b.values().at(rb, c);
+      if (fv::stats::is_missing(va)) {
+        EXPECT_TRUE(fv::stats::is_missing(vb));
+      } else {
+        EXPECT_NEAR(va, vb, 1e-5);
+      }
+    }
+  }
+}
+
+TEST(PclIoTest, RoundTripPreservesEverything) {
+  const Dataset original = sample_dataset();
+  const std::string text = fv::expr::format_pcl(original);
+  const Dataset parsed = fv::expr::parse_pcl(text, "sample");
+  expect_same_content(original, parsed, /*same_row_order=*/true);
+}
+
+TEST(PclIoTest, MissingCellsStayMissing) {
+  const Dataset parsed =
+      fv::expr::parse_pcl(fv::expr::format_pcl(sample_dataset()), "x");
+  EXPECT_TRUE(fv::stats::is_missing(parsed.values().at(1, 1)));
+  EXPECT_TRUE(fv::stats::is_missing(parsed.values().at(3, 0)));
+}
+
+TEST(PclIoTest, ParsesWithoutEweightRow) {
+  const std::string text =
+      "ID\tNAME\tGWEIGHT\tc1\tc2\n"
+      "YAL001C\tTFC3\t1\t0.5\t-0.5\n";
+  const Dataset ds = fv::expr::parse_pcl(text, "t");
+  EXPECT_EQ(ds.gene_count(), 1u);
+  EXPECT_FLOAT_EQ(ds.values().at(0, 1), -0.5f);
+}
+
+TEST(PclIoTest, ShortRowsGetTrailingMissing) {
+  const std::string text =
+      "ID\tNAME\tGWEIGHT\tc1\tc2\tc3\n"
+      "YAL001C\tTFC3\t1\t0.5\n";
+  const Dataset ds = fv::expr::parse_pcl(text, "t");
+  EXPECT_FLOAT_EQ(ds.values().at(0, 0), 0.5f);
+  EXPECT_TRUE(fv::stats::is_missing(ds.values().at(0, 1)));
+  EXPECT_TRUE(fv::stats::is_missing(ds.values().at(0, 2)));
+}
+
+TEST(PclIoTest, MalformedInputsThrowParseError) {
+  EXPECT_THROW(fv::expr::parse_pcl("", "t"), fv::ParseError);
+  EXPECT_THROW(fv::expr::parse_pcl("ID\tNAME\n", "t"), fv::ParseError);
+  EXPECT_THROW(
+      fv::expr::parse_pcl("ID\tNAME\tGWEIGHT\tc1\nYAL\tx\t1\tnotanumber\n",
+                          "t"),
+      fv::ParseError);
+  EXPECT_THROW(
+      fv::expr::parse_pcl("ID\tNAME\tGWEIGHT\tc1\nYAL\tx\t1\t1\t2\t3\n", "t"),
+      fv::ParseError);
+}
+
+TEST(PclIoTest, ParseErrorReportsLineNumber) {
+  try {
+    fv::expr::parse_pcl("ID\tNAME\tGWEIGHT\tc1\nYAL\tx\t1\tbad\n", "t");
+    FAIL() << "expected ParseError";
+  } catch (const fv::ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+Dataset dataset_with_trees() {
+  Dataset ds = sample_dataset();
+  HierTree gene_tree(4);
+  const int a = gene_tree.add_node(2, 0, 0.95);
+  const int b = gene_tree.add_node(3, 1, 0.80);
+  gene_tree.add_node(a, b, 0.10);
+  ds.attach_gene_tree(std::move(gene_tree));
+  HierTree array_tree(3);
+  const int c = array_tree.add_node(0, 1, 0.88);
+  array_tree.add_node(c, 2, 0.42);
+  ds.attach_array_tree(std::move(array_tree));
+  return ds;
+}
+
+TEST(CdtIoTest, RoundTripWithTreesPreservesContentAndOrder) {
+  const Dataset original = dataset_with_trees();
+  const CdtBundle bundle = fv::expr::format_cdt(original);
+  EXPECT_FALSE(bundle.gtr.empty());
+  EXPECT_FALSE(bundle.atr.empty());
+  const Dataset parsed = fv::expr::parse_cdt(bundle, "sample");
+  expect_same_content(original, parsed, /*same_row_order=*/false);
+
+  // Display order (gene labels in dendrogram order) must survive exactly.
+  const auto original_order = original.display_order();
+  const auto parsed_order = parsed.display_order();
+  ASSERT_EQ(original_order.size(), parsed_order.size());
+  for (std::size_t i = 0; i < original_order.size(); ++i) {
+    EXPECT_EQ(original.gene(original_order[i]).systematic_name,
+              parsed.gene(parsed_order[i]).systematic_name);
+  }
+  // Tree similarities survive.
+  ASSERT_TRUE(parsed.gene_tree().has_value());
+  EXPECT_NEAR(parsed.gene_tree()->node(parsed.gene_tree()->root()).similarity,
+              0.10, 1e-9);
+  ASSERT_TRUE(parsed.array_tree().has_value());
+}
+
+TEST(CdtIoTest, RoundTripWithoutTreesUsesPlainHeader) {
+  const Dataset original = sample_dataset();
+  const CdtBundle bundle = fv::expr::format_cdt(original);
+  EXPECT_TRUE(bundle.gtr.empty());
+  EXPECT_TRUE(bundle.atr.empty());
+  EXPECT_EQ(bundle.cdt.rfind("ID\t", 0), 0u);  // no GID column
+  const Dataset parsed = fv::expr::parse_cdt(bundle, "sample");
+  expect_same_content(original, parsed, /*same_row_order=*/true);
+}
+
+TEST(CdtIoTest, GtrWithoutGidColumnThrows) {
+  CdtBundle bundle = fv::expr::format_cdt(sample_dataset());
+  bundle.gtr = "NODE1X\tGENE0X\tGENE1X\t0.5\n";
+  EXPECT_THROW(fv::expr::parse_cdt(bundle, "x"), fv::ParseError);
+}
+
+TEST(CdtIoTest, CorruptTreeRowsThrow) {
+  const Dataset original = dataset_with_trees();
+  CdtBundle bundle = fv::expr::format_cdt(original);
+  CdtBundle bad = bundle;
+  bad.gtr = "NODE1X\tGENE0X\n";
+  EXPECT_THROW(fv::expr::parse_cdt(bad, "x"), fv::ParseError);
+  bad = bundle;
+  bad.gtr = "NODE1X\tGENE0X\tGENE999X\t0.5\n";
+  EXPECT_THROW(fv::expr::parse_cdt(bad, "x"), fv::ParseError);
+  bad = bundle;
+  // Drop the last (root) merge: incomplete dendrogram.
+  const std::size_t last_line = bad.gtr.rfind("NODE3X");
+  ASSERT_NE(last_line, std::string::npos);
+  bad.gtr.erase(last_line);
+  EXPECT_THROW(fv::expr::parse_cdt(bad, "x"), fv::ParseError);
+}
+
+TEST(GmtIoTest, RoundTrip) {
+  std::vector<GeneSet> sets{
+      {"stress_up", "induced under stress", {"HSP26", "CTT1", "DDR2"}},
+      {"ribosome", "ribosomal proteins", {"RPL3", "RPS2"}},
+  };
+  const auto parsed = fv::expr::parse_gmt(fv::expr::format_gmt(sets));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "stress_up");
+  EXPECT_EQ(parsed[0].description, "induced under stress");
+  EXPECT_EQ(parsed[0].genes,
+            (std::vector<std::string>{"HSP26", "CTT1", "DDR2"}));
+  EXPECT_EQ(parsed[1].genes.size(), 2u);
+}
+
+TEST(GmtIoTest, EmptySetIsAllowed) {
+  const auto parsed = fv::expr::parse_gmt("empty\tno genes\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed[0].genes.empty());
+}
+
+TEST(GmtIoTest, MalformedRowsThrow) {
+  EXPECT_THROW(fv::expr::parse_gmt("onlyname\n"), fv::ParseError);
+  EXPECT_THROW(fv::expr::parse_gmt("\tdesc\tg1\n"), fv::ParseError);
+}
+
+TEST(GmtIoTest, BlankLinesIgnored) {
+  const auto parsed = fv::expr::parse_gmt("\n\na\tb\tg\n\n");
+  EXPECT_EQ(parsed.size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,334 @@
+// Unit tests for the expr data model: matrix, tree, dataset, normalization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/dataset.hpp"
+#include "expr/expression_matrix.hpp"
+#include "expr/normalize.hpp"
+#include "expr/tree.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fv::expr::Dataset;
+using fv::expr::ExpressionMatrix;
+using fv::expr::GeneInfo;
+using fv::expr::HierTree;
+
+const float kMissing = fv::stats::missing_value();
+
+ExpressionMatrix small_matrix() {
+  ExpressionMatrix m(3, 4);
+  float v = 0.0f;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) m.set(r, c, v += 1.0f);
+  }
+  return m;
+}
+
+Dataset small_dataset() {
+  std::vector<GeneInfo> genes{
+      {"YAL001C", "TFC3", "transcription factor TFIIIC"},
+      {"YAL002W", "VPS8", "vacuolar protein sorting"},
+      {"YBR072W", "HSP26", "small heat shock protein"},
+  };
+  std::vector<std::string> conditions{"heat_5", "heat_10", "cold_5",
+                                      "cold_10"};
+  return Dataset("demo", std::move(genes), std::move(conditions),
+                 small_matrix());
+}
+
+TEST(ExpressionMatrixTest, DefaultConstructedIsEmpty) {
+  ExpressionMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(ExpressionMatrixTest, FreshMatrixIsAllMissing) {
+  ExpressionMatrix m(2, 3);
+  EXPECT_DOUBLE_EQ(m.missing_fraction(), 1.0);
+}
+
+TEST(ExpressionMatrixTest, SetGetRoundTrip) {
+  ExpressionMatrix m(2, 2);
+  m.set(1, 0, 3.5f);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 3.5f);
+  EXPECT_TRUE(fv::stats::is_missing(m.at(0, 0)));
+}
+
+TEST(ExpressionMatrixTest, RowSpanAliasesStorage) {
+  ExpressionMatrix m(2, 3, 0.0f);
+  auto row = m.row(1);
+  row[2] = 9.0f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 9.0f);
+}
+
+TEST(ExpressionMatrixTest, ColumnExtraction) {
+  const auto m = small_matrix();
+  const auto col = m.column(2);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_FLOAT_EQ(col[0], 3.0f);
+  EXPECT_FLOAT_EQ(col[1], 7.0f);
+  EXPECT_FLOAT_EQ(col[2], 11.0f);
+}
+
+TEST(ExpressionMatrixTest, OutOfRangeThrows) {
+  ExpressionMatrix m(2, 2, 0.0f);
+  EXPECT_THROW(m.at(2, 0), fv::InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), fv::InvalidArgument);
+  EXPECT_THROW(m.row(5), fv::InvalidArgument);
+  EXPECT_THROW(m.column(5), fv::InvalidArgument);
+}
+
+TEST(HierTreeTest, BuildAndQuerySmallTree) {
+  // Leaves 0,1,2,3; merge (0,1)->4, (2,3)->5, (4,5)->6.
+  HierTree tree(4);
+  const int a = tree.add_node(0, 1, 0.9);
+  const int b = tree.add_node(2, 3, 0.8);
+  const int root = tree.add_node(a, b, 0.2);
+  EXPECT_EQ(tree.root(), root);
+  EXPECT_TRUE(tree.is_complete());
+  EXPECT_EQ(tree.node_count(), 7u);
+  EXPECT_TRUE(tree.is_leaf(3));
+  EXPECT_FALSE(tree.is_leaf(4));
+  EXPECT_DOUBLE_EQ(tree.node(a).similarity, 0.9);
+}
+
+TEST(HierTreeTest, LeafOrderIsLeftToRight) {
+  HierTree tree(4);
+  const int a = tree.add_node(1, 0, 0.9);
+  const int b = tree.add_node(3, 2, 0.8);
+  tree.add_node(a, b, 0.1);
+  const auto order = tree.leaf_order();
+  const std::vector<std::size_t> expected{1, 0, 3, 2};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(HierTreeTest, LeavesUnderSubtree) {
+  HierTree tree(4);
+  const int a = tree.add_node(0, 1, 0.9);
+  const int b = tree.add_node(2, 3, 0.8);
+  tree.add_node(a, b, 0.1);
+  const auto leaves = tree.leaves_under(b);
+  const std::vector<std::size_t> expected{2, 3};
+  EXPECT_EQ(leaves, expected);
+}
+
+TEST(HierTreeTest, IncompleteTreeDetected) {
+  HierTree tree(3);
+  tree.add_node(0, 1, 0.5);
+  EXPECT_FALSE(tree.is_complete());  // leaf 2 never merged
+}
+
+TEST(HierTreeTest, ReusedChildDetected) {
+  HierTree tree(3);
+  tree.add_node(0, 1, 0.5);
+  tree.add_node(0, 2, 0.4);  // leaf 0 used twice
+  EXPECT_FALSE(tree.is_complete());
+}
+
+TEST(HierTreeTest, InvalidChildrenThrow) {
+  HierTree tree(3);
+  EXPECT_THROW(tree.add_node(0, 0, 0.5), fv::InvalidArgument);
+  EXPECT_THROW(tree.add_node(0, 7, 0.5), fv::InvalidArgument);
+  EXPECT_THROW(tree.add_node(-1, 1, 0.5), fv::InvalidArgument);
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset ds = small_dataset();
+  EXPECT_EQ(ds.name(), "demo");
+  EXPECT_EQ(ds.gene_count(), 3u);
+  EXPECT_EQ(ds.condition_count(), 4u);
+  EXPECT_EQ(ds.gene(2).common_name, "HSP26");
+  EXPECT_EQ(ds.condition(1), "heat_10");
+  EXPECT_FLOAT_EQ(ds.profile(1)[0], 5.0f);
+}
+
+TEST(DatasetTest, MismatchedShapesThrow) {
+  std::vector<GeneInfo> genes{{"YAL001C", "", ""}};
+  std::vector<std::string> conditions{"c1"};
+  EXPECT_THROW(Dataset("bad", genes, conditions, ExpressionMatrix(2, 1)),
+               fv::InvalidArgument);
+  EXPECT_THROW(Dataset("bad", genes, conditions, ExpressionMatrix(1, 2)),
+               fv::InvalidArgument);
+}
+
+TEST(DatasetTest, RowLookupBySystematicAndCommonName) {
+  const Dataset ds = small_dataset();
+  EXPECT_EQ(ds.row_of("YAL002W"), std::size_t{1});
+  EXPECT_EQ(ds.row_of("vps8"), std::size_t{1});
+  EXPECT_EQ(ds.row_of(" HSP26 "), std::size_t{2});
+  EXPECT_FALSE(ds.row_of("nonexistent").has_value());
+}
+
+TEST(DatasetTest, AnnotationSearchIsCaseInsensitiveSubstring) {
+  const Dataset ds = small_dataset();
+  const auto hits = ds.search_annotation("heat shock");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 2u);
+  EXPECT_TRUE(ds.search_annotation("").empty());
+  EXPECT_EQ(ds.search_annotation("YAL").size(), 2u);
+}
+
+TEST(DatasetTest, DisplayOrderWithoutTreeIsIdentity) {
+  const Dataset ds = small_dataset();
+  const std::vector<std::size_t> expected{0, 1, 2};
+  EXPECT_EQ(ds.display_order(), expected);
+}
+
+TEST(DatasetTest, DisplayOrderFollowsAttachedTree) {
+  Dataset ds = small_dataset();
+  HierTree tree(3);
+  const int a = tree.add_node(2, 0, 0.7);
+  tree.add_node(a, 1, 0.3);
+  ds.attach_gene_tree(std::move(tree));
+  const std::vector<std::size_t> expected{2, 0, 1};
+  EXPECT_EQ(ds.display_order(), expected);
+}
+
+TEST(DatasetTest, AttachingWrongSizedTreeThrows) {
+  Dataset ds = small_dataset();
+  HierTree tree(2);
+  tree.add_node(0, 1, 0.5);
+  EXPECT_THROW(ds.attach_gene_tree(std::move(tree)), fv::InvalidArgument);
+}
+
+TEST(DatasetTest, AttachingIncompleteTreeThrows) {
+  Dataset ds = small_dataset();
+  HierTree tree(3);
+  tree.add_node(0, 1, 0.5);  // leaf 2 dangling
+  EXPECT_THROW(ds.attach_gene_tree(std::move(tree)), fv::InvalidArgument);
+}
+
+TEST(NormalizeTest, Log2TransformPresentValues) {
+  ExpressionMatrix m(1, 3);
+  m.set(0, 0, 1.0f);
+  m.set(0, 1, 8.0f);
+  // cell (0,2) stays missing
+  fv::expr::log2_transform(m);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 3.0f);
+  EXPECT_TRUE(fv::stats::is_missing(m.at(0, 2)));
+}
+
+TEST(NormalizeTest, Log2RejectsNonPositive) {
+  ExpressionMatrix m(1, 1, -1.0f);
+  EXPECT_THROW(fv::expr::log2_transform(m), fv::InvalidArgument);
+}
+
+TEST(NormalizeTest, MedianCenterRows) {
+  ExpressionMatrix m(1, 3);
+  m.set(0, 0, 1.0f);
+  m.set(0, 1, 2.0f);
+  m.set(0, 2, 9.0f);
+  fv::expr::median_center_rows(m);
+  EXPECT_FLOAT_EQ(m.at(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 7.0f);
+}
+
+TEST(NormalizeTest, ZNormalizeRowsGivesUnitVariance) {
+  auto m = small_matrix();
+  fv::expr::z_normalize_rows(m);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto mom = fv::stats::moments(m.row(r));
+    EXPECT_NEAR(mom.mean, 0.0, 1e-6);
+    EXPECT_NEAR(mom.variance, 1.0, 1e-5);
+  }
+}
+
+TEST(NormalizeTest, MeanImputeFillsAllCells) {
+  ExpressionMatrix m(2, 3);
+  m.set(0, 0, 2.0f);
+  m.set(0, 1, 4.0f);
+  // row 1 entirely missing
+  const std::size_t imputed = fv::expr::mean_impute(m);
+  EXPECT_EQ(imputed, 4u);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 0.0f);
+  EXPECT_DOUBLE_EQ(m.missing_fraction(), 0.0);
+}
+
+
+TEST(KnnImputeTest, FillsAllMissingCells) {
+  ExpressionMatrix m(4, 3);
+  // Three complete rows forming two groups plus one row with a hole.
+  const float rows[4][3] = {{1, 2, 3}, {1.1f, 2.1f, 3.1f},
+                            {10, 20, 30}, {1.05f, kMissing, 3.05f}};
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      if (!fv::stats::is_missing(rows[r][c])) m.set(r, c, rows[r][c]);
+    }
+  }
+  const std::size_t imputed = fv::expr::knn_impute(m, 2);
+  EXPECT_EQ(imputed, 1u);
+  EXPECT_DOUBLE_EQ(m.missing_fraction(), 0.0);
+  // The filled value must come from the nearby rows (≈2.05), not row 2.
+  EXPECT_NEAR(m.at(3, 1), 2.05f, 0.2f);
+}
+
+TEST(KnnImputeTest, IsOrderIndependent) {
+  // Two rows with holes must not see each other's imputed values.
+  ExpressionMatrix m(3, 2);
+  m.set(0, 0, 1.0f);
+  m.set(0, 1, 2.0f);
+  m.set(1, 0, 1.0f);  // (1,1) missing
+  m.set(2, 1, 2.0f);  // (2,0) missing
+  fv::expr::knn_impute(m, 5);
+  EXPECT_DOUBLE_EQ(m.missing_fraction(), 0.0);
+}
+
+TEST(KnnImputeTest, FallsBackToRowMeanWithoutNeighbors) {
+  ExpressionMatrix m(1, 3);
+  m.set(0, 0, 4.0f);
+  m.set(0, 2, 6.0f);
+  const std::size_t imputed = fv::expr::knn_impute(m, 3);
+  EXPECT_EQ(imputed, 1u);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 5.0f);  // row mean
+}
+
+TEST(KnnImputeTest, RecoversPlantedValuesBetterThanMean) {
+  // Correlated rows: knn should reconstruct masked values more accurately
+  // than the row-mean fallback.
+  fv::Rng rng(77);
+  const std::size_t rows = 40, cols = 12;
+  ExpressionMatrix truth(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double scale = 0.5 + 0.1 * static_cast<double>(r % 4);
+    for (std::size_t c = 0; c < cols; ++c) {
+      truth.set(r, c, static_cast<float>(
+          scale * std::sin(0.6 * static_cast<double>(c)) +
+          rng.normal(0.0, 0.02)));
+    }
+  }
+  ExpressionMatrix masked_knn = truth;
+  ExpressionMatrix masked_mean = truth;
+  std::vector<std::pair<std::size_t, std::size_t>> holes;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto r = static_cast<std::size_t>(rng.uniform_u64(rows));
+    const auto c = static_cast<std::size_t>(rng.uniform_u64(cols));
+    masked_knn.set(r, c, fv::stats::missing_value());
+    masked_mean.set(r, c, fv::stats::missing_value());
+    holes.emplace_back(r, c);
+  }
+  fv::expr::knn_impute(masked_knn, 5);
+  fv::expr::mean_impute(masked_mean);
+  double err_knn = 0.0, err_mean = 0.0;
+  for (const auto& [r, c] : holes) {
+    err_knn += std::abs(masked_knn.at(r, c) - truth.at(r, c));
+    err_mean += std::abs(masked_mean.at(r, c) - truth.at(r, c));
+  }
+  EXPECT_LT(err_knn, err_mean * 0.7)
+      << "knn=" << err_knn << " mean=" << err_mean;
+}
+
+TEST(KnnImputeTest, InvalidKThrows) {
+  ExpressionMatrix m(2, 2, 1.0f);
+  EXPECT_THROW(fv::expr::knn_impute(m, 0), fv::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Pixel-level invariants of the ForestView frame renderer: synchronized
+// rows align across panes in the rendered image, gap rows appear where a
+// gene is unmeasured, selection marks reach the global views, and display
+// preferences (colormap/contrast) change only their own pane.
+#include <gtest/gtest.h>
+
+#include "core/app.hpp"
+#include "core/session.hpp"
+#include "expr/synth.hpp"
+#include "render/framebuffer.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+namespace co = fv::core;
+namespace ex = fv::expr;
+namespace rd = fv::render;
+
+/// Two datasets over the same genome where dataset B misses gene
+/// "YAL001C" (row 0 of A); values are fixed so colors are predictable.
+std::vector<ex::Dataset> fixture_datasets() {
+  std::vector<ex::GeneInfo> genes_a{
+      {"YAL001C", "AAA1", "first"},
+      {"YAL002W", "BBB2", "second"},
+      {"YAL003C", "CCC3", "third"},
+  };
+  ex::ExpressionMatrix ma(3, 4, 2.0f);  // uniformly +2 -> saturated red
+  std::vector<ex::GeneInfo> genes_b{
+      {"YAL002W", "BBB2", "second"},
+      {"YAL003C", "CCC3", "third"},
+  };
+  ex::ExpressionMatrix mb(2, 4, -2.0f);  // uniformly -2 -> saturated green
+  std::vector<ex::Dataset> datasets;
+  datasets.emplace_back("reds", genes_a,
+                        std::vector<std::string>{"c1", "c2", "c3", "c4"},
+                        std::move(ma));
+  datasets.emplace_back("greens", genes_b,
+                        std::vector<std::string>{"k1", "k2", "k3", "k4"},
+                        std::move(mb));
+  return datasets;
+}
+
+constexpr co::FrameConfig kConfig{800, 400, 4, {}};
+
+rd::Framebuffer render(co::Session& session) {
+  co::ForestViewApp app(&session);
+  return app.render_desktop(kConfig);
+}
+
+std::size_t count_color_in_region(const rd::Framebuffer& fb, long x0, long x1,
+                                  long y0, long y1, rd::Rgb8 color) {
+  std::size_t n = 0;
+  for (long y = y0; y < y1; ++y) {
+    for (long x = x0; x < x1; ++x) {
+      if (fb.at(static_cast<std::size_t>(x), static_cast<std::size_t>(y)) ==
+          color) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+TEST(FrameRenderTest, ZoomViewsCarryDatasetColors) {
+  auto session = co::Session(fixture_datasets());
+  session.select_by_names({"AAA1", "BBB2", "CCC3"});
+  const auto fb = render(session);
+  // Left half = pane of "reds" (+2 everywhere -> pure red cells present),
+  // right half = "greens".
+  EXPECT_GT(count_color_in_region(fb, 0, 398, 0, 400, rd::colors::kRed),
+            200u);
+  EXPECT_GT(count_color_in_region(fb, 402, 800, 0, 400, rd::colors::kGreen),
+            200u);
+  // And no bleed: no saturated green in the red pane.
+  EXPECT_EQ(count_color_in_region(fb, 0, 398, 0, 400, rd::colors::kGreen),
+            0u);
+}
+
+TEST(FrameRenderTest, UnmeasuredGeneRendersGapRowOnlyWhenSynchronized) {
+  auto session = co::Session(fixture_datasets());
+  session.select_by_names({"AAA1", "BBB2"});  // AAA1 missing in "greens"
+  const auto synced = render(session);
+  const rd::Rgb8 gap{40, 40, 48};  // kGapRow in frame.cpp
+  const auto gap_pixels_synced =
+      count_color_in_region(synced, 402, 800, 0, 400, gap);
+  EXPECT_GT(gap_pixels_synced, 50u) << "synchronized mode must show a gap";
+  session.toggle_sync();
+  const auto unsynced = render(session);
+  EXPECT_EQ(count_color_in_region(unsynced, 402, 800, 0, 400, gap), 0u)
+      << "unsynchronized mode shows only measured rows";
+}
+
+TEST(FrameRenderTest, SelectionMarksAppearInEveryPaneGlobalView) {
+  auto session = co::Session(fixture_datasets());
+  const auto before = render(session);  // empty selection: no marks
+  session.select_by_names({"BBB2"});
+  const auto after = render(session);
+  // Highlight color pixels must appear after selecting, in both panes
+  // (BBB2 is measured in both datasets).
+  const auto marks_left_before =
+      count_color_in_region(before, 0, 398, 0, 400, rd::colors::kHighlight);
+  const auto marks_left_after =
+      count_color_in_region(after, 0, 398, 0, 400, rd::colors::kHighlight);
+  const auto marks_right_after =
+      count_color_in_region(after, 402, 800, 0, 400, rd::colors::kHighlight);
+  EXPECT_GT(marks_left_after, marks_left_before);
+  EXPECT_GT(marks_right_after, 0u);
+}
+
+TEST(FrameRenderTest, PerDatasetContrastOnlyAffectsOwnPane) {
+  auto session = co::Session(fixture_datasets());
+  session.select_by_names({"BBB2", "CCC3"});
+  const auto before = render(session);
+  // Raising contrast on pane 0 de-saturates its +2 values (2/8 of range),
+  // leaving pane 1 untouched.
+  session.prefs(0).contrast = 8.0;
+  const auto after = render(session);
+  const auto red_before =
+      count_color_in_region(before, 0, 398, 0, 400, rd::colors::kRed);
+  const auto red_after =
+      count_color_in_region(after, 0, 398, 0, 400, rd::colors::kRed);
+  EXPECT_LT(red_after, red_before / 2);
+  // Right pane unchanged pixel for pixel.
+  const auto before_right = before.crop(402, 0, 398, 400);
+  const auto after_right = after.crop(402, 0, 398, 400);
+  EXPECT_EQ(before_right, after_right);
+}
+
+TEST(FrameRenderTest, ColorSchemeSwitchChangesPalette) {
+  auto session = co::Session(fixture_datasets());
+  session.select_by_names({"BBB2", "CCC3"});
+  co::DisplayPrefs prefs;
+  prefs.scheme = rd::ColorScheme::kBlueYellow;
+  session.set_prefs_all(prefs);
+  const auto fb = render(session);
+  EXPECT_EQ(count_color_in_region(fb, 0, 800, 0, 400, rd::colors::kRed), 0u);
+  EXPECT_EQ(count_color_in_region(fb, 0, 800, 0, 400, rd::colors::kGreen),
+            0u);
+  EXPECT_GT(count_color_in_region(fb, 0, 398, 0, 400, rd::colors::kYellow),
+            100u);
+  EXPECT_GT(count_color_in_region(fb, 402, 800, 0, 400, rd::colors::kBlue),
+            100u);
+}
+
+TEST(FrameRenderTest, ScrollShiftsSynchronizedViews) {
+  // With a tall selection and a shared scroll, the first visible row after
+  // scrolling must correspond to the scrolled-to gene in every pane.
+  ex::CompendiumSpec spec;
+  spec.genome = ex::GenomeSpec::yeast_like(300);
+  spec.stress_datasets = 2;
+  spec.nutrient_datasets = 0;
+  spec.knockout_datasets = 0;
+  spec.noise_datasets = 0;
+  spec.measured_fraction = 1.0;
+  spec.seed = 9;
+  auto compendium = ex::make_compendium(spec);
+  auto session = co::Session(std::move(compendium.datasets));
+  session.select_region(0, 0, 200);
+  const auto frame_top = render(session);
+  session.scroll_to(50);
+  const auto frame_scrolled = render(session);
+  EXPECT_NE(frame_top, frame_scrolled);
+  // Scrolling back restores the exact original image.
+  session.scroll_to(0);
+  EXPECT_EQ(render(session), frame_top);
+}
+
+TEST(FrameRenderTest, DeterministicRendering) {
+  auto session = co::Session(fixture_datasets());
+  session.select_by_names({"AAA1", "BBB2", "CCC3"});
+  EXPECT_EQ(render(session), render(session));
+}
+
+}  // namespace

@@ -1,0 +1,392 @@
+// Tests for the GO substrate: DAG, OBO IO, annotations/propagation, GOLEM
+// enrichment and the local exploration map.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "expr/synth.hpp"
+#include "go/annotations.hpp"
+#include "go/golem.hpp"
+#include "go/local_map.hpp"
+#include "go/obo_io.hpp"
+#include "go/ontology.hpp"
+#include "go/synth_ontology.hpp"
+#include "render/framebuffer.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+namespace go = fv::go;
+using go::Ontology;
+using go::Term;
+using go::TermIndex;
+
+/// Small diamond DAG: root over {stress, metabolism}; "heat" is_a stress;
+/// "both" is_a stress AND is_a metabolism (the multi-parent case).
+std::shared_ptr<Ontology> diamond() {
+  auto onto = std::make_shared<Ontology>();
+  const auto root = onto->add_term({"GO:0000001", "biological_process",
+                                    go::Namespace::kBiologicalProcess, false});
+  const auto stress = onto->add_term({"GO:0000002", "response to stress",
+                                      go::Namespace::kBiologicalProcess,
+                                      false});
+  const auto metabolism = onto->add_term({"GO:0000003", "metabolism",
+                                          go::Namespace::kBiologicalProcess,
+                                          false});
+  const auto heat = onto->add_term({"GO:0000004", "response to heat",
+                                    go::Namespace::kBiologicalProcess,
+                                    false});
+  const auto both = onto->add_term({"GO:0000005", "stress metabolism",
+                                    go::Namespace::kBiologicalProcess,
+                                    false});
+  onto->add_is_a(stress, root);
+  onto->add_is_a(metabolism, root);
+  onto->add_is_a(heat, stress);
+  onto->add_is_a(both, stress);
+  onto->add_is_a(both, metabolism);
+  return onto;
+}
+
+TEST(OntologyTest, BasicStructure) {
+  const auto onto = diamond();
+  EXPECT_EQ(onto->term_count(), 5u);
+  EXPECT_EQ(onto->roots(), std::vector<TermIndex>{0});
+  EXPECT_EQ(onto->parents(4).size(), 2u);
+  EXPECT_EQ(onto->children(1).size(), 2u);
+  EXPECT_EQ(*onto->find("GO:0000004"), 3u);
+  EXPECT_FALSE(onto->find("GO:9999999").has_value());
+}
+
+TEST(OntologyTest, DuplicateAccessionThrows) {
+  Ontology onto;
+  onto.add_term({"GO:1", "a", go::Namespace::kBiologicalProcess, false});
+  EXPECT_THROW(
+      onto.add_term({"GO:1", "b", go::Namespace::kBiologicalProcess, false}),
+      fv::InvalidArgument);
+}
+
+TEST(OntologyTest, SelfParentThrows) {
+  Ontology onto;
+  const auto t =
+      onto.add_term({"GO:1", "a", go::Namespace::kBiologicalProcess, false});
+  EXPECT_THROW(onto.add_is_a(t, t), fv::InvalidArgument);
+}
+
+TEST(OntologyTest, DuplicateEdgeIsMerged) {
+  auto onto = diamond();
+  const std::size_t before = onto->parents(3).size();
+  const_cast<Ontology&>(*onto).add_is_a(3, 1);  // repeat heat -> stress
+  EXPECT_EQ(onto->parents(3).size(), before);
+}
+
+TEST(OntologyTest, AncestorsFollowAllPaths) {
+  const auto onto = diamond();
+  auto ancestors = onto->ancestors(4);  // both
+  std::sort(ancestors.begin(), ancestors.end());
+  EXPECT_EQ(ancestors, (std::vector<TermIndex>{0, 1, 2}));
+  EXPECT_TRUE(onto->ancestors(0).empty());
+}
+
+TEST(OntologyTest, DescendantsMirrorAncestors) {
+  const auto onto = diamond();
+  auto descendants = onto->descendants(1);  // stress
+  std::sort(descendants.begin(), descendants.end());
+  EXPECT_EQ(descendants, (std::vector<TermIndex>{3, 4}));
+}
+
+TEST(OntologyTest, DepthsAreLongestPaths) {
+  const auto onto = diamond();
+  const auto depths = onto->depths();
+  EXPECT_EQ(depths[0], 0u);
+  EXPECT_EQ(depths[1], 1u);
+  EXPECT_EQ(depths[4], 2u);
+}
+
+TEST(OntologyTest, CycleDetected) {
+  Ontology onto;
+  const auto a =
+      onto.add_term({"GO:1", "a", go::Namespace::kBiologicalProcess, false});
+  const auto b =
+      onto.add_term({"GO:2", "b", go::Namespace::kBiologicalProcess, false});
+  onto.add_is_a(a, b);
+  onto.add_is_a(b, a);
+  EXPECT_THROW(onto.validate(), fv::ParseError);
+}
+
+TEST(OboIoTest, RoundTripPreservesStructure) {
+  const auto original = diamond();
+  const auto parsed = go::parse_obo(go::format_obo(*original));
+  ASSERT_EQ(parsed.term_count(), original->term_count());
+  for (TermIndex t = 0; t < parsed.term_count(); ++t) {
+    EXPECT_EQ(parsed.term(t).id, original->term(t).id);
+    EXPECT_EQ(parsed.term(t).name, original->term(t).name);
+    // Parent sets must match (order may differ).
+    auto a = parsed.parents(t);
+    auto b = original->parents(t);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(OboIoTest, ParsesRealWorldFlavoredStanza) {
+  const std::string obo =
+      "format-version: 1.2\n"
+      "date: 01:01:2007\n"
+      "\n"
+      "[Term]\n"
+      "id: GO:0006950\n"
+      "name: response to stress\n"
+      "namespace: biological_process\n"
+      "def: \"ignored\" [GOC:x]\n"
+      "\n"
+      "[Term]\n"
+      "id: GO:0009408\n"
+      "name: response to heat\n"
+      "namespace: biological_process\n"
+      "is_a: GO:0006950 ! response to stress\n"
+      "\n"
+      "[Typedef]\n"
+      "id: part_of\n";
+  const auto onto = go::parse_obo(obo);
+  EXPECT_EQ(onto.term_count(), 2u);
+  const auto heat = onto.find("GO:0009408");
+  ASSERT_TRUE(heat.has_value());
+  EXPECT_EQ(onto.parents(*heat).size(), 1u);
+}
+
+TEST(OboIoTest, MalformedInputsThrow) {
+  EXPECT_THROW(go::parse_obo("[Term]\nname: no id\n"), fv::ParseError);
+  EXPECT_THROW(go::parse_obo("[Term]\nid: GO:1\nis_a: GO:404\n"),
+               fv::ParseError);
+  EXPECT_THROW(go::parse_obo("[Term]\nid: GO:1\nnamespace: bogus\n"),
+               fv::ParseError);
+  EXPECT_THROW(go::parse_obo("[Term]\nid GO:1\n"), fv::ParseError);
+}
+
+TEST(AnnotationTest, DirectAnnotationBookkeeping) {
+  const auto onto = diamond();
+  go::AnnotationTable table(onto);
+  table.annotate("HSP104", 3);
+  table.annotate("HSP104", 3);  // idempotent
+  table.annotate("HSP104", 4);
+  table.annotate("CTT1", 3);
+  EXPECT_EQ(table.gene_count(), 2u);
+  EXPECT_EQ(table.annotation_count(3), 2u);
+  EXPECT_EQ(table.annotation_count(0), 0u);
+  EXPECT_EQ(table.terms_of("HSP104").size(), 2u);
+  EXPECT_TRUE(table.terms_of("unknown").empty());
+}
+
+TEST(AnnotationTest, PropagationFollowsTruePathRule) {
+  const auto onto = diamond();
+  go::AnnotationTable table(onto);
+  table.annotate("HSP104", 4);  // "both": ancestors are stress, metabolism, root
+  const auto propagated = table.propagated();
+  auto terms = propagated.terms_of("HSP104");
+  std::sort(terms.begin(), terms.end());
+  EXPECT_EQ(terms, (std::vector<TermIndex>{0, 1, 2, 4}));
+  // Counts at ancestors include the propagated gene.
+  EXPECT_EQ(propagated.annotation_count(0), 1u);
+  EXPECT_EQ(propagated.annotation_count(1), 1u);
+}
+
+TEST(AnnotationTest, PropagationIsIdempotent) {
+  const auto onto = diamond();
+  go::AnnotationTable table(onto);
+  table.annotate("A", 3);
+  table.annotate("B", 2);
+  const auto once = table.propagated();
+  const auto twice = once.propagated();
+  for (TermIndex t = 0; t < onto->term_count(); ++t) {
+    EXPECT_EQ(once.annotation_count(t), twice.annotation_count(t));
+  }
+}
+
+go::AnnotationTable enrichment_fixture(std::shared_ptr<Ontology> onto) {
+  // Population of 20 genes: G0..G4 annotated to heat (3) — and via
+  // propagation to stress (1) — G5..G9 directly to stress, G10..G19 to
+  // metabolism (2). "Heat" is therefore strictly more specific than
+  // "stress" for a heat-gene query.
+  go::AnnotationTable table(std::move(onto));
+  for (int i = 0; i < 5; ++i) {
+    table.annotate("G" + std::to_string(i), 3);
+  }
+  for (int i = 5; i < 10; ++i) {
+    table.annotate("G" + std::to_string(i), 1);
+  }
+  for (int i = 10; i < 20; ++i) {
+    table.annotate("G" + std::to_string(i), 2);
+  }
+  return table.propagated();
+}
+
+TEST(GolemTest, FindsPlantedEnrichment) {
+  const auto table = enrichment_fixture(diamond());
+  // Query: 5 heat genes out of 5 -> heavily enriched for heat & stress.
+  const std::vector<std::string> query{"G0", "G1", "G2", "G3", "G4"};
+  const auto result = go::enrich(table, query);
+  EXPECT_EQ(result.recognized_genes, 5u);
+  ASSERT_FALSE(result.terms.empty());
+  // Top term must be "response to heat" (index 3).
+  EXPECT_EQ(result.terms[0].term, 3u);
+  EXPECT_LT(result.terms[0].p_value, 1e-3);  // 1/C(20,5)
+  EXPECT_EQ(result.terms[0].query_annotated, 5u);
+  EXPECT_EQ(result.terms[0].population_annotated, 5u);
+  EXPECT_GT(result.terms[0].fold_enrichment, 3.9);
+}
+
+TEST(GolemTest, RootIsNeverEnriched) {
+  const auto table = enrichment_fixture(diamond());
+  const std::vector<std::string> query{"G0", "G1", "G12"};
+  const auto result = go::enrich(table, query);
+  for (const auto& row : result.terms) {
+    if (row.term == 0) {
+      EXPECT_NEAR(row.p_value, 1.0, 1e-9);  // everyone has the root
+    }
+  }
+}
+
+TEST(GolemTest, CorrectionsOrderedSanely) {
+  const auto table = enrichment_fixture(diamond());
+  const std::vector<std::string> query{"G0", "G1", "G2"};
+  const auto result = go::enrich(table, query);
+  for (const auto& row : result.terms) {
+    EXPECT_GE(row.p_bonferroni + 1e-15, row.p_value);
+    EXPECT_GE(row.p_bonferroni + 1e-15, row.q_benjamini_hochberg);
+    EXPECT_LE(row.q_benjamini_hochberg, 1.0);
+  }
+  // Result rows sorted ascending by p.
+  for (std::size_t i = 1; i < result.terms.size(); ++i) {
+    EXPECT_LE(result.terms[i - 1].p_value, result.terms[i].p_value + 1e-15);
+  }
+}
+
+TEST(GolemTest, UnknownGenesReported) {
+  const auto table = enrichment_fixture(diamond());
+  const std::vector<std::string> query{"G0", "NOT_A_GENE"};
+  const auto result = go::enrich(table, query);
+  EXPECT_EQ(result.recognized_genes, 1u);
+  ASSERT_EQ(result.unknown_genes.size(), 1u);
+  EXPECT_EQ(result.unknown_genes[0], "NOT_A_GENE");
+}
+
+TEST(GolemTest, EmptyQueryGivesEmptyResult) {
+  const auto table = enrichment_fixture(diamond());
+  const auto result = go::enrich(table, {"NOPE1", "NOPE2"});
+  EXPECT_EQ(result.recognized_genes, 0u);
+  EXPECT_TRUE(result.terms.empty());
+}
+
+TEST(LocalMapTest, ClosureContainsAncestors) {
+  const auto onto = diamond();
+  const auto map = go::build_local_map(*onto, {4});  // focus on "both"
+  std::set<TermIndex> included;
+  for (const auto& node : map.nodes) included.insert(node.term);
+  EXPECT_EQ(included, (std::set<TermIndex>{0, 1, 2, 4}));
+  // Exactly one focus node.
+  std::size_t focus_count = 0;
+  for (const auto& node : map.nodes) {
+    if (node.focus) ++focus_count;
+  }
+  EXPECT_EQ(focus_count, 1u);
+}
+
+TEST(LocalMapTest, EdgesStayWithinMap) {
+  const auto onto = diamond();
+  const auto map = go::build_local_map(*onto, {3, 4});
+  for (const auto& edge : map.edges) {
+    ASSERT_LT(edge.parent_node, map.nodes.size());
+    ASSERT_LT(edge.child_node, map.nodes.size());
+    // Parent layer strictly above child layer.
+    EXPECT_LT(map.nodes[edge.parent_node].layer,
+              map.nodes[edge.child_node].layer);
+  }
+}
+
+TEST(LocalMapTest, SlotsUniquePerLayer) {
+  const auto onto = diamond();
+  const auto map = go::build_local_map(*onto, {3, 4});
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (const auto& node : map.nodes) {
+    EXPECT_TRUE(seen.insert({node.layer, node.slot}).second);
+  }
+}
+
+TEST(LocalMapTest, FromEnrichmentAttachesPValues) {
+  const auto table = enrichment_fixture(diamond());
+  const std::vector<std::string> query{"G0", "G1", "G2", "G3", "G4"};
+  const auto enrichment = go::enrich(table, query);
+  const auto map = go::build_local_map(table.ontology(), enrichment, 0.05);
+  ASSERT_FALSE(map.nodes.empty());
+  bool found_significant_focus = false;
+  for (const auto& node : map.nodes) {
+    if (node.focus && node.p_value < 0.05) found_significant_focus = true;
+  }
+  EXPECT_TRUE(found_significant_focus);
+}
+
+TEST(LocalMapTest, EmptyFocusGivesEmptyMap) {
+  const auto onto = diamond();
+  const auto map = go::build_local_map(*onto, {});
+  EXPECT_TRUE(map.nodes.empty());
+  EXPECT_TRUE(map.edges.empty());
+}
+
+TEST(LocalMapTest, DrawProducesPixels) {
+  const auto onto = diamond();
+  const auto map = go::build_local_map(*onto, {3, 4});
+  fv::render::Framebuffer fb(400, 300);
+  go::draw_local_map(fb, *onto, map, 0, 0, 400, 300);
+  std::size_t lit = 0;
+  for (const auto& p : fb.pixels()) {
+    if (!(p == fv::render::colors::kBlack)) ++lit;
+  }
+  EXPECT_GT(lit, 500u);
+}
+
+TEST(SynthOntologyTest, ModulesGetEnrichableTerms) {
+  const auto genome =
+      fv::expr::make_genome(fv::expr::GenomeSpec::yeast_like(600), 3);
+  const auto synth = go::make_synth_ontology(genome);
+  ASSERT_EQ(synth.module_terms.size(), genome.module_names().size());
+  // Population covers the full genome.
+  EXPECT_EQ(synth.propagated.gene_count(), genome.gene_count());
+
+  // GOLEM on the ESR_UP members must rank the planted term first.
+  std::vector<std::string> query;
+  for (const std::size_t g : genome.module_members("ESR_UP")) {
+    query.push_back(genome.gene(g).systematic_name);
+  }
+  const auto result = go::enrich(synth.propagated, query);
+  ASSERT_FALSE(result.terms.empty());
+  EXPECT_EQ(result.terms[0].term, synth.module_terms.at("ESR_UP"));
+  EXPECT_LT(result.terms[0].q_benjamini_hochberg, 1e-6);
+}
+
+TEST(SynthOntologyTest, OntologyIsValidDag) {
+  const auto genome =
+      fv::expr::make_genome(fv::expr::GenomeSpec::yeast_like(200), 5);
+  const auto synth = go::make_synth_ontology(genome);
+  EXPECT_NO_THROW(synth.ontology->validate());
+  EXPECT_EQ(synth.ontology->roots().size(), 1u);
+}
+
+TEST(SynthOntologyTest, DeterministicForSeed) {
+  const auto genome =
+      fv::expr::make_genome(fv::expr::GenomeSpec::yeast_like(200), 5);
+  go::SynthOntologySpec spec;
+  spec.seed = 11;
+  const auto a = go::make_synth_ontology(genome, spec);
+  const auto b = go::make_synth_ontology(genome, spec);
+  EXPECT_EQ(a.ontology->term_count(), b.ontology->term_count());
+  EXPECT_EQ(a.module_terms, b.module_terms);
+  for (go::TermIndex t = 0; t < a.ontology->term_count(); ++t) {
+    EXPECT_EQ(a.propagated.annotation_count(t),
+              b.propagated.annotation_count(t));
+  }
+}
+
+}  // namespace

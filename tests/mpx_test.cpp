@@ -1,0 +1,277 @@
+// Tests for the mpx message-passing substrate: point-to-point semantics,
+// collectives (validated against sequential references on random payloads),
+// and failure propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mpx/communicator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace mpx = fv::mpx;
+
+TEST(PayloadTest, WriterReaderRoundTrip) {
+  mpx::PayloadWriter writer;
+  writer.write<int>(42);
+  writer.write<double>(3.5);
+  writer.write_string("hello");
+  const std::vector<float> values{1.0f, 2.0f, 3.0f};
+  writer.write_span(std::span<const float>(values));
+  const auto payload = writer.take();
+
+  mpx::PayloadReader reader(payload);
+  EXPECT_EQ(reader.read<int>(), 42);
+  EXPECT_DOUBLE_EQ(reader.read<double>(), 3.5);
+  EXPECT_EQ(reader.read_string(), "hello");
+  EXPECT_EQ(reader.read_vector<float>(), values);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(PayloadTest, UnderrunThrows) {
+  mpx::PayloadWriter writer;
+  writer.write<int>(1);
+  const auto payload = writer.take();
+  mpx::PayloadReader reader(payload);
+  reader.read<int>();
+  EXPECT_THROW(reader.read<double>(), fv::InvalidArgument);
+}
+
+TEST(MailboxTest, FifoPerSourceAndTag) {
+  mpx::Mailbox box;
+  for (int i = 0; i < 3; ++i) {
+    mpx::Message m;
+    m.source = 0;
+    m.tag = 7;
+    m.payload.resize(static_cast<std::size_t>(i));
+    box.deliver(std::move(m));
+  }
+  EXPECT_EQ(box.pending(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(box.receive(0, 7).payload.size(), i);
+  }
+}
+
+TEST(MailboxTest, SelectiveReceiveSkipsNonMatching) {
+  mpx::Mailbox box;
+  mpx::Message a;
+  a.source = 0;
+  a.tag = 1;
+  box.deliver(std::move(a));
+  mpx::Message b;
+  b.source = 2;
+  b.tag = 5;
+  box.deliver(std::move(b));
+  const auto got = box.receive(2, 5);
+  EXPECT_EQ(got.source, 2);
+  EXPECT_EQ(box.pending(), 1u);
+  EXPECT_FALSE(box.try_receive(9, 9).has_value());
+  EXPECT_TRUE(box.try_receive(mpx::kAnySource, mpx::kAnyTag).has_value());
+}
+
+TEST(MailboxTest, AbortUnblocksReceivers) {
+  mpx::Mailbox box;
+  box.abort();
+  EXPECT_THROW(box.receive(), fv::Error);
+}
+
+TEST(RunGroupTest, PingPong) {
+  std::atomic<int> checks{0};
+  mpx::run_group(2, [&](mpx::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 0, 123);
+      const int reply = comm.recv_value<int>(1, 1);
+      EXPECT_EQ(reply, 124);
+      checks.fetch_add(1);
+    } else {
+      const int value = comm.recv_value<int>(0, 0);
+      comm.send_value<int>(0, 1, value + 1);
+    }
+  });
+  EXPECT_EQ(checks.load(), 1);
+}
+
+TEST(RunGroupTest, SingleRankGroupWorks) {
+  mpx::run_group(1, [&](mpx::Comm& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();
+    std::vector<int> data{1, 2, 3};
+    comm.broadcast(0, data);
+    EXPECT_EQ(data.size(), 3u);
+    EXPECT_DOUBLE_EQ(comm.all_reduce_sum(5.0), 5.0);
+  });
+}
+
+TEST(RunGroupTest, UserTagsMustBeNonNegative) {
+  EXPECT_THROW(mpx::run_group(2,
+                              [&](mpx::Comm& comm) {
+                                if (comm.rank() == 0) {
+                                  comm.send_value<int>(1, -3, 1);
+                                } else {
+                                  comm.recv_value<int>(0, -3);
+                                }
+                              }),
+               fv::Error);
+}
+
+TEST(RunGroupTest, ExceptionAbortsWholeGroup) {
+  // Rank 1 throws while rank 0 blocks in recv; the abort must unblock it and
+  // run_group must rethrow the original error.
+  EXPECT_THROW(mpx::run_group(2,
+                              [&](mpx::Comm& comm) {
+                                if (comm.rank() == 0) {
+                                  comm.recv();  // would block forever
+                                } else {
+                                  throw std::runtime_error("rank 1 died");
+                                }
+                              }),
+               std::exception);
+}
+
+TEST(RunGroupTest, BarrierSynchronizesPhases) {
+  // Every rank increments, barriers, then checks the full count — fails if
+  // the barrier does not separate the phases.
+  constexpr int kRanks = 4;
+  std::atomic<int> phase_one{0};
+  mpx::run_group(kRanks, [&](mpx::Comm& comm) {
+    phase_one.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(phase_one.load(), kRanks);
+    comm.barrier();
+  });
+}
+
+TEST(CollectiveTest, BroadcastDeliversRootBuffer) {
+  mpx::run_group(4, [&](mpx::Comm& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 2) data = {10, 20, 30, 40, 50};
+    comm.broadcast(2, data);
+    EXPECT_EQ(data, (std::vector<int>{10, 20, 30, 40, 50}));
+  });
+}
+
+TEST(CollectiveTest, RepeatedBroadcastsStayOrdered) {
+  mpx::run_group(3, [&](mpx::Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<int> data;
+      if (comm.rank() == 0) data = {round, round + 1};
+      comm.broadcast(0, data);
+      ASSERT_EQ(data.size(), 2u);
+      EXPECT_EQ(data[0], round);
+    }
+  });
+}
+
+TEST(CollectiveTest, GatherCollectsInRankOrder) {
+  mpx::run_group(4, [&](mpx::Comm& comm) {
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                          comm.rank());
+    const auto parts = comm.gather(0, std::span<const int>(mine));
+    if (comm.rank() == 0) {
+      ASSERT_EQ(parts.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        const auto& part = parts[static_cast<std::size_t>(r)];
+        ASSERT_EQ(part.size(), static_cast<std::size_t>(r) + 1);
+        for (int v : part) EXPECT_EQ(v, r);
+      }
+    } else {
+      EXPECT_TRUE(parts.empty());
+    }
+  });
+}
+
+TEST(CollectiveTest, ScatterHandsOutParts) {
+  mpx::run_group(3, [&](mpx::Comm& comm) {
+    std::vector<std::vector<int>> parts;
+    if (comm.rank() == 1) {
+      parts = {{0}, {1, 1}, {2, 2, 2}};
+    }
+    const auto mine = comm.scatter(1, parts);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(comm.rank()) + 1);
+    for (int v : mine) EXPECT_EQ(v, comm.rank());
+  });
+}
+
+TEST(CollectiveTest, AllGatherValueOrdered) {
+  mpx::run_group(5, [&](mpx::Comm& comm) {
+    const auto values = comm.all_gather_value<int>(comm.rank() * 10);
+    ASSERT_EQ(values.size(), 5u);
+    for (int r = 0; r < 5; ++r) {
+      EXPECT_EQ(values[static_cast<std::size_t>(r)], r * 10);
+    }
+  });
+}
+
+TEST(CollectiveTest, ReduceMatchesSequentialReference) {
+  // Random payloads, sum and max reductions vs locally computed reference.
+  for (int trial = 0; trial < 5; ++trial) {
+    fv::Rng rng(static_cast<std::uint64_t>(trial) + 100);
+    constexpr int kRanks = 4;
+    std::vector<double> inputs(kRanks);
+    for (double& v : inputs) v = rng.uniform(-10.0, 10.0);
+    const double expected_sum =
+        std::accumulate(inputs.begin(), inputs.end(), 0.0);
+    const double expected_max =
+        *std::max_element(inputs.begin(), inputs.end());
+
+    mpx::run_group(kRanks, [&](mpx::Comm& comm) {
+      const double mine = inputs[static_cast<std::size_t>(comm.rank())];
+      const double sum = comm.reduce(
+          0, mine, [](double a, double b) { return a + b; });
+      if (comm.rank() == 0) {
+        EXPECT_NEAR(sum, expected_sum, 1e-9);
+      }
+      const double max = comm.reduce(
+          0, mine, [](double a, double b) { return std::max(a, b); });
+      if (comm.rank() == 0) {
+        EXPECT_NEAR(max, expected_max, 1e-12);
+      }
+      EXPECT_NEAR(comm.all_reduce_sum(mine), expected_sum, 1e-9);
+    });
+  }
+}
+
+TEST(CollectiveTest, InvalidRootThrows) {
+  EXPECT_THROW(mpx::run_group(2,
+                              [&](mpx::Comm& comm) {
+                                std::vector<int> data{1};
+                                comm.broadcast(7, data);
+                              }),
+               fv::InvalidArgument);
+}
+
+// Property sweep over group sizes: a pipeline where each rank forwards an
+// accumulating vector to the next rank, validating ordering and payload
+// integrity end to end.
+class GroupSizePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupSizePropertyTest, RingAccumulation) {
+  const int ranks = GetParam();
+  mpx::run_group(ranks, [&](mpx::Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() - 1 + comm.size()) % comm.size();
+    if (comm.rank() == 0) {
+      std::vector<int> token{0};
+      if (comm.size() > 1) {
+        comm.send_vector<int>(next, 0, token);
+        token = comm.recv_vector<int>(prev, 0);
+      }
+      ASSERT_EQ(token.size(), static_cast<std::size_t>(comm.size()));
+      for (int i = 0; i < comm.size(); ++i) {
+        EXPECT_EQ(token[static_cast<std::size_t>(i)], i);
+      }
+    } else {
+      auto token = comm.recv_vector<int>(prev, 0);
+      token.push_back(comm.rank());
+      comm.send_vector<int>(next, 0, token);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GroupSizePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for the thread-pool parallelism substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using fv::par::ThreadPool;
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ThreadCountDefaultsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), fv::InvalidArgument);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  fv::par::parallel_for(pool, 0, 1000, 1,
+                        [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  fv::par::parallel_for(pool, 5, 5, 1, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelForTest, RespectsOffsetRange) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  fv::par::parallel_for(pool, 10, 20, 1, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(ParallelForTest, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      fv::par::parallel_for(pool, 0, 100, 1,
+                            [&](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> counter{0};
+  fv::par::parallel_for(pool, 0, 10, 1,
+                        [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelForTest, SharedPoolOverloadWorks) {
+  std::atomic<int> counter{0};
+  fv::par::parallel_for(0, 64, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelReduceTest, SumsDeterministically) {
+  ThreadPool pool(4);
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 0.0);
+  const double total = fv::par::parallel_reduce(
+      pool, 0, values.size(), 64,
+      [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        for (std::size_t i = begin; i < end; ++i) partial += values[i];
+        return partial;
+      },
+      [](double a, double b) { return a + b; }, 0.0);
+  EXPECT_DOUBLE_EQ(total, 10000.0 * 9999.0 / 2.0);
+}
+
+TEST(ParallelReduceTest, EmptyRangeGivesIdentity) {
+  ThreadPool pool(2);
+  const double result = fv::par::parallel_reduce(
+      pool, 3, 3, 1, [](std::size_t, std::size_t) { return 99.0; },
+      [](double a, double b) { return a + b; }, -1.0);
+  EXPECT_DOUBLE_EQ(result, -1.0);
+}
+
+// Property sweep: parallel_for result equals serial result for varying
+// range sizes and grains.
+class ParallelForPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelForPropertyTest, MatchesSerialSum) {
+  const auto [size, grain] = GetParam();
+  ThreadPool pool(3);
+  std::vector<long> out(static_cast<std::size_t>(size), 0);
+  fv::par::parallel_for(pool, 0, static_cast<std::size_t>(size),
+                        static_cast<std::size_t>(grain),
+                        [&](std::size_t i) {
+                          out[i] = static_cast<long>(i * i);
+                        });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<long>(i * i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndGrains, ParallelForPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 7, 64, 1000),
+                       ::testing::Values(1, 3, 16, 1024)));
+
+}  // namespace

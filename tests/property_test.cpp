@@ -1,0 +1,228 @@
+// Deeper property-based suites validating implementations against
+// brute-force references on randomized small inputs:
+//  * hierarchical clustering vs an O(n^3) reference agglomerator
+//  * hypergeometric tail vs direct summation over the support
+//  * mpx collectives under message storms
+//  * wall culling: executing only culled commands == executing all
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "cluster/hclust.hpp"
+#include "mpx/communicator.hpp"
+#include "stats/special.hpp"
+#include "util/rng.hpp"
+#include "wall/command.hpp"
+#include "wall/wall_display.hpp"
+
+namespace {
+
+namespace cl = fv::cluster;
+
+// ---------------------------------------------------------------------------
+// Reference agglomerative clustering: O(n^3), no caching tricks — scan the
+// full active distance matrix for the global minimum at every step.
+std::vector<cl::Merge> reference_agglomerate(cl::DistanceMatrix distances,
+                                             cl::Linkage linkage) {
+  const std::size_t n = distances.size();
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> size(n, 1);
+  std::vector<int> node_id(n);
+  std::iota(node_id.begin(), node_id.end(), 0);
+  std::vector<cl::Merge> merges;
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (distances.at(i, j) < best) {
+          best = distances.at(i, j);
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    merges.push_back(cl::Merge{node_id[bi], node_id[bj], best});
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi || k == bj) continue;
+      double updated = 0.0;
+      switch (linkage) {
+        case cl::Linkage::kSingle:
+          updated = std::min(distances.at(bi, k), distances.at(bj, k));
+          break;
+        case cl::Linkage::kComplete:
+          updated = std::max(distances.at(bi, k), distances.at(bj, k));
+          break;
+        case cl::Linkage::kAverage:
+          updated = (static_cast<double>(size[bi]) * distances.at(bi, k) +
+                     static_cast<double>(size[bj]) * distances.at(bj, k)) /
+                    static_cast<double>(size[bi] + size[bj]);
+          break;
+      }
+      distances.set(bi, k, static_cast<float>(updated));
+    }
+    active[bj] = false;
+    size[bi] += size[bj];
+    node_id[bi] = static_cast<int>(n + step);
+  }
+  return merges;
+}
+
+cl::DistanceMatrix random_distances(std::size_t n, fv::Rng& rng) {
+  cl::DistanceMatrix d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d.set(i, j, static_cast<float>(rng.uniform(0.01, 2.0)));
+    }
+  }
+  return d;
+}
+
+class HclustVsReferenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HclustVsReferenceTest, MatchesBruteForce) {
+  const auto [seed, linkage_index] = GetParam();
+  const auto linkage = static_cast<cl::Linkage>(linkage_index);
+  fv::Rng rng(static_cast<std::uint64_t>(seed));
+  const std::size_t n = 4 + static_cast<std::size_t>(seed) % 14;
+  const auto distances = random_distances(n, rng);
+
+  const auto fast = cl::agglomerate(distances, linkage);
+  const auto reference = reference_agglomerate(distances, linkage);
+  ASSERT_EQ(fast.size(), reference.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    // Merge heights must match exactly step for step. Child ids may swap
+    // sides, so compare as unordered pairs.
+    EXPECT_NEAR(fast[i].distance, reference[i].distance, 1e-5)
+        << "merge " << i;
+    const auto fast_pair = std::minmax(fast[i].left, fast[i].right);
+    const auto ref_pair = std::minmax(reference[i].left, reference[i].right);
+    EXPECT_EQ(fast_pair, ref_pair) << "merge " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomMatrices, HclustVsReferenceTest,
+    ::testing::Combine(::testing::Range(1, 12),
+                       ::testing::Values(0, 1, 2)));  // single/complete/avg
+
+// ---------------------------------------------------------------------------
+// Hypergeometric tails vs direct full-support summation.
+class HypergeometricPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypergeometricPropertyTest, TailsMatchDirectSummation) {
+  fv::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::uint64_t N = 10 + rng.uniform_u64(200);
+  const std::uint64_t K = rng.uniform_u64(N + 1);
+  const std::uint64_t n = rng.uniform_u64(N + 1);
+  const std::uint64_t hi = std::min(n, K);
+  // Direct summation across the whole support.
+  double cumulative = 0.0;
+  for (std::uint64_t k = 0; k <= hi; ++k) {
+    cumulative += fv::stats::hypergeometric_pmf(k, N, K, n);
+  }
+  EXPECT_NEAR(cumulative, 1.0, 1e-9);
+  // Upper tail at a random threshold.
+  const std::uint64_t threshold = rng.uniform_u64(hi + 2);
+  double direct_upper = 0.0;
+  for (std::uint64_t k = threshold; k <= hi; ++k) {
+    direct_upper += fv::stats::hypergeometric_pmf(k, N, K, n);
+  }
+  EXPECT_NEAR(fv::stats::hypergeometric_upper_tail(threshold, N, K, n),
+              std::min(direct_upper, 1.0), 1e-9);
+  // Monotonicity: P[X >= k] decreases in k.
+  double previous = 1.0;
+  for (std::uint64_t k = 0; k <= hi + 1; ++k) {
+    const double tail = fv::stats::hypergeometric_upper_tail(k, N, K, n);
+    EXPECT_LE(tail, previous + 1e-12);
+    previous = tail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomUrns, HypergeometricPropertyTest,
+                         ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// mpx under load: many interleaved tagged messages must be delivered in
+// per-(source, tag) FIFO order with nothing lost.
+TEST(MpxStressTest, MessageStormKeepsOrderAndCompleteness) {
+  constexpr int kRanks = 4;
+  constexpr int kMessagesPerPair = 200;
+  fv::mpx::run_group(kRanks, [&](fv::mpx::Comm& comm) {
+    // Everyone sends numbered messages to everyone on two tags.
+    for (int dest = 0; dest < comm.size(); ++dest) {
+      if (dest == comm.rank()) continue;
+      for (int i = 0; i < kMessagesPerPair; ++i) {
+        comm.send_value<int>(dest, i % 2, i);
+      }
+    }
+    // Receive: per (source, tag) the values must arrive ascending.
+    for (int source = 0; source < comm.size(); ++source) {
+      if (source == comm.rank()) continue;
+      for (int tag = 0; tag < 2; ++tag) {
+        int previous = -1;
+        for (int i = 0; i < kMessagesPerPair / 2; ++i) {
+          const int value = comm.recv_value<int>(source, tag);
+          EXPECT_GT(value, previous);
+          EXPECT_EQ(value % 2, tag);
+          previous = value;
+        }
+      }
+    }
+    comm.barrier();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Wall culling is sound: rendering a tile from the culled command list is
+// identical to rendering it from the full list.
+class CullSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CullSoundnessTest, CulledEqualsFull) {
+  fv::Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  fv::wall::RecordingCanvas canvas;
+  for (int i = 0; i < 60; ++i) {
+    const long x = static_cast<long>(rng.uniform_u64(400)) - 50;
+    const long y = static_cast<long>(rng.uniform_u64(300)) - 50;
+    switch (rng.uniform_u64(3)) {
+      case 0:
+        canvas.fill_rect(x, y, 1 + static_cast<long>(rng.uniform_u64(60)),
+                         1 + static_cast<long>(rng.uniform_u64(40)),
+                         fv::render::colors::kRed);
+        break;
+      case 1:
+        canvas.line(x, y, x + 70, y + 25, fv::render::colors::kGreen);
+        break;
+      default:
+        canvas.text(x, y, "NODE" + std::to_string(i),
+                    fv::render::colors::kWhite, 1);
+        break;
+    }
+  }
+  const auto commands = canvas.take();
+  const fv::layout::Rect tile{120, 80, 100, 100};
+
+  fv::render::Framebuffer from_full(100, 100);
+  fv::wall::replay_commands(from_full, commands, tile.x, tile.y);
+
+  // Manual cull, then replay only the survivors.
+  fv::wall::CommandList culled;
+  for (const auto& command : commands) {
+    if (fv::layout::overlaps(command.bounds(), tile)) {
+      culled.push_back(command);
+    }
+  }
+  fv::render::Framebuffer from_culled(100, 100);
+  fv::wall::replay_commands(from_culled, culled, tile.x, tile.y);
+  EXPECT_EQ(from_full, from_culled);
+  EXPECT_LE(culled.size(), commands.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenes, CullSoundnessTest, ::testing::Range(0, 10));
+
+}  // namespace

@@ -1,0 +1,299 @@
+// Tests for the software rasterizer: framebuffer, primitives, font,
+// colormaps, heatmaps and dendrograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/tree.hpp"
+#include "render/colormap.hpp"
+#include "render/dendrogram.hpp"
+#include "render/draw.hpp"
+#include "render/font.hpp"
+#include "render/framebuffer.hpp"
+#include "render/heatmap.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+namespace rd = fv::render;
+using rd::Framebuffer;
+using rd::Rgb8;
+
+std::size_t count_pixels(const Framebuffer& fb, Rgb8 color) {
+  std::size_t n = 0;
+  for (const Rgb8& p : fb.pixels()) {
+    if (p == color) ++n;
+  }
+  return n;
+}
+
+TEST(FramebufferTest, ConstructionAndFill) {
+  Framebuffer fb(10, 5, rd::colors::kBlue);
+  EXPECT_EQ(fb.width(), 10u);
+  EXPECT_EQ(fb.height(), 5u);
+  EXPECT_EQ(count_pixels(fb, rd::colors::kBlue), 50u);
+}
+
+TEST(FramebufferTest, SetGetAndBounds) {
+  Framebuffer fb(4, 4);
+  fb.set(3, 2, rd::colors::kRed);
+  EXPECT_EQ(fb.at(3, 2), rd::colors::kRed);
+  EXPECT_THROW(fb.at(4, 0), fv::InvalidArgument);
+  EXPECT_THROW(fb.set(0, 4, rd::colors::kRed), fv::InvalidArgument);
+}
+
+TEST(FramebufferTest, ClippedWritesIgnoreOutOfRange) {
+  Framebuffer fb(4, 4);
+  fb.set_clipped(-1, 0, rd::colors::kRed);
+  fb.set_clipped(0, 100, rd::colors::kRed);
+  EXPECT_EQ(count_pixels(fb, rd::colors::kRed), 0u);
+}
+
+TEST(FramebufferTest, BlitPlacesAndClips) {
+  Framebuffer src(3, 3, rd::colors::kGreen);
+  Framebuffer dst(5, 5);
+  dst.blit(src, 3, 3);  // bottom-right corner; partially clipped
+  EXPECT_EQ(count_pixels(dst, rd::colors::kGreen), 4u);
+  EXPECT_EQ(dst.at(4, 4), rd::colors::kGreen);
+  EXPECT_EQ(dst.at(2, 2), rd::colors::kBlack);
+}
+
+TEST(FramebufferTest, CropExtractsRegion) {
+  Framebuffer fb(6, 6);
+  rd::fill_rect(fb, 2, 2, 2, 2, rd::colors::kYellow);
+  const Framebuffer crop = fb.crop(2, 2, 2, 2);
+  EXPECT_EQ(count_pixels(crop, rd::colors::kYellow), 4u);
+}
+
+TEST(FramebufferTest, DiffCountMatchesChanges) {
+  Framebuffer a(4, 4), b(4, 4);
+  EXPECT_EQ(a.diff_count(b), 0u);
+  b.set(0, 0, rd::colors::kRed);
+  b.set(3, 3, rd::colors::kRed);
+  EXPECT_EQ(a.diff_count(b), 2u);
+  Framebuffer c(3, 3);
+  EXPECT_THROW(a.diff_count(c), fv::InvalidArgument);
+}
+
+TEST(PpmTest, RoundTripExact) {
+  Framebuffer fb(7, 3);
+  fb.set(0, 0, Rgb8{1, 2, 3});
+  fb.set(6, 2, Rgb8{250, 128, 7});
+  const Framebuffer parsed = rd::parse_ppm(rd::format_ppm(fb));
+  EXPECT_EQ(parsed, fb);
+}
+
+TEST(PpmTest, RejectsMalformedHeaders) {
+  EXPECT_THROW(rd::parse_ppm("P5\n1 1\n255\nx"), fv::ParseError);
+  EXPECT_THROW(rd::parse_ppm("P6\n2 2\n255\nxx"), fv::ParseError);
+}
+
+TEST(DrawTest, FillRectClips) {
+  Framebuffer fb(8, 8);
+  rd::fill_rect(fb, -2, -2, 4, 4, rd::colors::kRed);
+  EXPECT_EQ(count_pixels(fb, rd::colors::kRed), 4u);  // 2x2 visible corner
+  rd::fill_rect(fb, 0, 0, 0, 5, rd::colors::kGreen);  // degenerate: no-op
+  EXPECT_EQ(count_pixels(fb, rd::colors::kGreen), 0u);
+}
+
+TEST(DrawTest, RectOutlinePerimeter) {
+  Framebuffer fb(10, 10);
+  rd::draw_rect(fb, 1, 1, 5, 4, rd::colors::kWhite);
+  // Perimeter of a 5x4 rect: 2*5 + 2*4 - 4 = 14 pixels.
+  EXPECT_EQ(count_pixels(fb, rd::colors::kWhite), 14u);
+}
+
+TEST(DrawTest, LineEndpointsAndDiagonal) {
+  Framebuffer fb(10, 10);
+  rd::draw_line(fb, 0, 0, 9, 9, rd::colors::kRed);
+  EXPECT_EQ(fb.at(0, 0), rd::colors::kRed);
+  EXPECT_EQ(fb.at(9, 9), rd::colors::kRed);
+  EXPECT_EQ(fb.at(5, 5), rd::colors::kRed);
+  EXPECT_EQ(count_pixels(fb, rd::colors::kRed), 10u);
+}
+
+TEST(DrawTest, HlineVlineInclusiveAndSwapped) {
+  Framebuffer fb(10, 10);
+  rd::draw_hline(fb, 7, 2, 3, rd::colors::kBlue);  // reversed endpoints
+  EXPECT_EQ(count_pixels(fb, rd::colors::kBlue), 6u);
+  rd::draw_vline(fb, 0, 8, 4, rd::colors::kGreen);
+  EXPECT_EQ(count_pixels(fb, rd::colors::kGreen), 5u);
+}
+
+TEST(FontTest, KnownGlyphsExist) {
+  for (char c : std::string("ABCXYZ0189-_.:()HSP26yal001c")) {
+    EXPECT_TRUE(rd::has_glyph(c)) << "missing glyph for " << c;
+  }
+  EXPECT_FALSE(rd::has_glyph('~'));
+}
+
+TEST(FontTest, TextWidthFormula) {
+  EXPECT_EQ(rd::text_width(""), 0);
+  EXPECT_EQ(rd::text_width("A"), 5);
+  EXPECT_EQ(rd::text_width("AB"), 11);
+}
+
+TEST(FontTest, DrawTextMarksPixels) {
+  Framebuffer fb(40, 10);
+  const long end = rd::draw_text(fb, 0, 0, "YAL", rd::colors::kWhite);
+  EXPECT_EQ(end, 18);  // 3 glyphs * 6 advance
+  EXPECT_GT(count_pixels(fb, rd::colors::kWhite), 20u);
+}
+
+TEST(FontTest, ScaledTextCoversScaledArea) {
+  Framebuffer fb1(20, 20), fb2(20, 20);
+  rd::draw_text(fb1, 0, 0, "I", rd::colors::kWhite, 1);
+  rd::draw_text(fb2, 0, 0, "I", rd::colors::kWhite, 2);
+  EXPECT_EQ(count_pixels(fb2, rd::colors::kWhite),
+            4 * count_pixels(fb1, rd::colors::kWhite));
+}
+
+TEST(ColormapTest, RedGreenEndpoints) {
+  const rd::ExpressionColormap map(rd::ColorScheme::kRedGreen, 2.0);
+  EXPECT_EQ(map.map(0.0f), rd::colors::kBlack);
+  EXPECT_EQ(map.map(2.0f), rd::colors::kRed);
+  EXPECT_EQ(map.map(5.0f), rd::colors::kRed);  // saturates
+  EXPECT_EQ(map.map(-2.0f), rd::colors::kGreen);
+  EXPECT_EQ(map.map(fv::stats::missing_value()), rd::colors::kMissing);
+}
+
+TEST(ColormapTest, IntermediateValuesInterpolate) {
+  const rd::ExpressionColormap map(rd::ColorScheme::kRedGreen, 2.0);
+  const Rgb8 half = map.map(1.0f);
+  EXPECT_GT(half.r, 100);
+  EXPECT_LT(half.r, 160);
+  EXPECT_EQ(half.g, 0);
+}
+
+TEST(ColormapTest, ContrastAdjustsSaturationPoint) {
+  const rd::ExpressionColormap weak(rd::ColorScheme::kRedGreen, 4.0);
+  const rd::ExpressionColormap strong = weak.with_contrast(1.0);
+  EXPECT_LT(weak.map(1.0f).r, strong.map(1.0f).r);
+  EXPECT_EQ(strong.map(1.0f), rd::colors::kRed);
+}
+
+TEST(ColormapTest, GrayscaleMonotone) {
+  const rd::ExpressionColormap map(rd::ColorScheme::kGrayscale, 1.0);
+  EXPECT_LT(map.map(-1.0f).r, map.map(0.0f).r);
+  EXPECT_LT(map.map(0.0f).r, map.map(1.0f).r);
+}
+
+TEST(ColormapTest, InvalidContrastThrows) {
+  EXPECT_THROW(rd::ExpressionColormap(rd::ColorScheme::kRedGreen, 0.0),
+               fv::InvalidArgument);
+}
+
+fv::expr::ExpressionMatrix checker_matrix(std::size_t rows,
+                                          std::size_t cols) {
+  fv::expr::ExpressionMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.set(r, c, (r + c) % 2 == 0 ? 2.0f : -2.0f);
+    }
+  }
+  return m;
+}
+
+TEST(HeatmapTest, CellColorsMatchValues) {
+  const auto m = checker_matrix(3, 3);
+  const rd::ExpressionColormap map(rd::ColorScheme::kRedGreen, 2.0);
+  Framebuffer fb(30, 30);
+  const std::vector<std::size_t> order{0, 1, 2};
+  rd::render_heatmap(fb, m, order, map, 0, 0, 10, 10);
+  EXPECT_EQ(fb.at(5, 5), rd::colors::kRed);     // (0,0) = +2
+  EXPECT_EQ(fb.at(15, 5), rd::colors::kGreen);  // (0,1) = -2
+  EXPECT_EQ(fb.at(15, 15), rd::colors::kRed);   // (1,1) = +2
+}
+
+TEST(HeatmapTest, RowOrderPermutesRows) {
+  fv::expr::ExpressionMatrix m(2, 1);
+  m.set(0, 0, 2.0f);
+  m.set(1, 0, -2.0f);
+  const rd::ExpressionColormap map(rd::ColorScheme::kRedGreen, 2.0);
+  Framebuffer fb(4, 8);
+  const std::vector<std::size_t> order{1, 0};
+  rd::render_heatmap(fb, m, order, map, 0, 0, 4, 4);
+  EXPECT_EQ(fb.at(1, 1), rd::colors::kGreen);  // row 1 drawn first
+  EXPECT_EQ(fb.at(1, 5), rd::colors::kRed);
+}
+
+TEST(HeatmapTest, MissingCellsUseMissingColor) {
+  fv::expr::ExpressionMatrix m(1, 1);
+  const rd::ExpressionColormap map;
+  Framebuffer fb(4, 4);
+  const std::vector<std::size_t> order{0};
+  rd::render_heatmap(fb, m, order, map, 0, 0, 4, 4);
+  EXPECT_EQ(fb.at(2, 2), rd::colors::kMissing);
+}
+
+TEST(HeatmapTest, BadRowOrderThrows) {
+  const auto m = checker_matrix(2, 2);
+  const rd::ExpressionColormap map;
+  Framebuffer fb(10, 10);
+  const std::vector<std::size_t> order{5};
+  EXPECT_THROW(rd::render_heatmap(fb, m, order, map, 0, 0, 2, 2),
+               fv::InvalidArgument);
+}
+
+TEST(GlobalViewTest, DownsamplesWithAveraging) {
+  // Top half strongly positive, bottom half strongly negative: the global
+  // view strip must show red above, green below.
+  fv::expr::ExpressionMatrix m(20, 4);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      m.set(r, c, r < 10 ? 2.0f : -2.0f);
+    }
+  }
+  std::vector<std::size_t> order(20);
+  for (std::size_t i = 0; i < 20; ++i) order[i] = i;
+  const rd::ExpressionColormap map(rd::ColorScheme::kRedGreen, 2.0);
+  Framebuffer fb(10, 10);
+  rd::render_global_view(fb, m, order, map, 0, 0, 10, 10);
+  EXPECT_EQ(fb.at(5, 1), rd::colors::kRed);
+  EXPECT_EQ(fb.at(5, 8), rd::colors::kGreen);
+}
+
+TEST(GlobalViewTest, EmptyInputPaintsMissing) {
+  fv::expr::ExpressionMatrix m(0, 0);
+  const rd::ExpressionColormap map;
+  Framebuffer fb(5, 5);
+  rd::render_global_view(fb, m, {}, map, 0, 0, 5, 5);
+  EXPECT_EQ(count_pixels(fb, rd::colors::kMissing), 25u);
+}
+
+TEST(DendrogramTest, DrawsConnectedTree) {
+  fv::expr::HierTree tree(3);
+  const int a = tree.add_node(0, 1, 0.9);
+  tree.add_node(a, 2, 0.2);
+  Framebuffer fb(40, 30);
+  rd::draw_gene_dendrogram(fb, tree, 0, 0, 40, 10, rd::colors::kWhite);
+  // Some pixels must be drawn, and leaf rows must each touch the right edge
+  // region (leaves sit at depth 0 = right edge).
+  EXPECT_GT(count_pixels(fb, rd::colors::kWhite), 20u);
+  EXPECT_EQ(fb.at(39, 5), rd::colors::kWhite);   // leaf 0 (display slot 0)
+  EXPECT_EQ(fb.at(39, 15), rd::colors::kWhite);  // leaf 1
+  EXPECT_EQ(fb.at(39, 25), rd::colors::kWhite);  // leaf 2
+}
+
+TEST(DendrogramTest, ArrayVariantDraws) {
+  fv::expr::HierTree tree(4);
+  const int a = tree.add_node(0, 1, 0.8);
+  const int b = tree.add_node(2, 3, 0.7);
+  tree.add_node(a, b, 0.1);
+  Framebuffer fb(40, 20);
+  rd::draw_array_dendrogram(fb, tree, 0, 0, 20, 10, rd::colors::kWhite);
+  EXPECT_GT(count_pixels(fb, rd::colors::kWhite), 20u);
+  EXPECT_EQ(fb.at(5, 19), rd::colors::kWhite);  // leaf 0 at bottom edge
+}
+
+TEST(DendrogramTest, TooSmallAreaThrows) {
+  fv::expr::HierTree tree(2);
+  tree.add_node(0, 1, 0.5);
+  Framebuffer fb(10, 10);
+  EXPECT_THROW(
+      rd::draw_gene_dendrogram(fb, tree, 0, 0, 1, 1, rd::colors::kWhite),
+      fv::InvalidArgument);
+}
+
+}  // namespace

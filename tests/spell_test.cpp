@@ -1,0 +1,264 @@
+// Tests for the SPELL search: dataset weighting, gene ranking against the
+// planted ground truth, baseline comparison and retrieval metrics.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "expr/synth.hpp"
+#include "spell/eval.hpp"
+#include "spell/spell.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+namespace ex = fv::expr;
+namespace sp = fv::spell;
+
+/// Compendium with informative stress/nutrient data, one knockout panel and
+/// one pure-noise dataset; 500-gene genome.
+ex::Compendium test_compendium(std::size_t genes = 500) {
+  ex::CompendiumSpec spec;
+  spec.genome = ex::GenomeSpec::yeast_like(genes);
+  spec.stress_datasets = 2;
+  spec.nutrient_datasets = 1;
+  spec.knockout_datasets = 1;
+  spec.noise_datasets = 1;
+  spec.measured_fraction = 0.95;
+  spec.seed = 77;
+  return ex::make_compendium(spec);
+}
+
+std::vector<std::string> module_names_of(const ex::Compendium& compendium,
+                                         const std::string& module,
+                                         std::size_t count) {
+  std::vector<std::string> names;
+  for (const std::size_t g : compendium.genome.module_members(module)) {
+    names.push_back(compendium.genome.gene(g).systematic_name);
+    if (names.size() == count) break;
+  }
+  return names;
+}
+
+TEST(SpellTest, RejectsDegenerateInputs) {
+  const auto compendium = test_compendium(200);
+  const sp::SpellSearch search(compendium.datasets);
+  EXPECT_THROW(search.search({}), fv::InvalidArgument);
+  EXPECT_THROW(search.search({"NOT_A_GENE"}), fv::InvalidArgument);
+  const std::vector<ex::Dataset> empty;
+  EXPECT_THROW(sp::SpellSearch s(empty), fv::InvalidArgument);
+}
+
+TEST(SpellTest, StressDatasetsOutrankNoiseForEsrQuery) {
+  const auto compendium = test_compendium();
+  const sp::SpellSearch search(compendium.datasets);
+  const auto query = module_names_of(compendium, "ESR_UP", 6);
+  const auto result = search.search(query);
+
+  // Find positions of dataset types in the ranking.
+  std::size_t noise_position = 0, best_stress_position = 99;
+  for (std::size_t i = 0; i < result.dataset_ranking.size(); ++i) {
+    const auto& name =
+        compendium.datasets[result.dataset_ranking[i].dataset_index].name();
+    if (name.rfind("noise", 0) == 0) noise_position = i;
+    if (name.rfind("stress", 0) == 0) {
+      best_stress_position = std::min(best_stress_position, i);
+    }
+  }
+  EXPECT_LT(best_stress_position, noise_position);
+  // Stress datasets carry real positive weight; noise nearly none.
+  EXPECT_GT(result.dataset_ranking[best_stress_position].weight, 0.3);
+}
+
+TEST(SpellTest, RetrievesHeldOutModuleMembers) {
+  const auto compendium = test_compendium();
+  const sp::SpellSearch search(compendium.datasets);
+  // Query with 6 ESR genes; the remaining members are the held-out truth.
+  const auto all_members = compendium.genome.module_members("ESR_UP");
+  const auto query = module_names_of(compendium, "ESR_UP", 6);
+  std::unordered_set<std::string> held_out;
+  for (const std::size_t g : all_members) {
+    const std::string& name = compendium.genome.gene(g).systematic_name;
+    if (std::find(query.begin(), query.end(), name) == query.end()) {
+      held_out.insert(name);
+    }
+  }
+  sp::SpellOptions options;
+  options.exclude_query_from_ranking = true;
+  const auto result = search.search(query, options);
+  ASSERT_GE(result.gene_ranking.size(), 10u);
+  const double p10 = sp::precision_at_k(result.gene_ranking, held_out, 10);
+  EXPECT_GT(p10, 0.5) << "SPELL should retrieve held-out ESR genes";
+}
+
+TEST(SpellTest, BeatsTextMatchBaseline) {
+  const auto compendium = test_compendium();
+  const sp::SpellSearch search(compendium.datasets);
+  const auto query = module_names_of(compendium, "RP", 5);
+  std::unordered_set<std::string> relevant;
+  for (const std::size_t g : compendium.genome.module_members("RP")) {
+    relevant.insert(compendium.genome.gene(g).systematic_name);
+  }
+  sp::SpellOptions options;
+  options.exclude_query_from_ranking = false;
+  const auto spell_result = search.search(query, options);
+  const auto baseline = sp::text_match_baseline(compendium.datasets, query);
+  const double spell_ap =
+      sp::average_precision(spell_result.gene_ranking, relevant);
+  const double baseline_ap =
+      sp::average_precision(baseline.gene_ranking, relevant);
+  // Note: our synthetic annotations make text match artificially strong
+  // (module members share description text); SPELL must at least match it
+  // and must far exceed chance.
+  EXPECT_GT(spell_ap, 0.5);
+  EXPECT_GT(spell_ap + 0.05, baseline_ap * 0.5);
+}
+
+TEST(SpellTest, QueryGenesRankTopWhenIncluded) {
+  const auto compendium = test_compendium();
+  const sp::SpellSearch search(compendium.datasets);
+  const auto query = module_names_of(compendium, "ESR_UP", 6);
+  const auto result = search.search(query);
+  std::unordered_set<std::string> query_set(query.begin(), query.end());
+  std::size_t found_in_top20 = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(20, result.gene_ranking.size());
+       ++i) {
+    if (query_set.count(result.gene_ranking[i].gene) > 0) ++found_in_top20;
+  }
+  EXPECT_GE(found_in_top20, 4u);
+}
+
+TEST(SpellTest, ExcludeQueryOptionRemovesQueryGenes) {
+  const auto compendium = test_compendium(300);
+  const sp::SpellSearch search(compendium.datasets);
+  const auto query = module_names_of(compendium, "ESR_UP", 5);
+  sp::SpellOptions options;
+  options.exclude_query_from_ranking = true;
+  const auto result = search.search(query, options);
+  std::unordered_set<std::string> query_set(query.begin(), query.end());
+  for (const auto& gene : result.gene_ranking) {
+    EXPECT_EQ(query_set.count(gene.gene), 0u);
+  }
+}
+
+TEST(SpellTest, MinSupportFilters) {
+  const auto compendium = test_compendium(300);
+  const sp::SpellSearch search(compendium.datasets);
+  const auto query = module_names_of(compendium, "ESR_UP", 5);
+  sp::SpellOptions options;
+  options.min_dataset_support = 100;  // impossible
+  const auto result = search.search(query, options);
+  EXPECT_TRUE(result.gene_ranking.empty());
+}
+
+TEST(SpellTest, DeterministicAcrossRuns) {
+  const auto compendium = test_compendium(300);
+  const sp::SpellSearch search(compendium.datasets);
+  const auto query = module_names_of(compendium, "RP", 5);
+  const auto a = search.search(query);
+  const auto b = search.search(query);
+  ASSERT_EQ(a.gene_ranking.size(), b.gene_ranking.size());
+  for (std::size_t i = 0; i < a.gene_ranking.size(); ++i) {
+    EXPECT_EQ(a.gene_ranking[i].gene, b.gene_ranking[i].gene);
+    EXPECT_DOUBLE_EQ(a.gene_ranking[i].score, b.gene_ranking[i].score);
+  }
+}
+
+TEST(EvalTest, PrecisionRecallHandComputed) {
+  std::vector<sp::GeneScore> ranking{{"a", 5, 1}, {"b", 4, 1}, {"c", 3, 1},
+                                     {"d", 2, 1}, {"e", 1, 1}};
+  const std::unordered_set<std::string> relevant{"a", "c", "z"};
+  EXPECT_DOUBLE_EQ(sp::precision_at_k(ranking, relevant, 1), 1.0);
+  EXPECT_DOUBLE_EQ(sp::precision_at_k(ranking, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(sp::precision_at_k(ranking, relevant, 4), 0.5);
+  EXPECT_DOUBLE_EQ(sp::recall_at_k(ranking, relevant, 5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(sp::precision_at_k(ranking, relevant, 100), 0.4);
+  EXPECT_DOUBLE_EQ(sp::precision_at_k({}, relevant, 5), 0.0);
+}
+
+TEST(EvalTest, AveragePrecisionHandComputed) {
+  std::vector<sp::GeneScore> ranking{{"a", 5, 1}, {"b", 4, 1}, {"c", 3, 1}};
+  const std::unordered_set<std::string> relevant{"a", "c"};
+  // Hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(sp::average_precision(ranking, relevant), (1.0 + 2.0 / 3.0) / 2,
+              1e-12);
+  EXPECT_DOUBLE_EQ(sp::average_precision(ranking, {}), 0.0);
+}
+
+// Property sweep: SPELL precision@10 on held-out module members stays high
+// across different query modules.
+class SpellModulePropertyTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SpellModulePropertyTest, HeldOutPrecisionAboveChance) {
+  const auto compendium = test_compendium();
+  const sp::SpellSearch search(compendium.datasets);
+  const std::string module = GetParam();
+  const auto members = compendium.genome.module_members(module);
+  ASSERT_GE(members.size(), 8u);
+  const auto query = module_names_of(compendium, module, 5);
+  std::unordered_set<std::string> held_out;
+  for (const std::size_t g : members) {
+    const std::string& name = compendium.genome.gene(g).systematic_name;
+    if (std::find(query.begin(), query.end(), name) == query.end()) {
+      held_out.insert(name);
+    }
+  }
+  sp::SpellOptions options;
+  options.exclude_query_from_ranking = true;
+  const auto result = search.search(query, options);
+  const double chance = static_cast<double>(held_out.size()) /
+                        static_cast<double>(compendium.genome.gene_count());
+  EXPECT_GT(sp::precision_at_k(result.gene_ranking, held_out, 10),
+            5 * chance)
+      << "module " << module;
+}
+
+INSTANTIATE_TEST_SUITE_P(Modules, SpellModulePropertyTest,
+                         ::testing::Values("ESR_UP", "RP", "RIBI"));
+
+
+TEST(IterativeSearchTest, QueryGrowsAndStaysInModule) {
+  const auto compendium = test_compendium();
+  const sp::SpellSearch search(compendium.datasets);
+  const auto seed = module_names_of(compendium, "ESR_UP", 3);
+  sp::SpellOptions options;
+  options.exclude_query_from_ranking = true;
+  const auto iterative = sp::iterative_search(search, seed, 3, 5, options);
+  EXPECT_EQ(iterative.rounds_run, 3u);
+  EXPECT_EQ(iterative.expanded_query.size(), seed.size() + 2 * 5);
+  // Adopted genes should overwhelmingly come from the same planted module.
+  std::unordered_set<std::string> members;
+  for (const std::size_t g : compendium.genome.module_members("ESR_UP")) {
+    members.insert(compendium.genome.gene(g).systematic_name);
+  }
+  std::size_t in_module = 0;
+  for (std::size_t i = seed.size(); i < iterative.expanded_query.size();
+       ++i) {
+    if (members.count(iterative.expanded_query[i]) > 0) ++in_module;
+  }
+  EXPECT_GE(in_module, 8u) << "at least 8 of 10 adopted genes in-module";
+}
+
+TEST(IterativeSearchTest, SingleRoundEqualsPlainSearch) {
+  const auto compendium = test_compendium(300);
+  const sp::SpellSearch search(compendium.datasets);
+  const auto seed = module_names_of(compendium, "RP", 4);
+  const auto iterative = sp::iterative_search(search, seed, 1, 5);
+  const auto plain = search.search(seed);
+  ASSERT_EQ(iterative.final_result.gene_ranking.size(),
+            plain.gene_ranking.size());
+  for (std::size_t i = 0; i < plain.gene_ranking.size(); ++i) {
+    EXPECT_EQ(iterative.final_result.gene_ranking[i].gene,
+              plain.gene_ranking[i].gene);
+  }
+  EXPECT_EQ(iterative.expanded_query, seed);
+}
+
+TEST(IterativeSearchTest, ZeroRoundsRejected) {
+  const auto compendium = test_compendium(300);
+  const sp::SpellSearch search(compendium.datasets);
+  EXPECT_THROW(sp::iterative_search(search, {"YAL001C"}, 0, 5),
+               fv::InvalidArgument);
+}
+
+}  // namespace

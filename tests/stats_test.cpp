@@ -1,0 +1,296 @@
+// Unit and property tests for the stats module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/multiple_testing.hpp"
+#include "stats/ranking.hpp"
+#include "stats/special.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace st = fv::stats;
+
+const float kMissing = st::missing_value();
+
+TEST(DescriptiveTest, MomentsMatchHandComputation) {
+  const std::vector<float> v{2.0f, 4.0f, 4.0f, 4.0f, 5.0f, 5.0f, 7.0f, 9.0f};
+  const auto m = st::moments(v);
+  EXPECT_EQ(m.count, 8u);
+  EXPECT_NEAR(m.mean, 5.0, 1e-12);
+  EXPECT_NEAR(m.variance, 32.0 / 7.0, 1e-9);
+}
+
+TEST(DescriptiveTest, MomentsSkipMissing) {
+  const std::vector<float> v{1.0f, kMissing, 3.0f};
+  const auto m = st::moments(v);
+  EXPECT_EQ(m.count, 2u);
+  EXPECT_NEAR(m.mean, 2.0, 1e-12);
+}
+
+TEST(DescriptiveTest, AllMissingGivesNanMean) {
+  const std::vector<float> v{kMissing, kMissing};
+  EXPECT_TRUE(std::isnan(st::mean(v)));
+  EXPECT_EQ(st::present_count(v), 0u);
+}
+
+TEST(DescriptiveTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(st::median(std::vector<float>{3.0f, 1.0f, 2.0f}), 2.0);
+  EXPECT_DOUBLE_EQ(st::median(std::vector<float>{4.0f, 1.0f, 2.0f, 3.0f}),
+                   2.5);
+}
+
+TEST(DescriptiveTest, MedianIgnoresMissing) {
+  EXPECT_DOUBLE_EQ(st::median(std::vector<float>{kMissing, 5.0f, 1.0f}), 3.0);
+}
+
+TEST(DescriptiveTest, MinMaxPresent) {
+  const std::vector<float> v{kMissing, -2.0f, 7.0f};
+  EXPECT_DOUBLE_EQ(st::min_present(v), -2.0);
+  EXPECT_DOUBLE_EQ(st::max_present(v), 7.0);
+}
+
+TEST(CorrelationTest, PerfectPositiveAndNegative) {
+  const std::vector<float> a{1, 2, 3, 4, 5};
+  const std::vector<float> b{2, 4, 6, 8, 10};
+  std::vector<float> c{5, 4, 3, 2, 1};
+  EXPECT_NEAR(st::pearson(a, b), 1.0, 1e-9);
+  EXPECT_NEAR(st::pearson(a, c), -1.0, 1e-9);
+}
+
+TEST(CorrelationTest, ConstantProfileGivesZero) {
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> flat{3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(st::pearson(a, flat), 0.0);
+}
+
+TEST(CorrelationTest, TooFewCompletePairsGivesZero) {
+  const std::vector<float> a{1, kMissing, 3, kMissing};
+  const std::vector<float> b{2, 4, kMissing, 8};
+  EXPECT_DOUBLE_EQ(st::pearson(a, b), 0.0);  // only one complete pair
+}
+
+TEST(CorrelationTest, PairwiseCompleteIgnoresMissing) {
+  // Complete pairs (a,b): (1,2) (2,4) (3,6) (5,10) -> perfectly correlated.
+  const std::vector<float> a{1, 2, 3, kMissing, 5};
+  const std::vector<float> b{2, 4, 6, 100, 10};
+  EXPECT_NEAR(st::pearson(a, b), 1.0, 1e-9);
+}
+
+TEST(CorrelationTest, MismatchedLengthsThrow) {
+  const std::vector<float> a{1, 2, 3};
+  const std::vector<float> b{1, 2};
+  EXPECT_THROW(st::pearson(a, b), fv::InvalidArgument);
+}
+
+TEST(CorrelationTest, UncenteredDiffersFromCenteredForOffsetData) {
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{101, 102, 103, 104};
+  EXPECT_NEAR(st::pearson(a, b), 1.0, 1e-9);
+  EXPECT_LT(st::uncentered_pearson(a, b), 1.0);
+  EXPECT_GT(st::uncentered_pearson(a, b), 0.0);
+}
+
+TEST(CorrelationTest, SpearmanIsInvariantToMonotoneTransform) {
+  fv::Rng rng(8);
+  std::vector<float> a(40), b(40);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.normal());
+    b[i] = std::exp(3.0f * a[i]);  // monotone function of a
+  }
+  EXPECT_NEAR(st::spearman(a, b), 1.0, 1e-9);
+}
+
+TEST(CorrelationTest, ZNormalizeGivesZeroMeanUnitVariance) {
+  std::vector<float> v{1, 2, 3, 4, 5, 6};
+  const std::size_t n = st::z_normalize(v);
+  EXPECT_EQ(n, 6u);
+  const auto m = st::moments(v);
+  EXPECT_NEAR(m.mean, 0.0, 1e-6);
+  EXPECT_NEAR(m.variance, 1.0, 1e-5);
+}
+
+TEST(CorrelationTest, ZNormalizeConstantBecomesZero) {
+  std::vector<float> v{4, 4, 4};
+  st::z_normalize(v);
+  for (float x : v) EXPECT_FLOAT_EQ(x, 0.0f);
+}
+
+TEST(CorrelationTest, ZdotMatchesPearsonOnCompleteData) {
+  fv::Rng rng(12);
+  std::vector<float> a(50), b(50);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.normal());
+    b[i] = static_cast<float>(0.7 * a[i] + 0.3 * rng.normal());
+  }
+  const auto pa = st::ZProfile::from(a);
+  const auto pb = st::ZProfile::from(b);
+  EXPECT_NEAR(st::zdot(pa, pb), st::pearson(a, b), 1e-6);
+}
+
+// Property sweep: correlation symmetry, bounds and affine invariance on
+// random vectors of several lengths.
+class CorrelationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorrelationPropertyTest, SymmetricBoundedAffineInvariant) {
+  fv::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 5 + static_cast<std::size_t>(GetParam()) % 60;
+  std::vector<float> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(rng.normal());
+    b[i] = static_cast<float>(rng.normal());
+  }
+  const double r_ab = st::pearson(a, b);
+  const double r_ba = st::pearson(b, a);
+  EXPECT_NEAR(r_ab, r_ba, 1e-12);
+  EXPECT_GE(r_ab, -1.0);
+  EXPECT_LE(r_ab, 1.0);
+  // Positive affine transform of one side leaves Pearson unchanged.
+  std::vector<float> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = 2.5f * a[i] + 7.0f;
+  EXPECT_NEAR(st::pearson(scaled, b), r_ab, 1e-5);
+  // Self-correlation of a non-constant vector is 1.
+  EXPECT_NEAR(st::pearson(a, a), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, CorrelationPropertyTest,
+                         ::testing::Range(1, 25));
+
+TEST(RankingTest, ArgsortAscendingStable) {
+  const std::vector<float> v{3.0f, 1.0f, 2.0f, 1.0f};
+  const auto order = st::argsort(v);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);  // first 1.0 (stable)
+  EXPECT_EQ(order[1], 3u);  // second 1.0
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(RankingTest, MidranksAverageTies) {
+  const std::vector<float> v{10.0f, 20.0f, 20.0f, 30.0f};
+  const auto ranks = st::midranks(v);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(SpecialTest, LogGammaMatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(st::log_gamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(st::log_gamma(5.0), std::log(24.0), 1e-9);
+  EXPECT_NEAR(st::log_gamma(11.0), std::log(3628800.0), 1e-8);
+}
+
+TEST(SpecialTest, LogGammaHalfInteger) {
+  EXPECT_NEAR(st::log_gamma(0.5), std::log(std::sqrt(M_PI)), 1e-9);
+}
+
+TEST(SpecialTest, LogChooseMatchesSmallCases) {
+  EXPECT_NEAR(st::log_choose(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(st::log_choose(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(st::log_choose(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(st::log_choose(52, 5), std::log(2598960.0), 1e-7);
+}
+
+TEST(SpecialTest, HypergeometricPmfMatchesHandCase) {
+  // Urn: N=10, K=4 annotated; draw n=3. P[X=2] = C(4,2)C(6,1)/C(10,3) = 36/120.
+  EXPECT_NEAR(st::hypergeometric_pmf(2, 10, 4, 3), 0.3, 1e-12);
+}
+
+TEST(SpecialTest, HypergeometricPmfSumsToOne) {
+  double total = 0.0;
+  for (std::uint64_t k = 0; k <= 5; ++k) {
+    total += st::hypergeometric_pmf(k, 20, 5, 8);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(SpecialTest, UpperAndLowerTailsAreComplementary) {
+  // P[X >= k] + P[X <= k-1] = 1.
+  const double upper = st::hypergeometric_upper_tail(3, 30, 10, 12);
+  const double lower = st::hypergeometric_lower_tail(2, 30, 10, 12);
+  EXPECT_NEAR(upper + lower, 1.0, 1e-10);
+}
+
+TEST(SpecialTest, UpperTailAtZeroIsOne) {
+  EXPECT_DOUBLE_EQ(st::hypergeometric_upper_tail(0, 100, 10, 5), 1.0);
+}
+
+TEST(SpecialTest, UpperTailBeyondSupportIsZero) {
+  EXPECT_DOUBLE_EQ(st::hypergeometric_upper_tail(6, 100, 5, 10), 0.0);
+}
+
+TEST(SpecialTest, FisherEnrichmentMatchesHypergeometric) {
+  const double fisher = st::fisher_exact_enrichment(4, 10, 20, 100);
+  const double hyper = st::hypergeometric_upper_tail(4, 100, 20, 10);
+  EXPECT_DOUBLE_EQ(fisher, hyper);
+}
+
+TEST(SpecialTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(st::hypergeometric_pmf(0, 10, 11, 5), fv::InvalidArgument);
+  EXPECT_THROW(st::hypergeometric_pmf(0, 10, 5, 11), fv::InvalidArgument);
+  EXPECT_THROW(st::log_choose(3, 4), fv::InvalidArgument);
+  EXPECT_THROW(st::log_gamma(0.0), fv::InvalidArgument);
+}
+
+TEST(MultipleTestingTest, BonferroniScalesAndClamps) {
+  const std::vector<double> p{0.01, 0.2, 0.5};
+  const auto adjusted = st::bonferroni(p);
+  EXPECT_NEAR(adjusted[0], 0.03, 1e-12);
+  EXPECT_NEAR(adjusted[1], 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(adjusted[2], 1.0);
+}
+
+TEST(MultipleTestingTest, BenjaminiHochbergKnownExample) {
+  // Classic example: sorted p = .01, .02, .03, .04 with m = 4.
+  const std::vector<double> p{0.04, 0.01, 0.03, 0.02};
+  const auto q = st::benjamini_hochberg(p);
+  EXPECT_NEAR(q[1], 0.04, 1e-12);  // 0.01 * 4 / 1
+  EXPECT_NEAR(q[3], 0.04, 1e-12);  // 0.02 * 4 / 2
+  EXPECT_NEAR(q[2], 0.04, 1e-12);  // 0.03 * 4 / 3 = .04
+  EXPECT_NEAR(q[0], 0.04, 1e-12);  // 0.04 * 4 / 4
+}
+
+TEST(MultipleTestingTest, BhNeverBelowRawP) {
+  fv::Rng rng(31);
+  std::vector<double> p(50);
+  for (double& x : p) x = rng.uniform();
+  const auto q = st::benjamini_hochberg(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(q[i] + 1e-15, p[i]);
+    EXPECT_LE(q[i], 1.0);
+  }
+}
+
+TEST(MultipleTestingTest, BhPreservesOrderOfEvidence) {
+  fv::Rng rng(32);
+  std::vector<double> p(40);
+  for (double& x : p) x = rng.uniform();
+  const auto q = st::benjamini_hochberg(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      if (p[i] < p[j]) {
+        EXPECT_LE(q[i], q[j] + 1e-15);
+      }
+    }
+  }
+}
+
+TEST(MultipleTestingTest, EmptyInputsAreFine) {
+  EXPECT_TRUE(st::bonferroni({}).empty());
+  EXPECT_TRUE(st::benjamini_hochberg({}).empty());
+}
+
+TEST(MultipleTestingTest, OutOfRangePValuesThrow) {
+  const std::vector<double> bad{0.5, 1.5};
+  EXPECT_THROW(st::bonferroni(bad), fv::InvalidArgument);
+  EXPECT_THROW(st::benjamini_hochberg(bad), fv::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,295 @@
+// Tests for the synthetic compendium generator: determinism, planted module
+// structure, and the cross-dataset signals the paper's studies rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/synth.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+namespace ex = fv::expr;
+namespace st = fv::stats;
+
+ex::SynthGenome test_genome(std::size_t genes = 600) {
+  return ex::make_genome(ex::GenomeSpec::yeast_like(genes), 7);
+}
+
+TEST(SynthGenomeTest, GeneNamesAreUniqueAndWellFormed) {
+  const auto genome = test_genome();
+  std::set<std::string> names;
+  for (const auto& gene : genome.genes()) {
+    EXPECT_EQ(gene.systematic_name.front(), 'Y');
+    EXPECT_EQ(gene.systematic_name.size(), 7u);
+    names.insert(gene.systematic_name);
+  }
+  EXPECT_EQ(names.size(), genome.gene_count());
+}
+
+TEST(SynthGenomeTest, ModuleSizesMatchFractions) {
+  const auto genome = test_genome(1000);
+  const auto esr = genome.module_members("ESR_UP");
+  EXPECT_NEAR(static_cast<double>(esr.size()), 50.0, 1.0);  // 5% of 1000
+  const auto rp = genome.module_members("RP");
+  EXPECT_NEAR(static_cast<double>(rp.size()), 40.0, 1.0);
+}
+
+TEST(SynthGenomeTest, ModuleMembersCarryPrefixAndDescription) {
+  const auto genome = test_genome();
+  const auto rp = genome.module_members("RP");
+  ASSERT_FALSE(rp.empty());
+  for (std::size_t g : rp) {
+    EXPECT_EQ(genome.gene(g).common_name.rfind("RPL", 0), 0u);
+    EXPECT_NE(genome.gene(g).description.find("ribosomal"),
+              std::string::npos);
+  }
+}
+
+TEST(SynthGenomeTest, DeterministicForSameSeed) {
+  const auto a = ex::make_genome(ex::GenomeSpec::yeast_like(300), 5);
+  const auto b = ex::make_genome(ex::GenomeSpec::yeast_like(300), 5);
+  for (std::size_t g = 0; g < a.gene_count(); ++g) {
+    EXPECT_EQ(a.gene(g).common_name, b.gene(g).common_name);
+    EXPECT_EQ(a.module_of(g), b.module_of(g));
+    EXPECT_DOUBLE_EQ(a.amplitude(g), b.amplitude(g));
+  }
+}
+
+TEST(SynthGenomeTest, UnknownModuleLookupsAreEmpty) {
+  const auto genome = test_genome();
+  EXPECT_FALSE(genome.module_index("NOPE").has_value());
+  EXPECT_TRUE(genome.module_members("NOPE").empty());
+}
+
+TEST(SynthGenomeTest, OversubscribedModulesRejected) {
+  ex::GenomeSpec spec = ex::GenomeSpec::yeast_like(100);
+  spec.modules.push_back({"HUGE", 0.9, "X", "too big", 1.0});
+  EXPECT_THROW(ex::make_genome(spec, 1), fv::InvalidArgument);
+}
+
+TEST(StressDatasetTest, ShapeAndNames) {
+  const auto genome = test_genome();
+  ex::StressDatasetSpec spec;
+  spec.time_points = 5;
+  const auto ds = ex::make_stress_dataset(genome, spec, 11);
+  EXPECT_EQ(ds.condition_count(), spec.stresses.size() * 5);
+  EXPECT_EQ(ds.gene_count(), genome.gene_count());
+  EXPECT_EQ(ds.condition(0).rfind("heat_", 0), 0u);
+}
+
+TEST(StressDatasetTest, EsrGenesRiseRpGenesFall) {
+  const auto genome = test_genome(800);
+  ex::StressDatasetSpec spec;
+  spec.noise_sd = 0.1;
+  spec.missing_rate = 0.0;
+  const auto ds = ex::make_stress_dataset(genome, spec, 13);
+  // Late heat time point: strong ESR induction, RP repression.
+  const std::size_t late = spec.time_points - 1;
+  double esr_mean = 0.0, rp_mean = 0.0;
+  const auto esr = genome.module_members("ESR_UP");
+  const auto rp = genome.module_members("RP");
+  for (std::size_t g : esr) {
+    esr_mean += ds.values().at(*ds.row_of(genome.gene(g).systematic_name),
+                               late);
+  }
+  for (std::size_t g : rp) {
+    rp_mean += ds.values().at(*ds.row_of(genome.gene(g).systematic_name),
+                              late);
+  }
+  esr_mean /= static_cast<double>(esr.size());
+  rp_mean /= static_cast<double>(rp.size());
+  EXPECT_GT(esr_mean, 1.0);
+  EXPECT_LT(rp_mean, -1.0);
+}
+
+TEST(StressDatasetTest, ModuleGenesAreMutuallyCorrelated) {
+  const auto genome = test_genome(800);
+  ex::StressDatasetSpec spec;
+  spec.noise_sd = 0.25;
+  const auto ds = ex::make_stress_dataset(genome, spec, 17);
+  const auto esr = genome.module_members("ESR_UP");
+  ASSERT_GE(esr.size(), 4u);
+  double total = 0.0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      const auto ri = ds.row_of(genome.gene(esr[i]).systematic_name);
+      const auto rj = ds.row_of(genome.gene(esr[j]).systematic_name);
+      total += st::pearson(ds.profile(*ri), ds.profile(*rj));
+      ++pairs;
+    }
+  }
+  EXPECT_GT(total / pairs, 0.6);
+}
+
+TEST(StressDatasetTest, HeatSpecificModuleRespondsMostToHeat) {
+  const auto genome = test_genome(800);
+  ex::StressDatasetSpec spec;
+  spec.noise_sd = 0.05;
+  spec.missing_rate = 0.0;
+  const auto ds = ex::make_stress_dataset(genome, spec, 19);
+  const auto hsp = genome.module_members("HSP");
+  ASSERT_FALSE(hsp.empty());
+  const std::size_t points = spec.time_points;
+  double heat_mean = 0.0, osmotic_mean = 0.0;
+  for (std::size_t g : hsp) {
+    const auto row = *ds.row_of(genome.gene(g).systematic_name);
+    heat_mean += ds.values().at(row, points - 1);          // heat, late
+    osmotic_mean += ds.values().at(row, 3 * points - 1);   // osmotic, late
+  }
+  EXPECT_GT(heat_mean, 3.0 * std::max(osmotic_mean, 1e-9));
+}
+
+TEST(StressDatasetTest, MissingRateApproximatelyRespected) {
+  const auto genome = test_genome(400);
+  ex::StressDatasetSpec spec;
+  spec.missing_rate = 0.10;
+  const auto ds = ex::make_stress_dataset(genome, spec, 23);
+  EXPECT_NEAR(ds.values().missing_fraction(), 0.10, 0.02);
+}
+
+TEST(StressDatasetTest, MeasuredFractionSubsamplesRows) {
+  const auto genome = test_genome(500);
+  ex::StressDatasetSpec spec;
+  spec.measured_fraction = 0.6;
+  const auto ds = ex::make_stress_dataset(genome, spec, 29);
+  EXPECT_EQ(ds.gene_count(), 300u);
+}
+
+TEST(NutrientDatasetTest, SlowGrowthCarriesStressSignature) {
+  const auto genome = test_genome(800);
+  ex::NutrientDatasetSpec spec;
+  spec.noise_sd = 0.1;
+  spec.missing_rate = 0.0;
+  const auto ds = ex::make_nutrient_dataset(genome, spec, 31);
+  // Column 0 is the slowest growth rate for the first nutrient; the last
+  // rate column of that nutrient is fastest.
+  const auto esr = genome.module_members("ESR_UP");
+  double slow_mean = 0.0, fast_mean = 0.0;
+  for (std::size_t g : esr) {
+    const auto row = *ds.row_of(genome.gene(g).systematic_name);
+    slow_mean += ds.values().at(row, 0);
+    fast_mean += ds.values().at(row, spec.growth_rates.size() - 1);
+  }
+  slow_mean /= static_cast<double>(esr.size());
+  fast_mean /= static_cast<double>(esr.size());
+  EXPECT_GT(slow_mean, 0.8);
+  EXPECT_NEAR(fast_mean, 0.0, 0.3);
+}
+
+TEST(KnockoutDatasetTest, TruthArraysMatchConditions) {
+  const auto genome = test_genome(600);
+  ex::KnockoutDatasetSpec spec;
+  spec.knockouts = 60;
+  const auto result = ex::make_knockout_dataset(genome, spec, 37);
+  EXPECT_EQ(result.dataset.condition_count(), 60u);
+  EXPECT_EQ(result.truth.targeted_module.size(), 60u);
+  EXPECT_EQ(result.truth.slow_growth.size(), 60u);
+  // Regulator conditions carry module names in their labels.
+  for (std::size_t c = 0; c < 60; ++c) {
+    if (result.truth.targeted_module[c] >= 0) {
+      EXPECT_NE(result.dataset.condition(c).find("_reg"), std::string::npos);
+      EXPECT_NE(result.truth.regulation_sign[c], 0);
+    }
+  }
+}
+
+TEST(KnockoutDatasetTest, RegulatorKnockoutMovesItsModule) {
+  const auto genome = test_genome(600);
+  ex::KnockoutDatasetSpec spec;
+  spec.knockouts = 60;
+  spec.noise_sd = 0.1;
+  spec.slow_growth_fraction = 0.0;  // isolate the regulator effect
+  const auto result = ex::make_knockout_dataset(genome, spec, 41);
+  const auto& truth = result.truth;
+  for (std::size_t c = 0; c < 60; ++c) {
+    const int m = truth.targeted_module[c];
+    if (m < 0) continue;
+    const auto members =
+        genome.module_members(genome.module_names()[static_cast<std::size_t>(m)]);
+    double mean_response = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t g : members) {
+      const auto row =
+          result.dataset.row_of(genome.gene(g).systematic_name);
+      if (!row.has_value()) continue;
+      const float v = result.dataset.values().at(*row, c);
+      if (!st::is_missing(v)) {
+        mean_response += v;
+        ++counted;
+      }
+    }
+    ASSERT_GT(counted, 0u);
+    mean_response /= static_cast<double>(counted);
+    if (truth.regulation_sign[c] > 0) {
+      EXPECT_GT(mean_response, 0.5) << "condition " << c;
+    } else {
+      EXPECT_LT(mean_response, -0.5) << "condition " << c;
+    }
+  }
+}
+
+TEST(CompendiumTest, BuildsRequestedDatasets) {
+  ex::CompendiumSpec spec;
+  spec.genome = ex::GenomeSpec::yeast_like(400);
+  spec.stress_datasets = 2;
+  spec.nutrient_datasets = 1;
+  spec.knockout_datasets = 1;
+  spec.noise_datasets = 1;
+  const auto compendium = ex::make_compendium(spec);
+  EXPECT_EQ(compendium.datasets.size(), 5u);
+  EXPECT_EQ(compendium.knockout_truth.size(), 1u);
+  EXPECT_EQ(compendium.datasets[compendium.knockout_truth[0].first].name(),
+            "knockout_1");
+}
+
+TEST(CompendiumTest, DatasetsSubsampleAndShuffleGenes) {
+  ex::CompendiumSpec spec;
+  spec.genome = ex::GenomeSpec::yeast_like(400);
+  spec.measured_fraction = 0.8;
+  const auto compendium = ex::make_compendium(spec);
+  for (const auto& ds : compendium.datasets) {
+    EXPECT_EQ(ds.gene_count(), 320u);
+  }
+  // Gene orders should differ between datasets (shuffled subsets).
+  const auto& a = compendium.datasets[0];
+  const auto& b = compendium.datasets[1];
+  int same_position = 0;
+  const std::size_t n = std::min(a.gene_count(), b.gene_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.gene(i).systematic_name == b.gene(i).systematic_name) {
+      ++same_position;
+    }
+  }
+  EXPECT_LT(same_position, static_cast<int>(n / 4));
+}
+
+TEST(CompendiumTest, DeterministicForSeed) {
+  ex::CompendiumSpec spec;
+  spec.genome = ex::GenomeSpec::yeast_like(300);
+  spec.seed = 123;
+  const auto a = ex::make_compendium(spec);
+  const auto b = ex::make_compendium(spec);
+  ASSERT_EQ(a.datasets.size(), b.datasets.size());
+  for (std::size_t d = 0; d < a.datasets.size(); ++d) {
+    ASSERT_EQ(a.datasets[d].gene_count(), b.datasets[d].gene_count());
+    for (std::size_t r = 0; r < a.datasets[d].gene_count(); ++r) {
+      EXPECT_EQ(a.datasets[d].gene(r).systematic_name,
+                b.datasets[d].gene(r).systematic_name);
+    }
+    const auto va = a.datasets[d].values().data();
+    const auto vb = b.datasets[d].values().data();
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      if (st::is_missing(va[i])) {
+        EXPECT_TRUE(st::is_missing(vb[i]));
+      } else {
+        EXPECT_FLOAT_EQ(va[i], vb[i]);
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// Unit tests for the util module: RNG, strings, errors, file helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/table_io.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using fv::Rng;
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int agreements = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++agreements;
+  }
+  EXPECT_LT(agreements, 2);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 4.0);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 4.0);
+  }
+}
+
+TEST(RngTest, UniformU64CoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, UniformU64RejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_u64(0), fv::InvalidArgument);
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(99);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(3);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, SampleFullPopulationIsPermutation) {
+  Rng rng(3);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleRejectsOversizedRequest) {
+  Rng rng(3);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), fv::InvalidArgument);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(17);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(42);
+  Rng child = parent.split();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(42);
+  parent_copy.split();
+  EXPECT_NE(child.next_u64(), parent_copy.next_u64() == 0 ? 1 : 0);
+  SUCCEED();
+}
+
+TEST(StringTest, SplitKeepsEmptyFields) {
+  const auto fields = fv::str::split("a\t\tb\t", '\t');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringTest, SplitSingleField) {
+  const auto fields = fv::str::split("hello", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(StringTest, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(fv::str::trim("  x y \t\r\n"), "x y");
+  EXPECT_EQ(fv::str::trim(""), "");
+  EXPECT_EQ(fv::str::trim("   "), "");
+}
+
+TEST(StringTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(fv::str::to_lower("YAL001C"), "yal001c");
+}
+
+TEST(StringTest, JoinWithSeparator) {
+  EXPECT_EQ(fv::str::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(fv::str::join({}, ","), "");
+}
+
+TEST(StringTest, CaseInsensitiveEquality) {
+  EXPECT_TRUE(fv::str::iequals("Heat", "HEAT"));
+  EXPECT_FALSE(fv::str::iequals("Heat", "Heat "));
+}
+
+TEST(StringTest, CaseInsensitiveContains) {
+  EXPECT_TRUE(fv::str::icontains("ribosomal protein L3", "PROTEIN"));
+  EXPECT_FALSE(fv::str::icontains("ribosome", "protein"));
+  EXPECT_TRUE(fv::str::icontains("anything", ""));
+}
+
+TEST(StringTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*fv::str::parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*fv::str::parse_double(" -2e3 "), -2000.0);
+  EXPECT_FALSE(fv::str::parse_double("1.5x").has_value());
+  EXPECT_FALSE(fv::str::parse_double("").has_value());
+  EXPECT_FALSE(fv::str::parse_double("nanx").has_value());
+}
+
+TEST(StringTest, ParseIntStrict) {
+  EXPECT_EQ(*fv::str::parse_int("42"), 42);
+  EXPECT_EQ(*fv::str::parse_int("-7"), -7);
+  EXPECT_FALSE(fv::str::parse_int("4.2").has_value());
+  EXPECT_FALSE(fv::str::parse_int("").has_value());
+}
+
+TEST(ErrorTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(FV_REQUIRE(false, "boom"), fv::InvalidArgument);
+  EXPECT_NO_THROW(FV_REQUIRE(true, "fine"));
+}
+
+TEST(ErrorTest, AssertThrowsLogicError) {
+  EXPECT_THROW(FV_ASSERT(false, "bug"), fv::LogicError);
+}
+
+TEST(ErrorTest, ParseErrorCarriesLine) {
+  const fv::ParseError e("bad token", 17);
+  EXPECT_EQ(e.line(), 17u);
+  EXPECT_NE(std::string(e.what()).find("17"), std::string::npos);
+}
+
+class TableIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "fv_table_io_test.txt")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(TableIoTest, RoundTripLines) {
+  fv::write_text_file(path_, "alpha\nbeta\r\ngamma\n");
+  const auto lines = fv::read_lines(path_);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "alpha");
+  EXPECT_EQ(lines[1], "beta");
+  EXPECT_EQ(lines[2], "gamma");
+}
+
+TEST_F(TableIoTest, MissingFileThrowsIoError) {
+  EXPECT_THROW(fv::read_text_file("/nonexistent/fv/file.txt"), fv::IoError);
+}
+
+TEST(TimerTest, MeasuresNonNegativeTime) {
+  fv::Timer timer;
+  EXPECT_GE(timer.seconds(), 0.0);
+  timer.reset();
+  EXPECT_GE(timer.millis(), 0.0);
+}
+
+}  // namespace
