@@ -13,14 +13,17 @@
 #include <cstdio>
 #include <map>
 
+#include "cluster/distance.hpp"
 #include "core/merged.hpp"
 #include "expr/synth.hpp"
+#include "par/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 
 namespace {
 
 namespace ex = fv::expr;
 namespace co = fv::core;
+namespace cl = fv::cluster;
 
 /// Builds a compendium with approximately `measurements` total cells: fixed
 /// 2000-gene genome, 96-condition datasets, count derived from the target.
@@ -114,6 +117,94 @@ void BM_GeneQueryAtScale(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GeneQueryAtScale)->Arg(1 << 20)->Arg(1 << 23)->Arg(1 << 25);
+
+// --- Pairwise phase -------------------------------------------------------
+// Clustering, SPELL weighting and the merged sweep all bottom out in
+// all-pairs distances over one dataset's 2000 x 96 rows. These benches pin
+// a single-thread pool so they measure the kernel, not the core count.
+
+/// 2000 genes x 96 conditions. `missing` picks between the realistic
+/// profile (~2% missing cells, so most pairs take the masked path) and a
+/// dense one (pure fast path).
+const ex::ExpressionMatrix& pairwise_matrix(bool missing) {
+  static std::map<bool, ex::ExpressionMatrix> cache;
+  const auto it = cache.find(missing);
+  if (it != cache.end()) return it->second;
+  const auto genome = ex::make_genome(ex::GenomeSpec::yeast_like(2000), 7777);
+  ex::StressDatasetSpec spec;
+  spec.time_points = 24;
+  if (!missing) spec.missing_rate = 0.0;
+  return cache
+      .emplace(missing,
+               ex::make_stress_dataset(genome, spec, 7778).values())
+      .first->second;
+}
+
+void add_pair_rate(benchmark::State& state, const ex::ExpressionMatrix& m) {
+  const double pairs =
+      0.5 * static_cast<double>(m.rows()) * static_cast<double>(m.rows() - 1);
+  state.counters["Mpairs/s"] = benchmark::Counter(
+      pairs * 1e-6, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_PairwiseDistances(benchmark::State& state) {
+  const auto& m = pairwise_matrix(state.range(1) != 0);
+  const auto metric = static_cast<cl::Metric>(state.range(0));
+  fv::par::ThreadPool pool(1);
+  for (auto _ : state) {
+    const auto d = cl::row_distances(m, metric, pool);
+    benchmark::DoNotOptimize(d.raw().data());
+  }
+  add_pair_rate(state, m);
+}
+BENCHMARK(BM_PairwiseDistances)
+    ->ArgNames({"metric", "missing"})
+    ->Args({static_cast<int>(cl::Metric::kPearson), 0})
+    ->Args({static_cast<int>(cl::Metric::kPearson), 1})
+    ->Args({static_cast<int>(cl::Metric::kEuclidean), 0})
+    ->Args({static_cast<int>(cl::Metric::kEuclidean), 1})
+    ->Args({static_cast<int>(cl::Metric::kSpearman), 0})
+    ->UseRealTime()  // the work runs on pool threads, not the timing thread
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PairwiseDistancesThreads(benchmark::State& state) {
+  // Thread scaling of the tile schedule (balanced pair blocks, dynamic
+  // pull); on a many-core host this should be near-linear.
+  const auto& m = pairwise_matrix(true);
+  fv::par::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto d = cl::row_distances(m, cl::Metric::kPearson, pool);
+    benchmark::DoNotOptimize(d.raw().data());
+  }
+  add_pair_rate(state, m);
+}
+BENCHMARK(BM_PairwiseDistancesThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_PairwiseDistancesScalarRef(benchmark::State& state) {
+  // The seed's kernel: per-pair scalar profile_distance with its
+  // per-element missing-value branch. Kept as the speedup reference for
+  // the blocked engine (same output, same missing-value semantics).
+  const auto& m = pairwise_matrix(state.range(0) != 0);
+  for (auto _ : state) {
+    cl::DistanceMatrix d(m.rows());
+    auto raw = d.raw();
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      const auto row_i = m.row(i);
+      for (std::size_t j = i + 1; j < m.rows(); ++j) {
+        const auto dist = static_cast<float>(
+            cl::profile_distance(row_i, m.row(j), cl::Metric::kPearson));
+        raw[i * m.rows() + j] = dist;
+        raw[j * m.rows() + i] = dist;
+      }
+    }
+    benchmark::DoNotOptimize(raw.data());
+  }
+  add_pair_rate(state, m);
+}
+BENCHMARK(BM_PairwiseDistancesScalarRef)
+    ->ArgNames({"missing"})->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

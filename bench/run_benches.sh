@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs every benchmark executable and records JSON results so the perf
+# trajectory is tracked PR over PR.
+#
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build tree containing bench/ (default: build)
+#   OUT_DIR    where BENCH_<name>.json files land (default: bench_results)
+#
+# JSON goes through --benchmark_out (not stdout redirection) because several
+# benches print a human-readable report epilogue after the runs.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_results}"
+
+if [ ! -d "${BUILD_DIR}/bench" ]; then
+  echo "error: ${BUILD_DIR}/bench not found — configure with" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+status=0
+for exe in "${BUILD_DIR}"/bench/bench_*; do
+  [ -x "${exe}" ] || continue
+  [ -f "${exe}" ] || continue
+  name="$(basename "${exe}")"
+  name="${name#bench_}"
+  out="${OUT_DIR}/BENCH_${name}.json"
+  echo "== ${name} -> ${out}"
+  if ! "${exe}" --benchmark_out="${out}" --benchmark_out_format=json \
+       "${@:3}"; then
+    echo "warning: ${name} failed" >&2
+    status=1
+  fi
+done
+exit "${status}"

@@ -39,21 +39,10 @@ double profile_distance(std::span<const float> a, std::span<const float> b,
 
 namespace {
 
-DistanceMatrix pairwise(std::size_t n,
-                        const std::function<std::span<const float>(std::size_t)>&
-                            profile,
-                        Metric metric, par::ThreadPool& pool) {
-  DistanceMatrix distances(n);
-  // Each task owns one row i and fills d(i, j) for j > i; writes are
-  // disjoint per (i, j) pair so no synchronization is needed.
-  par::parallel_for(pool, 0, n, 1, [&](std::size_t i) {
-    const auto row_i = profile(i);
-    for (std::size_t j = i + 1; j < n; ++j) {
-      distances.set(i, j,
-                    static_cast<float>(profile_distance(row_i, profile(j),
-                                                        metric)));
-    }
-  });
+DistanceMatrix all_pairs(const sim::SimilarityEngine& engine,
+                         par::ThreadPool& pool) {
+  DistanceMatrix distances(engine.size());
+  engine.all_distances(distances.raw(), pool);
   return distances;
 }
 
@@ -61,8 +50,7 @@ DistanceMatrix pairwise(std::size_t n,
 
 DistanceMatrix row_distances(const expr::ExpressionMatrix& matrix,
                              Metric metric, par::ThreadPool& pool) {
-  return pairwise(matrix.rows(),
-                  [&](std::size_t r) { return matrix.row(r); }, metric, pool);
+  return all_pairs(sim::SimilarityEngine::from_rows(matrix, metric), pool);
 }
 
 DistanceMatrix row_distances(const expr::ExpressionMatrix& matrix,
@@ -72,17 +60,7 @@ DistanceMatrix row_distances(const expr::ExpressionMatrix& matrix,
 
 DistanceMatrix column_distances(const expr::ExpressionMatrix& matrix,
                                 Metric metric, par::ThreadPool& pool) {
-  // Materialize columns once; column extraction inside the pair loop would
-  // be quadratic in copies.
-  std::vector<std::vector<float>> columns(matrix.cols());
-  for (std::size_t c = 0; c < matrix.cols(); ++c) {
-    columns[c] = matrix.column(c);
-  }
-  return pairwise(matrix.cols(),
-                  [&](std::size_t c) {
-                    return std::span<const float>(columns[c]);
-                  },
-                  metric, pool);
+  return all_pairs(sim::SimilarityEngine::from_columns(matrix, metric), pool);
 }
 
 }  // namespace fv::cluster

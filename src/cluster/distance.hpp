@@ -4,6 +4,12 @@
 // (1 - r); Euclidean distance is provided for array (column) clustering and
 // comparisons. The full symmetric matrix is materialized because the
 // agglomeration algorithm mutates rows in place.
+//
+// All-pairs construction goes through sim::SimilarityEngine: profiles are
+// normalized once, pairs are answered by blocked dot-product kernels, and
+// work is scheduled as balanced tiles rather than the triangular
+// row-per-task split. profile_distance() remains the scalar reference the
+// engine is tested against (and the right call for one-off pairs).
 #pragma once
 
 #include <cstddef>
@@ -12,17 +18,15 @@
 
 #include "expr/expression_matrix.hpp"
 #include "par/thread_pool.hpp"
+#include "sim/similarity_engine.hpp"
 
 namespace fv::cluster {
 
-enum class Metric {
-  kPearson,            ///< 1 - Pearson correlation (pairwise complete)
-  kUncenteredPearson,  ///< 1 - uncentered correlation
-  kSpearman,           ///< 1 - Spearman rank correlation
-  kEuclidean,          ///< Euclidean over pairwise-complete coordinates
-};
+/// Distance metric; canonical definition lives with the engine.
+using Metric = sim::Metric;
 
-/// Distance between two expression profiles under the metric.
+/// Distance between two expression profiles under the metric (scalar
+/// reference implementation; pairwise-complete over missing values).
 double profile_distance(std::span<const float> a, std::span<const float> b,
                         Metric metric);
 
@@ -46,6 +50,11 @@ class DistanceMatrix {
     values_[j * n_ + i] = d;
   }
 
+  /// Row-major n x n backing storage; bulk writers (the similarity engine)
+  /// fill this directly. Writers must keep the matrix symmetric.
+  std::span<float> raw() noexcept { return values_; }
+  std::span<const float> raw() const noexcept { return values_; }
+
  private:
   std::size_t n_ = 0;
   std::vector<float> values_;
@@ -55,7 +64,7 @@ class DistanceMatrix {
 DistanceMatrix row_distances(const expr::ExpressionMatrix& matrix,
                              Metric metric, par::ThreadPool& pool);
 
-/// Serial convenience overload using the shared pool.
+/// Convenience overload using the shared pool.
 DistanceMatrix row_distances(const expr::ExpressionMatrix& matrix,
                              Metric metric);
 

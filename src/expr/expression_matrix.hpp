@@ -62,6 +62,20 @@ class ExpressionMatrix {
     return out;
   }
 
+  /// Returns the transpose (conditions become rows). Column-wise analyses
+  /// (array clustering, per-condition scans) should materialize this once
+  /// and use contiguous row access instead of calling column() per pair,
+  /// which allocates every time.
+  ExpressionMatrix transposed() const {
+    ExpressionMatrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        t.values_[c * rows_ + r] = values_[r * cols_ + c];
+      }
+    }
+    return t;
+  }
+
   /// Fraction of cells that are missing.
   double missing_fraction() const {
     if (values_.empty()) return 0.0;

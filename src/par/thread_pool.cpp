@@ -93,23 +93,22 @@ std::vector<ChunkRange> make_chunks(std::size_t begin, std::size_t end,
   return chunks;
 }
 
-/// Runs one callable per chunk on the pool and blocks; rethrows the first
-/// exception (by chunk order) raised by any chunk.
-void run_chunks(ThreadPool& pool, const std::vector<ChunkRange>& chunks,
-                const std::function<void(std::size_t, std::size_t,
-                                         std::size_t)>& body) {
-  if (chunks.empty()) return;
+/// Submits `count` tasks running body(index) and blocks until all finish;
+/// rethrows the first exception (by task index) raised by any task.
+void submit_and_wait(ThreadPool& pool, std::size_t count,
+                     const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
   std::mutex done_mutex;
   std::condition_variable done_cv;
-  std::size_t remaining = chunks.size();
-  std::vector<std::exception_ptr> errors(chunks.size());
+  std::size_t remaining = count;
+  std::vector<std::exception_ptr> errors(count);
 
-  for (std::size_t c = 0; c < chunks.size(); ++c) {
-    pool.submit([&, c] {
+  for (std::size_t t = 0; t < count; ++t) {
+    pool.submit([&, t] {
       try {
-        body(chunks[c].begin, chunks[c].end, c);
+        body(t);
       } catch (...) {
-        errors[c] = std::current_exception();
+        errors[t] = std::current_exception();
       }
       {
         std::unique_lock lock(done_mutex);
@@ -123,6 +122,16 @@ void run_chunks(ThreadPool& pool, const std::vector<ChunkRange>& chunks,
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }
+}
+
+/// Runs one callable per chunk on the pool and blocks; rethrows the first
+/// exception (by chunk order) raised by any chunk.
+void run_chunks(ThreadPool& pool, const std::vector<ChunkRange>& chunks,
+                const std::function<void(std::size_t, std::size_t,
+                                         std::size_t)>& body) {
+  submit_and_wait(pool, chunks.size(), [&](std::size_t c) {
+    body(chunks[c].begin, chunks[c].end, c);
+  });
 }
 
 }  // namespace
@@ -141,6 +150,19 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn) {
   parallel_for(ThreadPool::shared(), begin, end, 1, fn);
+}
+
+void parallel_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t workers = std::min(pool.thread_count(), end - begin);
+  std::atomic<std::size_t> next{begin};
+  submit_and_wait(pool, workers, [&](std::size_t) {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < end; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  });
 }
 
 double parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,

@@ -63,6 +63,15 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);
 
+/// Dynamically scheduled parallel loop: workers pull the next index from a
+/// shared atomic counter, so per-index cost may vary wildly (e.g. distance
+/// tiles whose rows hit the masked slow path) without idling any worker.
+/// Use parallel_for when iterations are uniform — static chunks touch the
+/// counter once per chunk instead of once per index.
+/// The first exception thrown by any worker is rethrown here.
+void parallel_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& fn);
+
 /// Chunked parallel reduction: `map` produces a partial result for a chunk
 /// [chunk_begin, chunk_end); partials are combined left-to-right in chunk
 /// order, so the result is deterministic for associative `combine`.

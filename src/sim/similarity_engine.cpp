@@ -1,0 +1,391 @@
+#include "sim/similarity_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ranking.hpp"
+#include "util/error.hpp"
+
+namespace fv::sim {
+
+namespace {
+
+/// Kernel lane width: rows are padded to a multiple of this so the hot
+/// loops below carry independent accumulator chains the compiler can keep
+/// in vector registers (no remainder loop, no reassociation needed).
+constexpr std::size_t kLanes = 16;
+
+/// Pair-block edge for all_distances: 64 rows x 96 floats = 24 KiB per
+/// side, so one tile's working set stays L1/L2 resident while its
+/// 64 x 64 pairs reuse it.
+constexpr std::size_t kTile = 64;
+
+double dot_padded(const float* a, const float* b, std::size_t stride) {
+  double acc[kLanes] = {};
+  for (std::size_t k = 0; k < stride; k += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      acc[l] += static_cast<double>(a[k + l]) * static_cast<double>(b[k + l]);
+    }
+  }
+  double total = 0.0;
+  for (std::size_t l = 0; l < kLanes; ++l) total += acc[l];
+  return total;
+}
+
+double squared_diff_padded(const float* a, const float* b,
+                           std::size_t stride) {
+  double acc[kLanes] = {};
+  for (std::size_t k = 0; k < stride; k += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const double diff =
+          static_cast<double>(a[k + l]) - static_cast<double>(b[k + l]);
+      acc[l] += diff * diff;
+    }
+  }
+  double total = 0.0;
+  for (std::size_t l = 0; l < kLanes; ++l) total += acc[l];
+  return total;
+}
+
+/// Pairwise-complete moment sums over the common-present cells of two rows.
+struct PairSums {
+  std::size_t n = 0;
+  double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+};
+
+double finish_centered(const PairSums& s) {
+  if (s.n < stats::kMinCompletePairs) return 0.0;
+  const double n = static_cast<double>(s.n);
+  const double cov = s.sum_ab - s.sum_a * s.sum_b / n;
+  const double var_a = s.sum_aa - s.sum_a * s.sum_a / n;
+  const double var_b = s.sum_bb - s.sum_b * s.sum_b / n;
+  // Relative zero guard: the subtraction-based masked sums can leave a
+  // ~1e-13 residue where the scalar reference computes an exact 0 variance
+  // (constant-over-common-subset profiles). Purely relative to the row's
+  // energy, so small-magnitude but genuinely varying profiles still
+  // correlate (sum_aa >= var_a >= 0 always, making eps = 0 exactly when
+  // the subset is all zeros).
+  if (var_a <= 1e-12 * s.sum_aa || var_b <= 1e-12 * s.sum_bb) return 0.0;
+  return std::clamp(cov / std::sqrt(var_a * var_b), -1.0, 1.0);
+}
+
+double finish_uncentered(const PairSums& s) {
+  if (s.n < stats::kMinCompletePairs) return 0.0;
+  if (s.sum_aa <= 0.0 || s.sum_bb <= 0.0) return 0.0;
+  return std::clamp(s.sum_ab / std::sqrt(s.sum_aa * s.sum_bb), -1.0, 1.0);
+}
+
+}  // namespace
+
+SimilarityEngine SimilarityEngine::from_rows(
+    const expr::ExpressionMatrix& matrix, Metric metric,
+    Precompute precompute) {
+  SimilarityEngine engine;
+  engine.build(matrix.data(), matrix.rows(), matrix.cols(), metric,
+               precompute);
+  return engine;
+}
+
+SimilarityEngine SimilarityEngine::from_columns(
+    const expr::ExpressionMatrix& matrix, Metric metric) {
+  // One transpose up front beats a column() allocation per profile fetch.
+  return from_rows(matrix.transposed(), metric);
+}
+
+SimilarityEngine SimilarityEngine::from_profiles(std::span<const float> flat,
+                                                 std::size_t count,
+                                                 std::size_t length,
+                                                 Metric metric,
+                                                 Precompute precompute) {
+  FV_REQUIRE(flat.size() == count * length,
+             "profile buffer size must be count * length");
+  SimilarityEngine engine;
+  engine.build(flat, count, length, metric, precompute);
+  return engine;
+}
+
+void SimilarityEngine::build(std::span<const float> flat, std::size_t count,
+                             std::size_t length, Metric metric,
+                             Precompute precompute) {
+  FV_REQUIRE(precompute == Precompute::kAllPairs ||
+                 metric == Metric::kPearson ||
+                 metric == Metric::kUncenteredPearson,
+             "a dot bank requires a Pearson-family metric");
+  metric_ = metric;
+  precompute_ = precompute;
+  count_ = count;
+  length_ = length;
+  stride_ = ((length + kLanes - 1) / kLanes) * kLanes;
+  if (stride_ == 0) stride_ = kLanes;
+  mask_words_ = (length + 63) / 64;
+  if (mask_words_ == 0) mask_words_ = 1;
+
+  // A dot bank keeps only what dot_all-style scoring reads (normalized
+  // rows + presence/zscale); the pairwise-only state below stays empty.
+  const bool all_pairs = precompute == Precompute::kAllPairs;
+  raw_.assign(metric == Metric::kSpearman ? count * stride_ : 0, 0.0f);
+  filled_.assign(all_pairs ? count * stride_ : 0, 0.0f);
+  mask_.assign(all_pairs ? count * mask_words_ : 0, 0);
+  present_.assign(count, 0);
+  has_missing_.assign(count, 0);
+  degenerate_.assign(count, 0);
+  zscale_.assign(count, 0.0f);
+  own_sum_.assign(all_pairs ? count : 0, 0.0);
+  own_sumsq_.assign(all_pairs ? count : 0, 0.0);
+  missing_idx_.clear();
+  missing_begin_.assign(all_pairs ? count + 1 : 0, 0);
+  const bool correlation = metric != Metric::kEuclidean;
+  normalized_.assign(correlation ? count * stride_ : 0, 0.0f);
+
+  std::vector<double> ranks;  // scratch for Spearman
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* src = flat.data() + i * length;
+    float* raw = raw_.empty() ? nullptr : raw_.data() + i * stride_;
+    float* filled = all_pairs ? filled_.data() + i * stride_ : nullptr;
+    std::uint64_t* mask = all_pairs ? mask_.data() + i * mask_words_
+                                    : nullptr;
+    std::size_t present = 0;
+    double own_sum = 0.0;
+    double own_sumsq = 0.0;
+    for (std::size_t k = 0; k < length; ++k) {
+      if (raw != nullptr) raw[k] = src[k];
+      if (stats::is_missing(src[k])) {
+        if (all_pairs) missing_idx_.push_back(static_cast<std::uint32_t>(k));
+        continue;
+      }
+      if (filled != nullptr) filled[k] = src[k];
+      if (mask != nullptr) mask[k / 64] |= std::uint64_t{1} << (k % 64);
+      ++present;
+      own_sum += src[k];
+      own_sumsq += static_cast<double>(src[k]) * src[k];
+    }
+    if (all_pairs) {
+      missing_begin_[i + 1] = static_cast<std::uint32_t>(missing_idx_.size());
+      own_sum_[i] = own_sum;
+      own_sumsq_[i] = own_sumsq;
+    }
+    present_[i] = static_cast<std::uint32_t>(present);
+    has_missing_[i] = present != length ? 1 : 0;
+    if (!correlation) continue;
+
+    float* norm_row = normalized_.data() + i * stride_;
+    const bool center = metric != Metric::kUncenteredPearson;
+
+    if (metric == Metric::kSpearman) {
+      // Rank rows are only consulted on the dense fast path (both rows
+      // complete); pairs with missing cells must re-rank the complete
+      // subset per pair, which the masked path does via stats::spearman.
+      if (has_missing_[i] != 0) continue;
+      ranks = stats::midranks(std::span<const float>(src, length));
+      double mean = 0.0;
+      for (const double r : ranks) mean += r;
+      mean = length > 0 ? mean / static_cast<double>(length) : 0.0;
+      double sumsq = 0.0;
+      for (const double r : ranks) sumsq += (r - mean) * (r - mean);
+      if (length < stats::kMinCompletePairs || sumsq <= 0.0) {
+        degenerate_[i] = 1;
+        continue;
+      }
+      const double inv_norm = 1.0 / std::sqrt(sumsq);
+      for (std::size_t k = 0; k < length; ++k) {
+        norm_row[k] = static_cast<float>((ranks[k] - mean) * inv_norm);
+      }
+      continue;
+    }
+
+    // Pearson / uncentered: store (x - mean) / ||x - mean|| with missing
+    // cells as 0 — the unit-norm form of the stats::ZProfile z-row. The
+    // norm comes from a second centered pass rather than own_sumsq so
+    // cancellation cannot inflate it.
+    const double mean =
+        center && present > 0 ? own_sum / static_cast<double>(present) : 0.0;
+    double sumsq = 0.0;
+    for (std::size_t k = 0; k < length; ++k) {
+      if (stats::is_missing(src[k])) continue;
+      const double d = static_cast<double>(src[k]) - mean;
+      sumsq += d * d;
+    }
+    if (present < stats::kMinCompletePairs || sumsq <= 0.0) {
+      degenerate_[i] = 1;
+      continue;
+    }
+    const double inv_norm = 1.0 / std::sqrt(sumsq);
+    for (std::size_t k = 0; k < length; ++k) {
+      if (stats::is_missing(src[k])) continue;
+      norm_row[k] =
+          static_cast<float>((static_cast<double>(src[k]) - mean) * inv_norm);
+    }
+    if (present >= 2) {
+      zscale_[i] =
+          static_cast<float>(std::sqrt(static_cast<double>(present - 1)));
+    }
+  }
+}
+
+std::span<const float> SimilarityEngine::normalized_row(std::size_t i) const {
+  FV_REQUIRE(i < count_, "profile index out of range");
+  if (normalized_.empty()) return {};
+  return {normalized_.data() + i * stride_, stride_};
+}
+
+std::size_t SimilarityEngine::common_present(std::size_t i,
+                                             std::size_t j) const {
+  const std::uint64_t* ma = mask_.data() + i * mask_words_;
+  const std::uint64_t* mb = mask_.data() + j * mask_words_;
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < mask_words_; ++w) {
+    n += static_cast<std::size_t>(std::popcount(ma[w] & mb[w]));
+  }
+  return n;
+}
+
+double SimilarityEngine::masked_similarity(std::size_t i, std::size_t j) const {
+  if (metric_ == Metric::kSpearman) {
+    // Ranks depend on the pairwise-complete subset, so each pair must be
+    // re-ranked; the scalar kernel (on the NaN-preserving rows) is the
+    // only exact option here.
+    return stats::spearman({raw_.data() + i * stride_, length_},
+                           {raw_.data() + j * stride_, length_});
+  }
+  // All reads below hit present cells only, where filled_ == the input.
+  const float* a = filled_.data() + i * stride_;
+  const float* b = filled_.data() + j * stride_;
+  PairSums s;
+  s.n = common_present(i, j);
+  if (s.n < stats::kMinCompletePairs) return 0.0;
+  // Pairwise-complete sums = each row's own sums minus the cells the other
+  // row is missing: one vectorized dot over the zero-filled rows plus
+  // O(#missing) scalar corrections, instead of a branch per element.
+  s.sum_ab = dot_padded(filled_.data() + i * stride_,
+                        filled_.data() + j * stride_, stride_);
+  s.sum_a = own_sum_[i];
+  s.sum_aa = own_sumsq_[i];
+  for (std::uint32_t m = missing_begin_[j]; m < missing_begin_[j + 1]; ++m) {
+    const std::size_t k = missing_idx_[m];
+    if (!present_at(i, k)) continue;
+    s.sum_a -= a[k];
+    s.sum_aa -= static_cast<double>(a[k]) * a[k];
+  }
+  s.sum_b = own_sum_[j];
+  s.sum_bb = own_sumsq_[j];
+  for (std::uint32_t m = missing_begin_[i]; m < missing_begin_[i + 1]; ++m) {
+    const std::size_t k = missing_idx_[m];
+    if (!present_at(j, k)) continue;
+    s.sum_b -= b[k];
+    s.sum_bb -= static_cast<double>(b[k]) * b[k];
+  }
+  return metric_ == Metric::kPearson ? finish_centered(s)
+                                     : finish_uncentered(s);
+}
+
+double SimilarityEngine::similarity(std::size_t i, std::size_t j) const {
+  FV_REQUIRE(metric_ != Metric::kEuclidean,
+             "similarity() requires a correlation metric");
+  FV_REQUIRE(precompute_ == Precompute::kAllPairs,
+             "similarity() requires Precompute::kAllPairs");
+  FV_REQUIRE(i < count_ && j < count_, "profile index out of range");
+  if (has_missing_[i] != 0 || has_missing_[j] != 0) {
+    return masked_similarity(i, j);
+  }
+  if (degenerate_[i] != 0 || degenerate_[j] != 0) return 0.0;
+  const double dot = dot_padded(normalized_.data() + i * stride_,
+                                normalized_.data() + j * stride_, stride_);
+  return std::clamp(dot, -1.0, 1.0);
+}
+
+float SimilarityEngine::euclidean_distance(std::size_t i,
+                                           std::size_t j) const {
+  // filled_ equals the input at every present cell, which is all either
+  // path below reads.
+  const float* a = filled_.data() + i * stride_;
+  const float* b = filled_.data() + j * stride_;
+  if (has_missing_[i] == 0 && has_missing_[j] == 0) {
+    // Padding is 0 on both sides, so the tail contributes nothing.
+    return static_cast<float>(std::sqrt(squared_diff_padded(a, b, stride_)));
+  }
+  const std::size_t pairs = common_present(i, j);
+  if (pairs == 0) return 0.0f;
+  // Over the zero-filled rows, a cell missing on exactly one side leaks its
+  // present value squared into the diff sum; subtract those back out.
+  double sum = squared_diff_padded(a, b, stride_);
+  for (std::uint32_t m = missing_begin_[j]; m < missing_begin_[j + 1]; ++m) {
+    const std::size_t k = missing_idx_[m];
+    if (present_at(i, k)) sum -= static_cast<double>(a[k]) * a[k];
+  }
+  for (std::uint32_t m = missing_begin_[i]; m < missing_begin_[i + 1]; ++m) {
+    const std::size_t k = missing_idx_[m];
+    if (present_at(j, k)) sum -= static_cast<double>(b[k]) * b[k];
+  }
+  sum = std::max(sum, 0.0);
+  // Coverage scaling, as in cluster::profile_distance (Cluster 3.0).
+  return static_cast<float>(std::sqrt(sum * static_cast<double>(length_) /
+                                      static_cast<double>(pairs)));
+}
+
+float SimilarityEngine::distance(std::size_t i, std::size_t j) const {
+  FV_REQUIRE(i < count_ && j < count_, "profile index out of range");
+  FV_REQUIRE(precompute_ == Precompute::kAllPairs,
+             "distance() requires Precompute::kAllPairs");
+  if (metric_ == Metric::kEuclidean) return euclidean_distance(i, j);
+  return static_cast<float>(1.0 - similarity(i, j));
+}
+
+void SimilarityEngine::all_distances(std::span<float> out,
+                                     par::ThreadPool& pool) const {
+  const std::size_t n = count_;
+  FV_REQUIRE(out.size() == n * n, "output must be size() x size()");
+  if (n == 0) return;
+
+  // Balanced schedule: every work unit is one kTile x kTile pair block of
+  // the upper triangle, so unit cost is near-uniform regardless of row
+  // index (the seed's row-per-task triangle gave the first row n-1 pairs
+  // and the last row one). Dynamic pull absorbs what variance remains
+  // (diagonal tiles are half-size; masked rows cost more).
+  const std::size_t tiles = (n + kTile - 1) / kTile;
+  struct TilePair {
+    std::uint32_t a, b;
+  };
+  std::vector<TilePair> work;
+  work.reserve(tiles * (tiles + 1) / 2);
+  for (std::uint32_t ta = 0; ta < tiles; ++ta) {
+    for (std::uint32_t tb = ta; tb < tiles; ++tb) {
+      work.push_back({ta, tb});
+    }
+  }
+
+  float* d = out.data();
+  par::parallel_dynamic(pool, 0, work.size(), [&](std::size_t t) {
+    const auto [ta, tb] = work[t];
+    const std::size_t i_end = std::min<std::size_t>(n, (ta + 1) * kTile);
+    const std::size_t j_begin = tb * kTile;
+    const std::size_t j_end = std::min<std::size_t>(n, (tb + 1) * kTile);
+    for (std::size_t i = ta * kTile; i < i_end; ++i) {
+      for (std::size_t j = ta == tb ? i + 1 : j_begin; j < j_end; ++j) {
+        const float dist = distance(i, j);
+        d[i * n + j] = dist;
+        d[j * n + i] = dist;
+      }
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) d[i * n + i] = 0.0f;
+}
+
+void SimilarityEngine::dot_all(std::span<const float> query,
+                               std::span<double> out) const {
+  // Spearman is excluded deliberately: its bank has no normalized rows for
+  // profiles with missing cells, so dots would silently score them 0.
+  FV_REQUIRE(metric_ == Metric::kPearson ||
+                 metric_ == Metric::kUncenteredPearson,
+             "dot_all() requires a Pearson-family metric");
+  FV_REQUIRE(query.size() == stride_, "query must have stride() entries");
+  FV_REQUIRE(out.size() == count_, "output must have size() entries");
+  for (std::size_t i = 0; i < count_; ++i) {
+    out[i] = dot_padded(normalized_.data() + i * stride_, query.data(),
+                        stride_);
+  }
+}
+
+}  // namespace fv::sim

@@ -1,0 +1,154 @@
+// Blocked pairwise-similarity engine.
+//
+// Every heavy path in ForestView — gene/array clustering, SPELL query
+// scoring, the merged-interface sweep — bottoms out in pairwise Pearson /
+// Spearman / Euclidean over row profiles. The engine precomputes per-profile
+// state ONCE (unit-norm centered rows for Pearson, normalized rank rows for
+// Spearman, missing-value bitmasks, a has-missing flag) and then answers
+// every pair from a SIMD-friendly dot-product kernel over contiguous padded
+// rows. Rows that actually contain missing cells take a masked slow path
+// with the same pairwise-complete semantics as the scalar kernels; results
+// agree within the 1e-6 equivalence contract (not bit-for-bit — summation
+// order differs and a relative-epsilon guard zeroes near-constant-subset
+// variances). See src/sim/README.md for the fast/slow path contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "expr/expression_matrix.hpp"
+#include "par/thread_pool.hpp"
+
+namespace fv::sim {
+
+enum class Metric {
+  kPearson,            ///< 1 - Pearson correlation (pairwise complete)
+  kUncenteredPearson,  ///< 1 - uncentered correlation
+  kSpearman,           ///< 1 - Spearman rank correlation
+  kEuclidean,          ///< Euclidean over pairwise-complete coordinates
+};
+
+/// How much per-profile state the engine keeps.
+enum class Precompute {
+  /// Everything: exact pairwise similarity()/distance()/all_distances()
+  /// plus the dot bank.
+  kAllPairs,
+  /// Normalized rows + presence/zscale only — half the memory, for
+  /// long-lived one-vs-all scorers (SPELL banks) that never ask for exact
+  /// pairwise values. Correlation metrics only.
+  kDotBank,
+};
+
+class SimilarityEngine {
+ public:
+  SimilarityEngine() = default;
+
+  /// Builds the engine over the rows of `matrix` (gene profiles).
+  static SimilarityEngine from_rows(const expr::ExpressionMatrix& matrix,
+                                    Metric metric,
+                                    Precompute precompute =
+                                        Precompute::kAllPairs);
+
+  /// Builds the engine over the columns of `matrix` (array profiles) by
+  /// materializing the transpose once.
+  static SimilarityEngine from_columns(const expr::ExpressionMatrix& matrix,
+                                       Metric metric);
+
+  /// Builds the engine over `count` contiguous row-major profiles of
+  /// `length` values each.
+  static SimilarityEngine from_profiles(std::span<const float> flat,
+                                        std::size_t count, std::size_t length,
+                                        Metric metric,
+                                        Precompute precompute =
+                                            Precompute::kAllPairs);
+
+  std::size_t size() const noexcept { return count_; }      ///< profiles
+  std::size_t length() const noexcept { return length_; }   ///< values each
+  /// Padded row length (multiple of the kernel lane width); the tail of
+  /// every stored row is zero so kernels never need a remainder loop.
+  std::size_t stride() const noexcept { return stride_; }
+  Metric metric() const noexcept { return metric_; }
+
+  bool row_has_missing(std::size_t i) const { return has_missing_[i] != 0; }
+  /// Number of present (non-missing) values in profile i.
+  std::size_t present(std::size_t i) const { return present_[i]; }
+
+  /// The precomputed transform of profile i (unit-norm centered values for
+  /// Pearson, unit-norm raw for uncentered, unit-norm centered mid-ranks for
+  /// Spearman; empty span for Euclidean). Length is stride(); entries past
+  /// length() and at missing cells are 0. For Pearson this is exactly the
+  /// stats::ZProfile z-row divided by zscale(i).
+  std::span<const float> normalized_row(std::size_t i) const;
+
+  /// Multiplier turning normalized_row(i) back into the stats::ZProfile
+  /// z-row: sqrt(present - 1), or 0 for degenerate (constant / too-short)
+  /// profiles. SPELL's zdot-convention scoring is built from this.
+  float zscale(std::size_t i) const { return zscale_[i]; }
+
+  /// Exact correlation between profiles i and j under the metric
+  /// (requires a correlation metric and Precompute::kAllPairs). Matches
+  /// the scalar stats:: kernels: dense pairs via the precomputed dot
+  /// product, pairs with missing cells via the masked pairwise-complete
+  /// path.
+  double similarity(std::size_t i, std::size_t j) const;
+
+  /// Distance between profiles i and j; matches cluster::profile_distance.
+  /// Requires Precompute::kAllPairs.
+  float distance(std::size_t i, std::size_t j) const;
+
+  /// Fills `out` (size() x size(), row-major) with all pairwise distances:
+  /// symmetric, zero diagonal. Work is scheduled as balanced square tiles
+  /// on the pool (dynamic pull, so masked-path tiles cannot stall a static
+  /// partition).
+  void all_distances(std::span<float> out, par::ThreadPool& pool) const;
+
+  /// out[i] = dot(normalized_row(i), query) for every profile — the
+  /// one-vs-all kernel behind SPELL scoring. `query` must have stride()
+  /// entries (zero-padded past length()). Pearson-family metrics only:
+  /// a Spearman bank has no normalized rows for profiles with missing
+  /// cells, so a dot there would silently score them 0.
+  void dot_all(std::span<const float> query, std::span<double> out) const;
+
+ private:
+  Metric metric_ = Metric::kPearson;
+  Precompute precompute_ = Precompute::kAllPairs;
+  std::size_t count_ = 0;
+  std::size_t length_ = 0;
+  std::size_t stride_ = 0;
+  std::size_t mask_words_ = 0;
+  /// count x stride with NaNs preserved; only the Spearman masked fallback
+  /// needs original missing markers, so this stays empty otherwise (every
+  /// other path reads present cells, where filled_ is identical).
+  std::vector<float> raw_;
+  std::vector<float> filled_;  ///< count x stride, missing cells as 0
+  std::vector<float> normalized_;  ///< count x stride (correlation metrics)
+  std::vector<std::uint64_t> mask_;  ///< present bitmask, count x mask_words
+  std::vector<std::uint32_t> present_;
+  std::vector<std::uint8_t> has_missing_;
+  /// Dense fast path must report r = 0 for this row (constant profile or
+  /// fewer than stats::kMinCompletePairs values).
+  std::vector<std::uint8_t> degenerate_;
+  std::vector<float> zscale_;
+  /// Missing cell indices per row, CSR layout: row i's missing indices are
+  /// missing_idx_[missing_begin_[i] .. missing_begin_[i+1]). The masked
+  /// path is one dot product over filled_ plus O(#missing) corrections
+  /// driven by these lists, so sparsely-missing rows stay near dense speed.
+  std::vector<std::uint32_t> missing_idx_;
+  std::vector<std::uint32_t> missing_begin_;
+  std::vector<double> own_sum_;    ///< sum of present values per row
+  std::vector<double> own_sumsq_;  ///< sum of squared present values
+
+  void build(std::span<const float> flat, std::size_t count,
+             std::size_t length, Metric metric, Precompute precompute);
+  bool present_at(std::size_t i, std::size_t k) const {
+    return (mask_[i * mask_words_ + k / 64] >>
+            (k % 64) & 1) != 0;
+  }
+  std::size_t common_present(std::size_t i, std::size_t j) const;
+  double masked_similarity(std::size_t i, std::size_t j) const;
+  float euclidean_distance(std::size_t i, std::size_t j) const;
+};
+
+}  // namespace fv::sim

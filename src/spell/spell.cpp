@@ -24,7 +24,9 @@ struct DatasetContribution {
 
 /// Query-coherence weight of one dataset: mean pairwise Pearson among the
 /// query genes found there, clamped at zero (anti-coherent datasets carry no
-/// evidence). Needs >= 2 query genes to say anything.
+/// evidence). Needs >= 2 query genes to say anything. Only k*(k-1)/2 exact
+/// pairs per query, so the scalar kernel is fine here and the per-dataset
+/// engine can stay a memory-lean dot bank.
 double dataset_weight(const expr::Dataset& dataset,
                       const std::vector<std::size_t>& query_rows) {
   if (query_rows.size() < 2) return 0.0;
@@ -41,6 +43,7 @@ double dataset_weight(const expr::Dataset& dataset,
 }
 
 DatasetContribution score_dataset(const expr::Dataset& dataset,
+                                  const sim::SimilarityEngine& engine,
                                   const std::vector<std::string>& query) {
   DatasetContribution out;
   std::vector<std::size_t> query_rows;
@@ -55,23 +58,37 @@ DatasetContribution score_dataset(const expr::Dataset& dataset,
   if (out.weight <= 0.0) return out;
 
   // Mean correlation of every gene to the query = correlation with the mean
-  // of the query's z-profiles (zdot is bilinear in its arguments).
-  const std::size_t cols = dataset.condition_count();
-  stats::ZProfile centroid;
-  centroid.z.assign(cols, 0.0f);
-  centroid.present = cols;
+  // of the query's z-profiles (zdot is bilinear in its arguments). The
+  // bank's unit-norm rows scale back to z-rows via zscale(), so the
+  // centroid is assembled without touching raw profiles, and the whole
+  // gene sweep is one dot_all pass.
+  const std::size_t genes = dataset.gene_count();
+  std::size_t centroid_present = dataset.condition_count();
+  std::vector<float> centroid(engine.stride(), 0.0f);
+  const float inv_k = 1.0f / static_cast<float>(query_rows.size());
   for (const std::size_t row : query_rows) {
-    const auto zp = stats::ZProfile::from(dataset.profile(row));
-    centroid.present = std::min(centroid.present, zp.present);
-    for (std::size_t c = 0; c < cols; ++c) {
-      centroid.z[c] += zp.z[c] / static_cast<float>(query_rows.size());
-    }
+    centroid_present = std::min<std::size_t>(centroid_present,
+                                             engine.present(row));
+    const auto u = engine.normalized_row(row);
+    const float scale = engine.zscale(row) * inv_k;
+    for (std::size_t c = 0; c < u.size(); ++c) centroid[c] += u[c] * scale;
   }
 
-  out.gene_correlation.resize(dataset.gene_count());
-  for (std::size_t row = 0; row < dataset.gene_count(); ++row) {
-    const auto zp = stats::ZProfile::from(dataset.profile(row));
-    out.gene_correlation[row] = stats::zdot(zp, centroid);
+  std::vector<double> dots(genes);
+  engine.dot_all(centroid, dots);
+  out.gene_correlation.resize(genes);
+  for (std::size_t row = 0; row < genes; ++row) {
+    // zdot convention: r = dot(z_row, z_centroid) / (min(present) - 1),
+    // clamped; 0 when too few values overlap.
+    const std::size_t overlap =
+        std::min<std::size_t>(engine.present(row), centroid_present);
+    if (overlap < stats::kMinCompletePairs) {
+      out.gene_correlation[row] = 0.0;
+      continue;
+    }
+    const double r = static_cast<double>(engine.zscale(row)) * dots[row] /
+                     static_cast<double>(overlap - 1);
+    out.gene_correlation[row] = std::clamp(r, -1.0, 1.0);
   }
   return out;
 }
@@ -79,8 +96,20 @@ DatasetContribution score_dataset(const expr::Dataset& dataset,
 }  // namespace
 
 SpellSearch::SpellSearch(const std::vector<expr::Dataset>& datasets)
+    : SpellSearch(datasets, par::ThreadPool::shared()) {}
+
+SpellSearch::SpellSearch(const std::vector<expr::Dataset>& datasets,
+                         par::ThreadPool& pool)
     : datasets_(&datasets) {
   FV_REQUIRE(!datasets.empty(), "SPELL needs at least one dataset");
+  // Bank builds are independent per dataset; at compendium scale the
+  // normalization pass is worth spreading across the pool.
+  engines_.resize(datasets.size());
+  par::parallel_for(pool, 0, datasets.size(), 1, [&](std::size_t d) {
+    engines_[d] = sim::SimilarityEngine::from_rows(
+        datasets[d].values(), sim::Metric::kPearson,
+        sim::Precompute::kDotBank);
+  });
 }
 
 SpellResult SpellSearch::search(const std::vector<std::string>& query,
@@ -96,7 +125,7 @@ SpellResult SpellSearch::search(const std::vector<std::string>& query,
 
   std::vector<DatasetContribution> contributions(datasets.size());
   par::parallel_for(pool, 0, datasets.size(), 1, [&](std::size_t d) {
-    contributions[d] = score_dataset(datasets[d], query);
+    contributions[d] = score_dataset(datasets[d], engines_[d], query);
   });
 
   SpellResult result;

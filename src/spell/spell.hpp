@@ -6,9 +6,12 @@
 // to the query across the compendium. Output is exactly what the paper
 // describes: "an ordered list of genes and an ordered list of datasets".
 //
-// The per-dataset work (z-scoring query rows, correlating all genes against
-// the query centroid) is independent across datasets and runs on the thread
-// pool — this is the paper's scalability story for very large compendia.
+// The per-dataset work (correlating all genes against the query centroid)
+// is independent across datasets and runs on the thread pool — this is the
+// paper's scalability story for very large compendia. Per-dataset profile
+// normalization happens ONCE, at SpellSearch construction, in a
+// sim::SimilarityEngine bank; each query is then one dot-product sweep per
+// dataset instead of re-z-scoring every gene profile per search.
 #pragma once
 
 #include <string>
@@ -16,6 +19,7 @@
 
 #include "expr/dataset.hpp"
 #include "par/thread_pool.hpp"
+#include "sim/similarity_engine.hpp"
 
 namespace fv::spell {
 
@@ -51,7 +55,12 @@ struct SpellResult {
 class SpellSearch {
  public:
   /// The search holds a reference to the compendium; it must outlive it.
+  /// Construction normalizes every dataset into a per-dataset dot bank on
+  /// the shared pool (or the supplied one, for callers that pin their own
+  /// concurrency).
   explicit SpellSearch(const std::vector<expr::Dataset>& datasets);
+  SpellSearch(const std::vector<expr::Dataset>& datasets,
+              par::ThreadPool& pool);
 
   /// Runs a query (gene names, systematic or common). Unknown genes are
   /// ignored; at least one query gene must be found somewhere.
@@ -64,6 +73,9 @@ class SpellSearch {
 
  private:
   const std::vector<expr::Dataset>* datasets_;
+  /// One Pearson bank per dataset: unit-norm z-rows + present counts,
+  /// built once so searches never re-normalize profiles.
+  std::vector<sim::SimilarityEngine> engines_;
 };
 
 /// Text-match baseline (what the paper contrasts SPELL against: "searching

@@ -11,8 +11,6 @@ namespace fv::stats {
 
 namespace {
 
-constexpr std::size_t kMinCompletePairs = 3;
-
 struct PairAccumulator {
   std::size_t n = 0;
   double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;

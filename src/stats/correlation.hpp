@@ -11,6 +11,11 @@
 
 namespace fv::stats {
 
+/// Correlations over fewer complete pairs than this are reported as 0
+/// (uninformative). Shared by the scalar kernels here and the blocked
+/// sim::SimilarityEngine so both paths agree on degenerate inputs.
+inline constexpr std::size_t kMinCompletePairs = 3;
+
 /// Pearson correlation over pairwise-complete observations.
 /// Returns 0 when fewer than 3 pairs are complete or either side is
 /// constant (the convention used by microarray clustering tools, which

@@ -30,7 +30,13 @@ namespace fs = std::filesystem;
 
 class CompendiumDirTest : public ::testing::Test {
  protected:
-  std::string dir_ = (fs::temp_directory_path() / "fv_compendium_it").string();
+  // Unique per test: ctest runs cases in parallel processes, so a shared
+  // directory would race between one test's TearDown and another's writes.
+  std::string dir_ =
+      (fs::temp_directory_path() /
+       (std::string("fv_compendium_it_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+          .string();
   void TearDown() override { fs::remove_all(dir_); }
 };
 

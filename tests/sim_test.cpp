@@ -1,0 +1,294 @@
+// Tests for the blocked similarity engine: kernel equivalence against the
+// scalar reference (all metrics, with and without missing values, degenerate
+// profiles), tile scheduling across boundaries, the SPELL zdot bank, and the
+// dynamic parallel loop that schedules the tiles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "cluster/distance.hpp"
+#include "expr/expression_matrix.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/similarity_engine.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace cl = fv::cluster;
+namespace ex = fv::expr;
+namespace sm = fv::sim;
+namespace st = fv::stats;
+
+constexpr sm::Metric kAllMetrics[] = {
+    sm::Metric::kPearson, sm::Metric::kUncenteredPearson,
+    sm::Metric::kSpearman, sm::Metric::kEuclidean};
+
+/// Random matrix with structure (half the rows correlate) and a missing
+/// rate; deterministic per seed.
+ex::ExpressionMatrix random_matrix(std::size_t rows, std::size_t cols,
+                                   double missing_rate, std::uint64_t seed) {
+  fv::Rng rng(seed);
+  ex::ExpressionMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double sign = r % 2 == 0 ? 1.0 : -1.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.uniform() < missing_rate) continue;  // stays missing (NaN)
+      const double pattern = std::sin(0.31 * static_cast<double>(c + 1));
+      m.set(r, c,
+            static_cast<float>(sign * pattern + rng.normal(0.0, 0.4)));
+    }
+  }
+  return m;
+}
+
+void expect_engine_matches_scalar(const ex::ExpressionMatrix& m,
+                                  sm::Metric metric, double tol = 1e-6) {
+  const auto engine = sm::SimilarityEngine::from_rows(m, metric);
+  ASSERT_EQ(engine.size(), m.rows());
+  ASSERT_EQ(engine.length(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = i; j < m.rows(); ++j) {
+      const double reference =
+          cl::profile_distance(m.row(i), m.row(j), metric);
+      EXPECT_NEAR(engine.distance(i, j), reference, tol)
+          << "metric=" << static_cast<int>(metric) << " i=" << i
+          << " j=" << j;
+    }
+  }
+}
+
+TEST(SimilarityEngineTest, DenseMatchesScalarAllMetrics) {
+  const auto m = random_matrix(24, 13, 0.0, 101);  // length not lane-aligned
+  for (const auto metric : kAllMetrics) {
+    expect_engine_matches_scalar(m, metric);
+  }
+}
+
+TEST(SimilarityEngineTest, MissingValuesMatchScalarAllMetrics) {
+  const auto m = random_matrix(24, 19, 0.25, 103);
+  for (const auto metric : kAllMetrics) {
+    expect_engine_matches_scalar(m, metric);
+  }
+}
+
+TEST(SimilarityEngineTest, DegenerateProfilesMatchScalar) {
+  // Row 0: all missing. Row 1: two present values (< 3 complete pairs).
+  // Row 2: constant. Row 3: constant over its present cells. Rows 4-7:
+  // ordinary profiles to pair them against.
+  const float na = st::missing_value();
+  ex::ExpressionMatrix m(8, 6);
+  const std::vector<std::vector<float>> rows{
+      {na, na, na, na, na, na},
+      {1.0f, 2.0f, na, na, na, na},
+      {3.0f, 3.0f, 3.0f, 3.0f, 3.0f, 3.0f},
+      {2.5f, na, 2.5f, na, 2.5f, 2.5f},
+      {1.0f, -2.0f, 0.5f, 3.0f, -1.0f, 2.0f},
+      {0.3f, 1.8f, -0.7f, 2.2f, 0.9f, -1.4f},
+      {na, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f},
+      {5.0f, 4.0f, 3.0f, 2.0f, 1.0f, 0.0f}};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < 6; ++c) m.set(r, c, rows[r][c]);
+  }
+  for (const auto metric : kAllMetrics) {
+    expect_engine_matches_scalar(m, metric);
+  }
+}
+
+TEST(SimilarityEngineTest, AllDistancesCrossesTileBoundaries) {
+  // 70 and 130 rows cross the 64-row tile edge; verify the full matrix
+  // against per-pair calls and the symmetry/diagonal contract.
+  for (const std::size_t rows : {70u, 130u}) {
+    const auto m = random_matrix(rows, 9, 0.1, 200 + rows);
+    const auto engine =
+        sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+    fv::par::ThreadPool pool(3);
+    std::vector<float> all(rows * rows);
+    engine.all_distances(all, pool);
+    for (std::size_t i = 0; i < rows; ++i) {
+      EXPECT_EQ(all[i * rows + i], 0.0f);
+      for (std::size_t j = i + 1; j < rows; ++j) {
+        EXPECT_EQ(all[i * rows + j], all[j * rows + i]);
+        EXPECT_NEAR(all[i * rows + j], engine.distance(i, j), 1e-7);
+      }
+    }
+  }
+}
+
+TEST(SimilarityEngineTest, RowDistancesMatchesScalarReference) {
+  const auto m = random_matrix(40, 12, 0.15, 307);
+  fv::par::ThreadPool pool(2);
+  for (const auto metric : kAllMetrics) {
+    const auto d = cl::row_distances(m, metric, pool);
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      for (std::size_t j = i + 1; j < m.rows(); ++j) {
+        EXPECT_NEAR(d.at(i, j),
+                    cl::profile_distance(m.row(i), m.row(j), metric), 1e-6);
+      }
+    }
+  }
+}
+
+TEST(SimilarityEngineTest, ColumnEngineMatchesColumnProfiles) {
+  const auto m = random_matrix(30, 11, 0.1, 401);
+  const auto engine =
+      sm::SimilarityEngine::from_columns(m, sm::Metric::kEuclidean);
+  ASSERT_EQ(engine.size(), m.cols());
+  for (std::size_t a = 0; a < m.cols(); ++a) {
+    for (std::size_t b = a + 1; b < m.cols(); ++b) {
+      const auto ca = m.column(a);
+      const auto cb = m.column(b);
+      EXPECT_NEAR(engine.distance(a, b),
+                  cl::profile_distance(ca, cb, sm::Metric::kEuclidean), 1e-6);
+    }
+  }
+}
+
+TEST(SimilarityEngineTest, SimilarityMatchesStatsPearson) {
+  const auto m = random_matrix(20, 17, 0.2, 503);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = i; j < m.rows(); ++j) {
+      EXPECT_NEAR(engine.similarity(i, j), st::pearson(m.row(i), m.row(j)),
+                  1e-6);
+    }
+  }
+}
+
+TEST(SimilarityEngineTest, ZdotBankMatchesZProfiles) {
+  // The SPELL contract: zscale(i) * normalized_row(i) is the ZProfile
+  // z-row, so dot products reproduce stats::zdot.
+  const auto m = random_matrix(16, 14, 0.2, 601);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.rows(); ++j) {
+      const auto za = st::ZProfile::from(m.row(i));
+      const auto zb = st::ZProfile::from(m.row(j));
+      ASSERT_EQ(engine.present(i), za.present);
+      std::vector<float> query(engine.stride(), 0.0f);
+      const auto uj = engine.normalized_row(j);
+      for (std::size_t c = 0; c < uj.size(); ++c) {
+        query[c] = uj[c] * engine.zscale(j);
+      }
+      std::vector<double> dots(engine.size());
+      engine.dot_all(query, dots);
+      const std::size_t overlap =
+          std::min(engine.present(i), engine.present(j));
+      const double r =
+          overlap < st::kMinCompletePairs
+              ? 0.0
+              : std::clamp(engine.zscale(i) * dots[i] /
+                               static_cast<double>(overlap - 1),
+                           -1.0, 1.0);
+      EXPECT_NEAR(r, st::zdot(za, zb), 1e-5) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(SimilarityEngineTest, SmallMagnitudeProfilesStillCorrelate) {
+  // Tiny but genuinely varying values (~1e-7) with missing cells must not
+  // be flushed to r = 0 by the masked path's variance guard.
+  const float na = st::missing_value();
+  ex::ExpressionMatrix m(2, 8);
+  for (std::size_t c = 0; c < 8; ++c) {
+    const float v = static_cast<float>(1e-7 * std::sin(0.9 * (c + 1.0)));
+    m.set(0, c, v);
+    m.set(1, c, c == 3 ? na : 2.0f * v);
+  }
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  EXPECT_NEAR(engine.similarity(0, 1), st::pearson(m.row(0), m.row(1)), 1e-6);
+  EXPECT_GT(engine.similarity(0, 1), 0.99);
+}
+
+TEST(SimilarityEngineTest, DotBankScoresButRefusesPairwise) {
+  const auto m = random_matrix(12, 10, 0.1, 901);
+  const auto full = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  const auto bank = sm::SimilarityEngine::from_rows(
+      m, sm::Metric::kPearson, sm::Precompute::kDotBank);
+  // The bank scores one-vs-all exactly like the full engine...
+  std::vector<float> query(bank.stride(), 0.0f);
+  const auto u0 = full.normalized_row(0);
+  for (std::size_t c = 0; c < u0.size(); ++c) query[c] = u0[c];
+  std::vector<double> bank_dots(bank.size()), full_dots(full.size());
+  bank.dot_all(query, bank_dots);
+  full.dot_all(query, full_dots);
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bank_dots[i], full_dots[i]);
+    EXPECT_EQ(bank.present(i), full.present(i));
+    EXPECT_EQ(bank.zscale(i), full.zscale(i));
+  }
+  // ...but has no pairwise state to answer exact pair queries.
+  EXPECT_THROW(bank.similarity(0, 1), fv::InvalidArgument);
+  EXPECT_THROW(bank.distance(0, 1), fv::InvalidArgument);
+  EXPECT_THROW(sm::SimilarityEngine::from_rows(m, sm::Metric::kEuclidean,
+                                               sm::Precompute::kDotBank),
+               fv::InvalidArgument);
+}
+
+TEST(SimilarityEngineTest, TransposedMatchesColumns) {
+  const auto m = random_matrix(7, 5, 0.1, 701);
+  const auto t = m.transposed();
+  ASSERT_EQ(t.rows(), m.cols());
+  ASSERT_EQ(t.cols(), m.rows());
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const auto column = m.column(c);
+    const auto row = t.row(c);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      if (st::is_missing(column[r])) {
+        EXPECT_TRUE(st::is_missing(row[r]));
+      } else {
+        EXPECT_EQ(row[r], column[r]);
+      }
+    }
+  }
+}
+
+TEST(SimilarityEngineTest, EmptyAndSingleProfileEdgeCases) {
+  const ex::ExpressionMatrix empty(0, 4);
+  const auto engine =
+      sm::SimilarityEngine::from_rows(empty, sm::Metric::kPearson);
+  EXPECT_EQ(engine.size(), 0u);
+  fv::par::ThreadPool pool(2);
+  std::vector<float> out;
+  engine.all_distances(out, pool);  // no-op, must not crash
+
+  const auto one = random_matrix(1, 6, 0.0, 801);
+  const auto single = sm::SimilarityEngine::from_rows(one, sm::Metric::kPearson);
+  std::vector<float> d(1);
+  single.all_distances(d, pool);
+  EXPECT_EQ(d[0], 0.0f);
+}
+
+TEST(ParallelDynamicTest, VisitsEveryIndexOnce) {
+  fv::par::ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  fv::par::parallel_dynamic(pool, 0, kN,
+                            [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelDynamicTest, PropagatesExceptions) {
+  fv::par::ThreadPool pool(2);
+  EXPECT_THROW(fv::par::parallel_dynamic(pool, 0, 100,
+                                         [](std::size_t i) {
+                                           if (i == 42) {
+                                             throw fv::InvalidArgument("boom");
+                                           }
+                                         }),
+               fv::InvalidArgument);
+}
+
+TEST(ParallelDynamicTest, EmptyRangeIsNoop) {
+  fv::par::ThreadPool pool(2);
+  bool ran = false;
+  fv::par::parallel_dynamic(pool, 5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
