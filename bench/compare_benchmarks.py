@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""PR-over-PR benchmark comparison for BENCH_<name>.json snapshots.
+
+Compares two directories of Google Benchmark JSON files (as written by
+bench/run_benches.sh) benchmark-by-benchmark and prints a delta table.
+Exits nonzero when any matched benchmark regressed by more than the
+threshold (default 10%), so CI can gate on the perf trajectory.
+
+Usage:
+    bench/compare_benchmarks.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
+                                [--metric real_time|cpu_time]
+
+Benchmarks present on only one side are reported informationally and never
+fail the comparison (new benchmarks appear, retired ones disappear).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+# Google Benchmark reports times in the benchmark's own Unit(); normalize to
+# nanoseconds so snapshots taken before/after a ->Unit() change still compare.
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_snapshot_dir(directory: Path, metric: str) -> dict[str, dict]:
+    """Maps '<file-stem>/<benchmark name>' -> {'value': ns, 'unit': str}."""
+    results: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            with path.open() as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: skipping unreadable {path}: {error}",
+                  file=sys.stderr)
+            continue
+        stem = path.stem.removeprefix("BENCH_")
+        for bench in document.get("benchmarks", []):
+            # Aggregate rows (mean/median/stddev of repetitions) would double
+            # count; plain runs have run_type == 'iteration'.
+            if bench.get("run_type", "iteration") != "iteration":
+                continue
+            name = bench.get("name")
+            if name is None or metric not in bench:
+                continue
+            unit = bench.get("time_unit", "ns")
+            if unit not in TIME_UNIT_NS:
+                print(f"warning: {path}: unknown time_unit '{unit}' for "
+                      f"{name}; skipping", file=sys.stderr)
+                continue
+            results[f"{stem}/{name}"] = {
+                "value": float(bench[metric]) * TIME_UNIT_NS[unit],
+                "unit": unit,
+            }
+    return results
+
+
+def format_value(value_ns: float, unit: str) -> str:
+    """Renders a normalized-ns value back in the benchmark's own unit."""
+    return f"{value_ns / TIME_UNIT_NS[unit]:,.2f} {unit}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path,
+                        help="directory of baseline BENCH_*.json files")
+    parser.add_argument("current", type=Path,
+                        help="directory of current BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    parser.add_argument("--metric", default="real_time",
+                        choices=["real_time", "cpu_time"],
+                        help="which benchmark time to compare")
+    args = parser.parse_args()
+
+    for directory in (args.baseline, args.current):
+        if not directory.is_dir():
+            print(f"error: {directory} is not a directory", file=sys.stderr)
+            return 2
+
+    baseline = load_snapshot_dir(args.baseline, args.metric)
+    current = load_snapshot_dir(args.current, args.metric)
+    if not baseline:
+        print(f"error: no BENCH_*.json results under {args.baseline}",
+              file=sys.stderr)
+        return 2
+    if not current:
+        print(f"error: no BENCH_*.json results under {args.current}",
+              file=sys.stderr)
+        return 2
+
+    shared = sorted(set(baseline) & set(current))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+
+    regressions: list[tuple[str, float]] = []
+    width = max((len(name) for name in shared), default=20)
+    header = (f"{'benchmark':<{width}}  {'baseline':>16}  {'current':>16}  "
+              f"{'delta':>8}")
+    print(header)
+    print("-" * len(header))
+    for name in shared:
+        base = baseline[name]
+        cur = current[name]
+        if base["value"] <= 0.0:
+            delta_text = "n/a"
+            delta = 0.0
+        else:
+            delta = 100.0 * (cur["value"] - base["value"]) / base["value"]
+            delta_text = f"{delta:+7.1f}%"
+        marker = ""
+        if delta > args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            marker = "  improved"
+        print(f"{name:<{width}}  {format_value(base['value'], base['unit']):>16}"
+              f"  {format_value(cur['value'], cur['unit']):>16}"
+              f"  {delta_text:>8}{marker}")
+
+    for name in only_current:
+        print(f"{name:<{width}}  {'(new)':>16}  "
+              f"{format_value(current[name]['value'], current[name]['unit']):>16}")
+    for name in only_baseline:
+        print(f"{name:<{width}}  "
+              f"{format_value(baseline[name]['value'], baseline[name]['unit']):>16}"
+              f"  {'(removed)':>16}")
+
+    print(f"\n{len(shared)} compared, {len(only_current)} new, "
+          f"{len(only_baseline)} removed, {len(regressions)} regressed "
+          f"beyond {args.threshold:.0f}%")
+    if regressions:
+        worst = max(regressions, key=lambda item: item[1])
+        print(f"worst regression: {worst[0]} ({worst[1]:+.1f}%)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

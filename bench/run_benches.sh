@@ -6,12 +6,18 @@
 #   BUILD_DIR  cmake build tree containing bench/ (default: build)
 #   OUT_DIR    where BENCH_<name>.json files land (default: bench_results)
 #
+# Optional PR-over-PR comparison: set FV_BENCH_BASELINE to a directory of a
+# previous run's BENCH_*.json files and compare_benchmarks.py prints a delta
+# table after the runs, failing the script on any >10% regression
+# (FV_BENCH_THRESHOLD overrides the percentage).
+#
 # JSON goes through --benchmark_out (not stdout redirection) because several
 # benches print a human-readable report epilogue after the runs.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench_results}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 
 if [ ! -d "${BUILD_DIR}/bench" ]; then
   echo "error: ${BUILD_DIR}/bench not found — configure with" >&2
@@ -35,4 +41,14 @@ for exe in "${BUILD_DIR}"/bench/bench_*; do
     status=1
   fi
 done
+
+if [ -n "${FV_BENCH_BASELINE:-}" ]; then
+  echo "== comparing against baseline ${FV_BENCH_BASELINE}"
+  if ! python3 "${SCRIPT_DIR}/compare_benchmarks.py" \
+       "${FV_BENCH_BASELINE}" "${OUT_DIR}" \
+       --threshold "${FV_BENCH_THRESHOLD:-10}"; then
+    echo "warning: benchmark regression beyond threshold" >&2
+    status=1
+  fi
+fi
 exit "${status}"

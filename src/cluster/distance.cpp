@@ -42,7 +42,7 @@ namespace {
 DistanceMatrix all_pairs(const sim::SimilarityEngine& engine,
                          par::ThreadPool& pool) {
   DistanceMatrix distances(engine.size());
-  engine.all_distances(distances.raw(), pool);
+  engine.condensed_distances(distances.condensed(), pool);
   return distances;
 }
 

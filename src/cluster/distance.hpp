@@ -2,14 +2,18 @@
 //
 // TreeView-lineage tools cluster genes on correlation-based dissimilarity
 // (1 - r); Euclidean distance is provided for array (column) clustering and
-// comparisons. The full symmetric matrix is materialized because the
-// agglomeration algorithm mutates rows in place.
+// comparisons. Distances are stored condensed: only the strict upper
+// triangle (n(n-1)/2 floats) is materialized, halving memory versus the
+// dense n x n layout the seed used and removing the set()/at() symmetry
+// hazard by construction — there is no redundant mirror cell for a bulk
+// writer to leave stale. The NN-chain agglomerator mutates this storage in
+// place via Lance–Williams updates.
 //
 // All-pairs construction goes through sim::SimilarityEngine: profiles are
 // normalized once, pairs are answered by blocked dot-product kernels, and
-// work is scheduled as balanced tiles rather than the triangular
-// row-per-task split. profile_distance() remains the scalar reference the
-// engine is tested against (and the right call for one-off pairs).
+// tiles are emitted directly into the condensed layout (no dense staging
+// buffer). profile_distance() remains the scalar reference the engine is
+// tested against (and the right call for one-off pairs).
 #pragma once
 
 #include <cstddef>
@@ -19,6 +23,7 @@
 #include "expr/expression_matrix.hpp"
 #include "par/thread_pool.hpp"
 #include "sim/similarity_engine.hpp"
+#include "util/triangular.hpp"
 
 namespace fv::cluster {
 
@@ -30,30 +35,56 @@ using Metric = sim::Metric;
 double profile_distance(std::span<const float> a, std::span<const float> b,
                         Metric metric);
 
-/// Full symmetric distance matrix with a mutable view, as consumed by
-/// hierarchical clustering.
+/// Symmetric distance matrix in condensed (packed strict-upper-triangle)
+/// storage, as consumed by hierarchical clustering. The diagonal is an
+/// implicit 0; off-diagonal pairs are stored exactly once, so writers
+/// cannot break symmetry.
 class DistanceMatrix {
  public:
   DistanceMatrix() = default;
-  explicit DistanceMatrix(std::size_t n) : n_(n), values_(n * n, 0.0f) {}
+  explicit DistanceMatrix(std::size_t n)
+      : n_(n), values_(condensed_size(n), 0.0f) {}
 
   std::size_t size() const noexcept { return n_; }
 
+  /// Symmetric read; accepts (i, j) in either order, i == j reads the
+  /// implicit zero diagonal. Hot loops (the NN-chain) address condensed()
+  /// directly with precomputed row bases instead of going through here.
   float at(std::size_t i, std::size_t j) const {
     FV_REQUIRE(i < n_ && j < n_, "distance index out of range");
-    return values_[i * n_ + j];
+    if (i == j) return 0.0f;
+    return i < j ? values_[condensed_index(i, j, n_)]
+                 : values_[condensed_index(j, i, n_)];
   }
 
+  /// Symmetric write; i must differ from j (the diagonal is fixed at 0).
   void set(std::size_t i, std::size_t j, float d) {
-    FV_REQUIRE(i < n_ && j < n_, "distance index out of range");
-    values_[i * n_ + j] = d;
-    values_[j * n_ + i] = d;
+    FV_REQUIRE(i < n_ && j < n_ && i != j,
+               "distance write requires two distinct in-range indices");
+    values_[i < j ? condensed_index(i, j, n_) : condensed_index(j, i, n_)] = d;
   }
 
-  /// Row-major n x n backing storage; bulk writers (the similarity engine)
-  /// fill this directly. Writers must keep the matrix symmetric.
-  std::span<float> raw() noexcept { return values_; }
-  std::span<const float> raw() const noexcept { return values_; }
+  /// Condensed backing storage (n(n-1)/2 floats, SciPy pdist layout); bulk
+  /// writers (the similarity engine's condensed tile writer) fill this
+  /// directly. Symmetry holds by construction.
+  std::span<float> condensed() noexcept { return values_; }
+  std::span<const float> condensed() const noexcept { return values_; }
+
+  /// Dense-compat accessor kept for one release: materializes the full
+  /// row-major n x n matrix (zero diagonal, mirrored triangle) for callers
+  /// not yet ported to condensed indexing. Costs n*n floats — do not use on
+  /// hot or memory-bound paths.
+  std::vector<float> dense() const {
+    std::vector<float> full(n_ * n_, 0.0f);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        const float d = values_[condensed_index(i, j, n_)];
+        full[i * n_ + j] = d;
+        full[j * n_ + i] = d;
+      }
+    }
+    return full;
+  }
 
  private:
   std::size_t n_ = 0;

@@ -1,7 +1,11 @@
 #include "cluster/hclust.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <numeric>
+#include <queue>
+#include <utility>
 
 namespace fv::cluster {
 
@@ -34,72 +38,167 @@ std::vector<Merge> agglomerate(DistanceMatrix distances, Linkage linkage) {
   if (n == 1) return merges;
   merges.reserve(n - 1);
 
-  std::vector<bool> active(n, true);
+  // Hot-path condensed addressing: offset(i, j) for i < j is
+  // row_base[i] + (j - i - 1), so with the bases precomputed every access
+  // in the scans below is adds only — no per-access multiply/divide.
+  const std::span<float> v = distances.condensed();
+  std::vector<std::size_t> row_base(n, 0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    row_base[i] = condensed_index(i, i + 1, n);
+  }
+  const auto cell = [&](std::size_t i, std::size_t j) -> float& {
+    return i < j ? v[row_base[i] + (j - i - 1)] : v[row_base[j] + (i - j - 1)];
+  };
+
+  std::vector<std::uint8_t> active(n, 1);
   std::vector<std::size_t> cluster_size(n, 1);
   std::vector<int> node_id(n);
-  for (std::size_t i = 0; i < n; ++i) node_id[i] = static_cast<int>(i);
+  std::iota(node_id.begin(), node_id.end(), 0);
 
-  // Nearest-neighbor cache per active slot.
-  std::vector<std::size_t> nn(n, 0);
-  std::vector<float> nn_dist(n, kInf);
-  const auto recompute_nn = [&](std::size_t i) {
-    float best = kInf;
-    std::size_t best_j = i;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i || !active[j]) continue;
-      const float d = distances.at(i, j);
-      if (d < best) {
-        best = d;
-        best_j = j;
-      }
-    }
-    nn[i] = best_j;
-    nn_dist[i] = best;
-  };
-  for (std::size_t i = 0; i < n; ++i) recompute_nn(i);
+  // The nearest-neighbor chain: d(chain[t], chain[t+1]) is non-increasing
+  // in t, so the chain can never cycle and its tip always reaches a
+  // reciprocal nearest-neighbor pair. Merging an RNN pair is correct for
+  // reducible linkages (Lance–Williams single/complete/average): a merge
+  // elsewhere can never bring two clusters closer together, so the
+  // surviving chain prefix stays valid and is resumed, not rebuilt. Every
+  // loop iteration either grows the chain (each cluster enters at most
+  // once between merges) or merges, giving O(n) scans of O(n) each between
+  // consecutive merges amortized — O(n²) total.
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t lowest_active = 0;  // restart hint; only ever moves forward
 
   for (std::size_t step = 0; step + 1 < n; ++step) {
-    // Globally closest pair (a, nn[a]); caches are kept exact below.
-    std::size_t a = n;
-    float best = kInf;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (active[i] && nn_dist[i] < best) {
-        best = nn_dist[i];
-        a = i;
+    if (chain.empty()) {
+      while (active[lowest_active] == 0) ++lowest_active;
+      chain.push_back(lowest_active);
+    }
+    for (;;) {
+      const std::size_t x = chain.back();
+      // Nearest active neighbor of x. The previous chain element seeds the
+      // scan and only a strictly smaller distance displaces it: on ties the
+      // chain turns back into a reciprocal pair instead of wandering along
+      // an equal-distance plateau forever.
+      std::size_t best_j = n;
+      float best = kInf;
+      if (chain.size() >= 2) {
+        best_j = chain[chain.size() - 2];
+        best = cell(x, best_j);
       }
+      // Column sweep j < x (descending stride), then the contiguous row
+      // segment j > x.
+      for (std::size_t j = 0; j < x; ++j) {
+        if (active[j] == 0) continue;
+        const float d = v[row_base[j] + (x - j - 1)];
+        if (d < best) {
+          best = d;
+          best_j = j;
+        }
+      }
+      const float* row = v.data() + row_base[x];
+      for (std::size_t j = x + 1; j < n; ++j) {
+        if (active[j] == 0) continue;
+        const float d = row[j - x - 1];
+        if (d < best) {
+          best = d;
+          best_j = j;
+        }
+      }
+      FV_ASSERT(best_j < n, "no active neighbor found");
+      if (chain.size() >= 2 && best_j == chain[chain.size() - 2]) {
+        // Reciprocal pair (x, best_j): merge, keeping slot x.
+        chain.pop_back();
+        chain.pop_back();
+        const std::size_t a = x;
+        const std::size_t b = best_j;
+        merges.push_back(
+            Merge{node_id[a], node_id[b], static_cast<double>(best)});
+        for (std::size_t k = 0; k < n; ++k) {
+          if (active[k] == 0 || k == a || k == b) continue;
+          const double updated =
+              lance_williams(linkage, cell(a, k), cell(b, k),
+                             cluster_size[a], cluster_size[b]);
+          cell(a, k) = static_cast<float>(updated);
+        }
+        active[b] = 0;
+        cluster_size[a] += cluster_size[b];
+        node_id[a] = static_cast<int>(n + step);
+        break;
+      }
+      chain.push_back(best_j);
     }
-    FV_ASSERT(a < n, "no active pair found");
-    const std::size_t b = nn[a];
-    FV_ASSERT(active[b] && b != a, "nearest-neighbor cache corrupt");
+  }
+  // Chain merges emerge out of height order (a deep chain merges its
+  // tightest tail pair first); restore the canonical sorted/relabeled form
+  // every consumer expects.
+  return canonicalize_merges(std::move(merges), n);
+}
 
-    merges.push_back(Merge{node_id[a], node_id[b],
-                           static_cast<double>(distances.at(a, b))});
-
-    // Fold cluster b into slot a via Lance–Williams.
-    for (std::size_t k = 0; k < n; ++k) {
-      if (!active[k] || k == a || k == b) continue;
-      const double updated =
-          lance_williams(linkage, distances.at(a, k), distances.at(b, k),
-                         cluster_size[a], cluster_size[b]);
-      distances.set(a, k, static_cast<float>(updated));
-    }
-    active[b] = false;
-    cluster_size[a] += cluster_size[b];
-    node_id[a] = static_cast<int>(n + step);
-
-    recompute_nn(a);
-    for (std::size_t k = 0; k < n; ++k) {
-      if (!active[k] || k == a) continue;
-      if (nn[k] == a || nn[k] == b) {
-        // Cached target merged away or its distance changed; rescan.
-        recompute_nn(k);
-      } else if (distances.at(k, a) < nn_dist[k]) {
-        nn[k] = a;
-        nn_dist[k] = distances.at(k, a);
+std::vector<Merge> canonicalize_merges(std::vector<Merge> merges,
+                                       std::size_t leaf_count) {
+  const std::size_t n = leaf_count;
+  const std::size_t m = merges.size();
+  // pending[k]: internal children of merge k not yet emitted.
+  // consumer[k]: index of the merge that consumes node n+k, or -1 (root).
+  std::vector<int> pending(m, 0);
+  std::vector<int> consumer(m, -1);
+  for (std::size_t k = 0; k < m; ++k) {
+    for (const int child : {merges[k].left, merges[k].right}) {
+      FV_REQUIRE(child >= 0 && static_cast<std::size_t>(child) < n + k,
+                 "merge child must be a leaf or an earlier merge");
+      if (static_cast<std::size_t>(child) >= n) {
+        const std::size_t c = static_cast<std::size_t>(child) - n;
+        FV_REQUIRE(consumer[c] < 0, "merge node used as a child twice");
+        consumer[c] = static_cast<int>(k);
+        ++pending[k];
       }
     }
   }
-  return merges;
+
+  // Dependency-aware ordering: repeatedly emit the lowest merge whose
+  // children are already emitted. For exact reducible-linkage heights this
+  // is plain sort-by-height; the dependency gate additionally absorbs the
+  // rounding-level inversions average linkage can produce (its updates are
+  // order-sensitive at ~1 ulp), where a bare sort could order a parent
+  // before its child. Ties fall back to emission order, so already-
+  // canonical input passes through unchanged.
+  using Entry = std::pair<double, std::size_t>;  // (height, emission index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+  for (std::size_t k = 0; k < m; ++k) {
+    if (pending[k] == 0) ready.push({merges[k].distance, k});
+  }
+  std::vector<Merge> out;
+  out.reserve(m);
+  std::vector<int> new_id(m, -1);
+  while (!ready.empty()) {
+    const std::size_t k = ready.top().second;
+    ready.pop();
+    Merge merge = merges[k];
+    if (merge.left >= static_cast<int>(n)) {
+      merge.left = new_id[static_cast<std::size_t>(merge.left) - n];
+    }
+    if (merge.right >= static_cast<int>(n)) {
+      merge.right = new_id[static_cast<std::size_t>(merge.right) - n];
+    }
+    if (!out.empty() && merge.distance < out.back().distance) {
+      // A dependency-forced dip. Legal inputs only produce these at float
+      // rounding magnitude; clamp so the emitted sequence is monotone (the
+      // contract cut_tree_k's id-order cut relies on).
+      FV_REQUIRE(out.back().distance - merge.distance <=
+                     1e-3 * std::max(1.0, std::abs(out.back().distance)),
+                 "merge heights invert beyond rounding noise — input is not "
+                 "a reducible-linkage hierarchy");
+      merge.distance = out.back().distance;
+    }
+    new_id[k] = static_cast<int>(n + out.size());
+    out.push_back(merge);
+    if (consumer[k] >= 0 && --pending[consumer[k]] == 0) {
+      ready.push({merges[consumer[k]].distance,
+                  static_cast<std::size_t>(consumer[k])});
+    }
+  }
+  FV_REQUIRE(out.size() == m, "merge list contains an unreachable cycle");
+  return out;
 }
 
 expr::HierTree merges_to_tree(const std::vector<Merge>& merges,
@@ -108,8 +207,9 @@ expr::HierTree merges_to_tree(const std::vector<Merge>& merges,
   FV_REQUIRE(leaf_count >= 1, "tree needs at least one leaf");
   FV_REQUIRE(merges.size() + 1 == leaf_count,
              "merge count must be leaf_count - 1");
+  const std::vector<Merge> canonical = canonicalize_merges(merges, leaf_count);
   expr::HierTree tree(leaf_count);
-  for (const Merge& merge : merges) {
+  for (const Merge& merge : canonical) {
     tree.add_node(merge.left, merge.right,
                   similarity_from_distance(merge.distance));
   }
@@ -151,8 +251,8 @@ std::vector<std::vector<std::size_t>> cut_tree_at_similarity(
     const expr::HierTree& tree, double min_similarity) {
   FV_REQUIRE(tree.node_count() > 0, "cannot cut an empty tree");
   std::vector<std::vector<std::size_t>> clusters;
-  // Monotone merge heights mean: once a node's similarity clears the
-  // threshold, so do all merges beneath it.
+  // Canonical trees have monotone merge heights: once a node's similarity
+  // clears the threshold, so do all merges beneath it.
   std::vector<int> stack{tree.root()};
   while (!stack.empty()) {
     const int id = stack.back();
@@ -176,8 +276,9 @@ std::vector<std::vector<std::size_t>> cut_tree_k(const expr::HierTree& tree,
                                                  std::size_t k) {
   FV_REQUIRE(k >= 1 && k <= tree.leaf_count(),
              "cluster count must lie in [1, leaf_count]");
-  // The last k-1 merges (highest node ids, since heights are monotone) are
-  // undone; every node below the boundary roots one cluster.
+  // The last k-1 merges (highest node ids — canonical trees order ids by
+  // height, ties by emission) are undone; every node below the boundary
+  // roots one cluster.
   const std::size_t boundary = tree.node_count() - (k - 1);
   std::vector<std::vector<std::size_t>> clusters;
   std::vector<int> stack{tree.root()};

@@ -1,10 +1,16 @@
 // Hierarchical agglomerative clustering.
 //
 // Produces the gene/array dendrograms that ForestView panes display and the
-// GTR/ATR files store. The algorithm is the classic nearest-neighbor-cached
-// agglomeration over a mutable distance matrix with Lance–Williams updates:
-// every step merges the globally closest pair, so merge heights are
-// monotone for the reducible linkages offered here.
+// GTR/ATR files store. The agglomerator is the NN-chain algorithm over the
+// condensed DistanceMatrix: follow nearest-neighbor links until a reciprocal
+// pair appears, merge it, and continue from the surviving chain. For the
+// reducible linkages offered here (single / complete / average under
+// Lance–Williams updates) every reciprocal pair is safe to merge
+// immediately, which bounds total work at O(n²) — the seed's
+// nearest-neighbor-cached agglomeration degraded to O(n³) when many slots
+// shared a merged neighbor (exactly what module-structured expression data
+// produces). Chain merges emerge out of height order; canonicalize_merges
+// restores the sorted, relabeled form before anything downstream sees them.
 #pragma once
 
 #include <vector>
@@ -29,13 +35,28 @@ struct Merge {
   double distance = 0.0;
 };
 
-/// Runs agglomerative clustering over a (consumed) distance matrix.
-/// Returns the n-1 merges in execution order (non-decreasing distance).
+/// Runs NN-chain agglomerative clustering over a (consumed) condensed
+/// distance matrix. Returns the n-1 merges in canonical order
+/// (non-decreasing distance, children before parents — already passed
+/// through canonicalize_merges).
 std::vector<Merge> agglomerate(DistanceMatrix distances, Linkage linkage);
+
+/// Reorders a merge list into canonical dendrogram order — non-decreasing
+/// height with every child emitted before its parent — and relabels node
+/// ids to match the new positions. Accepts chain-emission order (heights
+/// out of order) as produced inside the NN-chain; requires a valid forest
+/// in the input's own emission convention (the k-th element creates node
+/// leaf_count + k, children refer to leaves or earlier elements, each node
+/// consumed at most once) whose height inversions do not exceed rounding
+/// noise — the monotone-hierarchy contract of reducible linkages.
+/// Idempotent on already-canonical input.
+std::vector<Merge> canonicalize_merges(std::vector<Merge> merges,
+                                       std::size_t leaf_count);
 
 /// Converts merges to the HierTree file model. `similarity_from_distance`
 /// maps merge heights into the GTR similarity column; for correlation
-/// distances use `correlation_similarity` (1 - d).
+/// distances use `correlation_similarity` (1 - d). Input may be in any
+/// emission order (it is canonicalized first), so raw chain output works.
 expr::HierTree merges_to_tree(const std::vector<Merge>& merges,
                               std::size_t leaf_count,
                               double (*similarity_from_distance)(double));
@@ -56,11 +77,14 @@ std::vector<Merge> cluster_arrays(expr::Dataset& dataset, Metric metric,
 /// Cuts a tree at a similarity threshold: returns the leaf sets of the
 /// maximal subtrees whose internal merges all have similarity >= threshold.
 /// Singletons are included, so the result is a partition of all leaves.
+/// A single-leaf tree yields one singleton cluster.
 std::vector<std::vector<std::size_t>> cut_tree_at_similarity(
     const expr::HierTree& tree, double min_similarity);
 
 /// Cuts a tree into exactly k clusters (k in [1, leaf_count]) by undoing
-/// the last k-1 merges.
+/// the last k-1 merges. Requires a canonical tree (node ids ordered by
+/// merge height, as merges_to_tree builds); under tied heights the cut is
+/// deterministic — the tie at the boundary is broken by node id.
 std::vector<std::vector<std::size_t>> cut_tree_k(const expr::HierTree& tree,
                                                  std::size_t k);
 

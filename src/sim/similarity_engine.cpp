@@ -8,6 +8,7 @@
 #include "stats/descriptive.hpp"
 #include "stats/ranking.hpp"
 #include "util/error.hpp"
+#include "util/triangular.hpp"
 
 namespace fv::sim {
 
@@ -76,6 +77,28 @@ double finish_uncentered(const PairSums& s) {
   if (s.n < stats::kMinCompletePairs) return 0.0;
   if (s.sum_aa <= 0.0 || s.sum_bb <= 0.0) return 0.0;
   return std::clamp(s.sum_ab / std::sqrt(s.sum_aa * s.sum_bb), -1.0, 1.0);
+}
+
+/// One kTile x kTile pair block of the upper triangle.
+struct TilePair {
+  std::uint32_t a, b;
+};
+
+/// Balanced schedule: every work unit is one pair block, so unit cost is
+/// near-uniform regardless of row index (the seed's row-per-task triangle
+/// gave the first row n-1 pairs and the last row one). Dynamic pull absorbs
+/// what variance remains (diagonal tiles are half-size; masked rows cost
+/// more).
+std::vector<TilePair> upper_triangle_tiles(std::size_t n) {
+  const std::size_t tiles = (n + kTile - 1) / kTile;
+  std::vector<TilePair> work;
+  work.reserve(tiles * (tiles + 1) / 2);
+  for (std::uint32_t ta = 0; ta < tiles; ++ta) {
+    for (std::uint32_t tb = ta; tb < tiles; ++tb) {
+      work.push_back({ta, tb});
+    }
+  }
+  return work;
 }
 
 }  // namespace
@@ -339,23 +362,7 @@ void SimilarityEngine::all_distances(std::span<float> out,
   FV_REQUIRE(out.size() == n * n, "output must be size() x size()");
   if (n == 0) return;
 
-  // Balanced schedule: every work unit is one kTile x kTile pair block of
-  // the upper triangle, so unit cost is near-uniform regardless of row
-  // index (the seed's row-per-task triangle gave the first row n-1 pairs
-  // and the last row one). Dynamic pull absorbs what variance remains
-  // (diagonal tiles are half-size; masked rows cost more).
-  const std::size_t tiles = (n + kTile - 1) / kTile;
-  struct TilePair {
-    std::uint32_t a, b;
-  };
-  std::vector<TilePair> work;
-  work.reserve(tiles * (tiles + 1) / 2);
-  for (std::uint32_t ta = 0; ta < tiles; ++ta) {
-    for (std::uint32_t tb = ta; tb < tiles; ++tb) {
-      work.push_back({ta, tb});
-    }
-  }
-
+  const std::vector<TilePair> work = upper_triangle_tiles(n);
   float* d = out.data();
   par::parallel_dynamic(pool, 0, work.size(), [&](std::size_t t) {
     const auto [ta, tb] = work[t];
@@ -371,6 +378,37 @@ void SimilarityEngine::all_distances(std::span<float> out,
     }
   });
   for (std::size_t i = 0; i < n; ++i) d[i * n + i] = 0.0f;
+}
+
+void SimilarityEngine::condensed_distances(std::span<float> out,
+                                           par::ThreadPool& pool) const {
+  const std::size_t n = count_;
+  FV_REQUIRE(out.size() == condensed_size(n),
+             "output must hold condensed_size(size()) values");
+  if (n < 2) return;
+
+  // Same balanced tile schedule as all_distances, but each (i, j) pair is
+  // written exactly once at its condensed offset. Within one row segment of
+  // a tile the condensed indices are contiguous (offset(i, j+1) =
+  // offset(i, j) + 1), so the inner loop is a linear store stream; distinct
+  // tiles cover disjoint (i, j-range) segments, so writes never race.
+  const std::vector<TilePair> work = upper_triangle_tiles(n);
+  float* d = out.data();
+  par::parallel_dynamic(pool, 0, work.size(), [&](std::size_t t) {
+    const auto [ta, tb] = work[t];
+    const std::size_t i_end = std::min<std::size_t>(n, (ta + 1) * kTile);
+    const std::size_t j_begin = tb * kTile;
+    const std::size_t j_end = std::min<std::size_t>(n, (tb + 1) * kTile);
+    for (std::size_t i = ta * kTile; i < i_end; ++i) {
+      const std::size_t j_first = ta == tb ? i + 1 : j_begin;
+      if (j_first >= j_end) continue;
+      // Row base such that row[j] is pair (i, j)'s condensed cell.
+      float* row = d + condensed_index(i, j_first, n) - j_first;
+      for (std::size_t j = j_first; j < j_end; ++j) {
+        row[j] = distance(i, j);
+      }
+    }
+  });
 }
 
 void SimilarityEngine::dot_all(std::span<const float> query,

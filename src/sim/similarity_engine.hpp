@@ -101,8 +101,18 @@ class SimilarityEngine {
   /// Fills `out` (size() x size(), row-major) with all pairwise distances:
   /// symmetric, zero diagonal. Work is scheduled as balanced square tiles
   /// on the pool (dynamic pull, so masked-path tiles cannot stall a static
-  /// partition).
+  /// partition). Prefer condensed_distances() — it writes half the memory;
+  /// this dense form is kept for callers not yet ported.
   void all_distances(std::span<float> out, par::ThreadPool& pool) const;
+
+  /// Fills `out` (condensed_size(size()) floats, fv::condensed_index
+  /// layout) with the strict upper triangle of the pairwise distance
+  /// matrix, emitting each tile directly into condensed storage — no dense
+  /// n x n staging buffer exists at any point, so the distance phase peaks
+  /// at half the dense layout's memory. Same tile schedule and same values
+  /// as all_distances(); tiles own disjoint condensed ranges per row
+  /// segment, so writes never race.
+  void condensed_distances(std::span<float> out, par::ThreadPool& pool) const;
 
   /// out[i] = dot(normalized_row(i), query) for every profile — the
   /// one-vs-all kernel behind SPELL scoring. `query` must have stride()

@@ -86,3 +86,14 @@ namespace detail {
                                         __LINE__, std::string(msg));        \
     }                                                                       \
   } while (false)
+
+/// Debug-build-only precondition: checked like FV_REQUIRE in Debug builds,
+/// compiled out entirely under NDEBUG. For checks on per-element hot paths
+/// (e.g. condensed-index ordering) where a branch per access is measurable.
+#ifdef NDEBUG
+#define FV_DBG_REQUIRE(cond, msg) \
+  do {                            \
+  } while (false)
+#else
+#define FV_DBG_REQUIRE(cond, msg) FV_REQUIRE(cond, msg)
+#endif

@@ -1,0 +1,34 @@
+// Condensed (packed upper-triangle) indexing shared by the distance storage
+// and the similarity engine's condensed tile writer.
+//
+// A symmetric n x n matrix with a known diagonal needs only the strict upper
+// triangle: n(n-1)/2 values, laid out row-major as
+//   (0,1) (0,2) ... (0,n-1) (1,2) ... (n-2,n-1)
+// — the same convention as SciPy's `pdist` / R's `dist`. Storing one copy of
+// each pair halves memory versus the dense layout and removes the
+// set()/raw() symmetry hazard by construction: there is no redundant mirror
+// cell to get out of sync.
+#pragma once
+
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace fv {
+
+/// Number of values in the condensed layout for an n x n symmetric matrix.
+constexpr std::size_t condensed_size(std::size_t n) noexcept {
+  return n < 2 ? 0 : n * (n - 1) / 2;
+}
+
+/// Offset of ordered pair (i, j), i < j < n, in the condensed layout.
+/// Ordering is the caller's job (FV_DBG_REQUIRE'd in debug builds): the
+/// condensed layout has no (j, i) mirror to fall back on, and hot loops
+/// cannot afford a swap branch per access.
+inline std::size_t condensed_index(std::size_t i, std::size_t j,
+                                   std::size_t n) {
+  FV_DBG_REQUIRE(i < j && j < n, "condensed index requires i < j < n");
+  return i * (2 * n - i - 1) / 2 + (j - i - 1);
+}
+
+}  // namespace fv

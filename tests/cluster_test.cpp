@@ -203,6 +203,69 @@ TEST(TreeCutTest, CutKExtremes) {
   EXPECT_THROW(cl::cut_tree_k(tree, m.rows() + 1), fv::InvalidArgument);
 }
 
+TEST(TreeCutTest, SingleLeafTreeCuts) {
+  // A one-gene dataset has a leaf-only tree: no merges, but both cut
+  // operations must still return the one-singleton partition.
+  const ex::HierTree tree(1);
+  const auto by_sim = cl::cut_tree_at_similarity(tree, 0.5);
+  ASSERT_EQ(by_sim.size(), 1u);
+  EXPECT_EQ(by_sim[0], std::vector<std::size_t>{0});
+  const auto by_k = cl::cut_tree_k(tree, 1);
+  ASSERT_EQ(by_k.size(), 1u);
+  EXPECT_EQ(by_k[0], std::vector<std::size_t>{0});
+  EXPECT_THROW(cl::cut_tree_k(tree, 2), fv::InvalidArgument);
+}
+
+TEST(TreeCutTest, TiedMergeHeightsCutDeterministically) {
+  // Two pairs merge at the same similarity (0.8), the root far below. Cuts
+  // exactly at the tie and inside the tie band must be deterministic.
+  std::vector<cl::Merge> merges{
+      {0, 1, 0.2}, {2, 3, 0.2}, {4, 5, 0.7}};  // distances; sim = 1 - d
+  const auto tree = cl::merges_to_tree(merges, 4, cl::correlation_similarity);
+  // Threshold equal to the tied similarity: both pairs survive (>= is
+  // inclusive), root does not.
+  const auto at_tie = cl::cut_tree_at_similarity(tree, 0.8);
+  ASSERT_EQ(at_tie.size(), 2u);
+  for (const auto& cluster : at_tie) EXPECT_EQ(cluster.size(), 2u);
+  // Just above the tie: everything dissolves to singletons.
+  EXPECT_EQ(cl::cut_tree_at_similarity(tree, 0.8 + 1e-9).size(), 4u);
+  // k = 2 keeps both tied pairs.
+  const auto two = cl::cut_tree_k(tree, 2);
+  ASSERT_EQ(two.size(), 2u);
+  for (const auto& cluster : two) EXPECT_EQ(cluster.size(), 2u);
+  // k = 3 must undo exactly one of the tied merges — deterministically the
+  // higher node id (the later-emitted pair) — leaving a 2-1-1 partition.
+  const auto three = cl::cut_tree_k(tree, 3);
+  ASSERT_EQ(three.size(), 3u);
+  std::multiset<std::size_t> sizes;
+  for (const auto& cluster : three) sizes.insert(cluster.size());
+  EXPECT_EQ(sizes, (std::multiset<std::size_t>{1, 1, 2}));
+  // Deterministic: repeated cuts agree.
+  EXPECT_EQ(three, cl::cut_tree_k(tree, 3));
+}
+
+TEST(TreeCutTest, AllMergesTiedStillPartition) {
+  // Every merge at the same height: cut_tree_k must still produce exactly k
+  // clusters for every k (id order breaks the ties).
+  const auto n = std::size_t{6};
+  std::vector<cl::Merge> merges;
+  // Left comb: (0,1), (6,2), (7,3), ... all at distance 0.5.
+  merges.push_back({0, 1, 0.5});
+  for (std::size_t i = 2; i < n; ++i) {
+    merges.push_back({static_cast<int>(n + i - 2), static_cast<int>(i), 0.5});
+  }
+  const auto tree = cl::merges_to_tree(merges, n, cl::correlation_similarity);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const auto clusters = cl::cut_tree_k(tree, k);
+    EXPECT_EQ(clusters.size(), k);
+    std::set<std::size_t> seen;
+    for (const auto& cluster : clusters) {
+      for (const std::size_t leaf : cluster) seen.insert(leaf);
+    }
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
 // Property sweep: cut_tree_k returns exactly k clusters forming a partition.
 class CutKPropertyTest : public ::testing::TestWithParam<int> {};
 

@@ -1,0 +1,263 @@
+// NN-chain equivalence suite: the chain agglomerator must reproduce the
+// seed's greedy global-minimum agglomeration — same merge set and heights
+// on distinct-distance inputs, identical cut_tree_k partitions everywhere,
+// including adversarial tied-distance matrices.
+//
+// The reference here is the O(n^3) greedy scan (merge the globally closest
+// active pair every step), which the seed's nearest-neighbor-cached
+// agglomerator was property-tested against before the NN-chain rewrite; it
+// is therefore a faithful stand-in for the seed's trees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "cluster/distance.hpp"
+#include "cluster/hclust.hpp"
+#include "expr/synth.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace cl = fv::cluster;
+namespace ex = fv::expr;
+
+std::vector<cl::Merge> reference_agglomerate(cl::DistanceMatrix distances,
+                                             cl::Linkage linkage) {
+  const std::size_t n = distances.size();
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> size(n, 1);
+  std::vector<int> node_id(n);
+  std::iota(node_id.begin(), node_id.end(), 0);
+  std::vector<cl::Merge> merges;
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (distances.at(i, j) < best) {
+          best = distances.at(i, j);
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    merges.push_back(cl::Merge{node_id[bi], node_id[bj], best});
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi || k == bj) continue;
+      double updated = 0.0;
+      switch (linkage) {
+        case cl::Linkage::kSingle:
+          updated = std::min(distances.at(bi, k), distances.at(bj, k));
+          break;
+        case cl::Linkage::kComplete:
+          updated = std::max(distances.at(bi, k), distances.at(bj, k));
+          break;
+        case cl::Linkage::kAverage:
+          updated = (static_cast<double>(size[bi]) * distances.at(bi, k) +
+                     static_cast<double>(size[bj]) * distances.at(bj, k)) /
+                    static_cast<double>(size[bi] + size[bj]);
+          break;
+      }
+      distances.set(bi, k, static_cast<float>(updated));
+    }
+    active[bj] = false;
+    size[bi] += size[bj];
+    node_id[bi] = static_cast<int>(n + step);
+  }
+  return merges;
+}
+
+constexpr cl::Linkage kAllLinkages[] = {
+    cl::Linkage::kSingle, cl::Linkage::kComplete, cl::Linkage::kAverage};
+
+/// Canonical form of a partition: clusters as sorted leaf lists, sorted.
+std::vector<std::vector<std::size_t>> canonical_partition(
+    std::vector<std::vector<std::size_t>> clusters) {
+  for (auto& cluster : clusters) std::sort(cluster.begin(), cluster.end());
+  std::sort(clusters.begin(), clusters.end());
+  return clusters;
+}
+
+void expect_same_merges(const std::vector<cl::Merge>& chain,
+                        const std::vector<cl::Merge>& reference) {
+  ASSERT_EQ(chain.size(), reference.size());
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_NEAR(chain[i].distance, reference[i].distance, 1e-6)
+        << "merge " << i;
+    const auto chain_pair = std::minmax(chain[i].left, chain[i].right);
+    const auto ref_pair = std::minmax(reference[i].left, reference[i].right);
+    EXPECT_EQ(chain_pair, ref_pair) << "merge " << i;
+  }
+}
+
+void expect_same_cuts(const std::vector<cl::Merge>& chain,
+                      const std::vector<cl::Merge>& reference,
+                      std::size_t leaf_count,
+                      const std::vector<std::size_t>& ks) {
+  const auto chain_tree =
+      cl::merges_to_tree(chain, leaf_count, cl::correlation_similarity);
+  const auto ref_tree =
+      cl::merges_to_tree(reference, leaf_count, cl::correlation_similarity);
+  for (const std::size_t k : ks) {
+    EXPECT_EQ(canonical_partition(cl::cut_tree_k(chain_tree, k)),
+              canonical_partition(cl::cut_tree_k(ref_tree, k)))
+        << "k = " << k;
+  }
+}
+
+std::vector<std::size_t> all_ks(std::size_t n) {
+  std::vector<std::size_t> ks(n);
+  std::iota(ks.begin(), ks.end(), 1);
+  return ks;
+}
+
+// --- Shape 1: random distance matrices (distinct values) ------------------
+
+TEST(NNChainEquivalenceTest, RandomMatricesMatchSeedAgglomerator) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    fv::Rng rng(seed);
+    const std::size_t n = 8 + seed % 17;
+    cl::DistanceMatrix d(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        d.set(i, j, static_cast<float>(rng.uniform(0.01, 2.0)));
+      }
+    }
+    for (const auto linkage : kAllLinkages) {
+      const auto chain = cl::agglomerate(d, linkage);
+      const auto reference = reference_agglomerate(d, linkage);
+      expect_same_merges(chain, reference);
+      expect_same_cuts(chain, reference, n, all_ks(n));
+    }
+  }
+}
+
+// --- Shape 2: real expression profiles (engine-built distances) -----------
+
+TEST(NNChainEquivalenceTest, ExpressionDistancesMatchSeedAgglomerator) {
+  const auto genome = ex::make_genome(ex::GenomeSpec::yeast_like(60), 31);
+  ex::StressDatasetSpec spec;
+  spec.missing_rate = 0.02;
+  const auto ds = ex::make_stress_dataset(genome, spec, 32);
+  fv::par::ThreadPool pool(2);
+  const auto d =
+      cl::row_distances(ds.values(), cl::Metric::kPearson, pool);
+  for (const auto linkage : kAllLinkages) {
+    const auto chain = cl::agglomerate(d, linkage);
+    const auto reference = reference_agglomerate(d, linkage);
+    expect_same_merges(chain, reference);
+    expect_same_cuts(chain, reference, d.size(), all_ks(d.size()));
+  }
+}
+
+// --- Shape 3: adversarial tied distances ----------------------------------
+// Block-structured matrix where every within-block distance is the SAME
+// value and every between-block distance is another, larger value: ties
+// everywhere, so any greedy step has many equally valid choices. The
+// algorithms may disagree on the internal merge order, but heights and the
+// partitions at block-aligned k must be identical.
+
+TEST(NNChainEquivalenceTest, TiedBlockDistancesSamePartitions) {
+  constexpr std::size_t kBlocks = 4;
+  constexpr std::size_t kPerBlock = 6;
+  constexpr std::size_t n = kBlocks * kPerBlock;
+  cl::DistanceMatrix d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same_block = i / kPerBlock == j / kPerBlock;
+      d.set(i, j, same_block ? 0.25f : 1.0f);
+    }
+  }
+  for (const auto linkage : kAllLinkages) {
+    const auto chain = cl::agglomerate(d, linkage);
+    const auto reference = reference_agglomerate(d, linkage);
+    ASSERT_EQ(chain.size(), reference.size());
+    // Heights match step for step even where the merged pairs differ.
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      EXPECT_NEAR(chain[i].distance, reference[i].distance, 1e-6)
+          << "merge " << i;
+    }
+    // Cuts at block-aligned k (ties inside a band make other k ambiguous
+    // by construction, for the seed agglomerator just as much).
+    expect_same_cuts(chain, reference, n, {1, kBlocks, n});
+  }
+}
+
+// Tied distances where whole tied groups merge at one height, plus one
+// strictly closer pair — exercises the chain's tie handling next to a
+// distinct minimum.
+TEST(NNChainEquivalenceTest, TiedPairsNextToDistinctMinimum) {
+  constexpr std::size_t n = 9;
+  cl::DistanceMatrix d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same_triplet = i / 3 == j / 3;
+      d.set(i, j, same_triplet ? 0.5f : 2.0f);
+    }
+  }
+  d.set(0, 1, 0.1f);  // the unique global minimum
+  for (const auto linkage : kAllLinkages) {
+    const auto chain = cl::agglomerate(d, linkage);
+    const auto reference = reference_agglomerate(d, linkage);
+    ASSERT_EQ(chain.size(), reference.size());
+    // The first merge is forced; heights must agree throughout.
+    EXPECT_NEAR(chain.front().distance, 0.1, 1e-6);
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      EXPECT_NEAR(chain[i].distance, reference[i].distance, 1e-6);
+    }
+    expect_same_cuts(chain, reference, n, {1, 3, n});
+  }
+}
+
+// --- Out-of-order merge lists reach merges_to_tree unharmed ---------------
+
+TEST(NNChainEquivalenceTest, MergesToTreeAcceptsEmissionOrder) {
+  // Hand-built chain-emission order: the second-emitted merge is LOWER than
+  // the first (a deep chain merged its tail first). merges_to_tree must
+  // canonicalize before building the tree.
+  // Leaves 0..3; emission: (2,3)@0.9 -> node 4, (0,1)@0.2 -> node 5,
+  // (5,4)@1.5 -> node 6.
+  const std::vector<cl::Merge> emission{
+      {2, 3, 0.9}, {0, 1, 0.2}, {5, 4, 1.5}};
+  const auto tree = cl::merges_to_tree(emission, 4,
+                                       cl::negated_similarity);
+  EXPECT_TRUE(tree.is_complete());
+  // Canonical order: (0,1)@0.2 is node 4, (2,3)@0.9 is node 5, root joins
+  // them at 1.5.
+  EXPECT_EQ(canonical_partition(cl::cut_tree_k(tree, 2)),
+            canonical_partition({{0, 1}, {2, 3}}));
+  const auto canonical = cl::canonicalize_merges(emission, 4);
+  ASSERT_EQ(canonical.size(), 3u);
+  EXPECT_DOUBLE_EQ(canonical[0].distance, 0.2);
+  EXPECT_DOUBLE_EQ(canonical[1].distance, 0.9);
+  EXPECT_DOUBLE_EQ(canonical[2].distance, 1.5);
+  EXPECT_EQ(std::minmax(canonical[0].left, canonical[0].right),
+            std::minmax(0, 1));
+  EXPECT_EQ(std::minmax(canonical[1].left, canonical[1].right),
+            std::minmax(2, 3));
+  EXPECT_EQ(std::minmax(canonical[2].left, canonical[2].right),
+            std::minmax(4, 5));
+}
+
+TEST(NNChainEquivalenceTest, CanonicalizeRejectsBrokenForests) {
+  // Child id beyond the emission frontier.
+  EXPECT_THROW(cl::canonicalize_merges({{0, 5, 0.1}}, 4),
+               fv::InvalidArgument);
+  // A node consumed twice.
+  EXPECT_THROW(
+      cl::canonicalize_merges({{0, 1, 0.1}, {4, 2, 0.2}, {4, 3, 0.3}}, 4),
+      fv::InvalidArgument);
+  // Heights inverted far beyond rounding noise (child above parent).
+  EXPECT_THROW(
+      cl::canonicalize_merges({{0, 1, 5.0}, {4, 2, 0.1}, {5, 3, 6.0}}, 4),
+      fv::InvalidArgument);
+}
+
+}  // namespace

@@ -17,6 +17,7 @@
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/triangular.hpp"
 
 namespace {
 
@@ -118,6 +119,41 @@ TEST(SimilarityEngineTest, AllDistancesCrossesTileBoundaries) {
       }
     }
   }
+}
+
+TEST(SimilarityEngineTest, CondensedDistancesMatchDense) {
+  // The condensed tile writer must produce exactly the dense writer's
+  // values, one copy per pair in pdist layout — including across the
+  // 64-row tile edge.
+  for (const std::size_t rows : {3u, 70u, 130u}) {
+    const auto m = random_matrix(rows, 9, 0.1, 300 + rows);
+    const auto engine =
+        sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+    fv::par::ThreadPool pool(3);
+    std::vector<float> dense(rows * rows);
+    engine.all_distances(dense, pool);
+    std::vector<float> condensed(fv::condensed_size(rows));
+    engine.condensed_distances(condensed, pool);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = i + 1; j < rows; ++j) {
+        EXPECT_EQ(condensed[fv::condensed_index(i, j, rows)],
+                  dense[i * rows + j])
+            << "pair (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(SimilarityEngineTest, CondensedDistancesDegenerateSizes) {
+  fv::par::ThreadPool pool(2);
+  const auto empty = sm::SimilarityEngine::from_profiles({}, 0, 5,
+                                                         sm::Metric::kPearson);
+  std::vector<float> none;
+  empty.condensed_distances(none, pool);  // no-op, must not crash
+  const std::vector<float> one{1.0f, 2.0f, 3.0f};
+  const auto single =
+      sm::SimilarityEngine::from_profiles(one, 1, 3, sm::Metric::kPearson);
+  single.condensed_distances(none, pool);  // n == 1 has zero pairs
 }
 
 TEST(SimilarityEngineTest, RowDistancesMatchesScalarReference) {
