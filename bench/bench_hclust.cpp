@@ -23,6 +23,7 @@
 #include <limits>
 #include <map>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "cluster/distance.hpp"
@@ -90,7 +91,19 @@ struct DenseDistances {
   std::vector<float> values;  // n x n, symmetric
 
   explicit DenseDistances(const cl::DistanceMatrix& condensed)
-      : n(condensed.size()), values(condensed.dense()) {}
+      : n(condensed.size()), values(n * n, 0.0f) {
+    // Mirror the condensed strict upper triangle into the dense layout the
+    // seed agglomerator mutates (the dense() compat accessor is gone).
+    const std::span<const float> packed = condensed.condensed();
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const std::size_t base = fv::condensed_index(i, i + 1, n) - (i + 1);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const float d = packed[base + j];
+        values[i * n + j] = d;
+        values[j * n + i] = d;
+      }
+    }
+  }
 
   float at(std::size_t i, std::size_t j) const { return values[i * n + j]; }
   void set(std::size_t i, std::size_t j, float d) {

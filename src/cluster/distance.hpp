@@ -70,22 +70,6 @@ class DistanceMatrix {
   std::span<float> condensed() noexcept { return values_; }
   std::span<const float> condensed() const noexcept { return values_; }
 
-  /// Dense-compat accessor kept for one release: materializes the full
-  /// row-major n x n matrix (zero diagonal, mirrored triangle) for callers
-  /// not yet ported to condensed indexing. Costs n*n floats — do not use on
-  /// hot or memory-bound paths.
-  std::vector<float> dense() const {
-    std::vector<float> full(n_ * n_, 0.0f);
-    for (std::size_t i = 0; i < n_; ++i) {
-      for (std::size_t j = i + 1; j < n_; ++j) {
-        const float d = values_[condensed_index(i, j, n_)];
-        full[i * n_ + j] = d;
-        full[j * n_ + i] = d;
-      }
-    }
-    return full;
-  }
-
  private:
   std::size_t n_ = 0;
   std::vector<float> values_;

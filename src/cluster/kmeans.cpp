@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/similarity_engine.hpp"
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
 
@@ -40,21 +41,45 @@ KMeansResult kmeans_rows(const expr::ExpressionMatrix& matrix, std::size_t k,
   result.centroids.assign(k, std::vector<float>(cols, 0.0f));
 
   // k-means++ seeding: first centroid uniform, then proportional to squared
-  // distance to the nearest chosen centroid.
+  // distance to the nearest chosen centroid. Every candidate centroid here
+  // IS a data row, so the seeding sweep reuses the similarity engine's
+  // precomputed rows and vectorized Euclidean kernel instead of re-scanning
+  // the matrix per seed. (For rows with missing cells this is the engine's
+  // pairwise-complete distance; the seed path zero-filled the chosen row's
+  // holes and counted them as present — dense rows agree exactly.)
+  const auto engine =
+      sim::SimilarityEngine::from_rows(matrix, sim::Metric::kEuclidean);
   std::vector<std::size_t> seeds;
   seeds.push_back(static_cast<std::size_t>(rng.uniform_u64(rows)));
   std::vector<double> nearest(rows, std::numeric_limits<double>::infinity());
+  std::vector<float> latest_filled(cols, 0.0f);
   while (seeds.size() < k) {
-    std::vector<float> seed_centroid(cols, 0.0f);
-    const auto seed_row = matrix.row(seeds.back());
+    const std::size_t latest = seeds.back();
+    const auto latest_row = matrix.row(latest);
     for (std::size_t c = 0; c < cols; ++c) {
-      seed_centroid[c] = stats::is_missing(seed_row[c]) ? 0.0f : seed_row[c];
+      latest_filled[c] =
+          stats::is_missing(latest_row[c]) ? 0.0f : latest_row[c];
     }
     double total = 0.0;
     for (std::size_t r = 0; r < rows; ++r) {
-      nearest[r] = std::min(nearest[r],
-                            row_centroid_distance(matrix.row(r),
-                                                  seed_centroid));
+      double d2;
+      if (r == latest) {
+        d2 = 0.0;
+      } else {
+        const float d = engine.distance(r, latest);
+        if (d == 0.0f && (engine.row_has_missing(r) ||
+                          engine.row_has_missing(latest))) {
+          // The engine reports 0 for pairs with no shared present column —
+          // exactly the rows that are least represented by this seed, so 0
+          // would wrongly zero their sampling weight forever. Fall back to
+          // the centroid convention (seed row's holes as 0, scored over the
+          // candidate's present cells) for this rare case.
+          d2 = row_centroid_distance(matrix.row(r), latest_filled);
+        } else {
+          d2 = static_cast<double>(d) * d;
+        }
+      }
+      nearest[r] = std::min(nearest[r], d2);
       total += nearest[r];
     }
     if (total <= 0.0) {

@@ -20,6 +20,9 @@ struct KMeansResult {
 
 /// Lloyd's algorithm with k-means++ style seeding. Missing cells are skipped
 /// in distance computation and centroid updates (pairwise-complete).
+/// Seeding distances run on a sim::SimilarityEngine built over the rows
+/// (every candidate centroid is a data row), so the k-means++ sweep uses
+/// the same vectorized pairwise-complete Euclidean kernel as clustering.
 /// Requires 1 <= k <= rows.
 KMeansResult kmeans_rows(const expr::ExpressionMatrix& matrix, std::size_t k,
                          Rng& rng, std::size_t max_iterations = 100);

@@ -1,8 +1,11 @@
 #include "core/merged.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_set>
+#include <vector>
 
+#include "sim/similarity_engine.hpp"
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
@@ -102,17 +105,17 @@ std::vector<std::size_t> MergedDatasetInterface::order_datasets(
     }
     relevance[d].measured = rows.size();
     if (rows.size() >= 2) {
-      double total = 0.0;
-      std::size_t pairs = 0;
-      for (std::size_t i = 0; i < rows.size(); ++i) {
-        for (std::size_t j = i + 1; j < rows.size(); ++j) {
-          total += stats::pearson(dataset(d).profile(rows[i]),
-                                  dataset(d).profile(rows[j]));
-          ++pairs;
-        }
+      // Same streamed coherence as SPELL's dataset weighting: the shared
+      // sub-engine helper runs the measured query rows through blocked
+      // kernels instead of scalar per-pair Pearson — no pair matrix
+      // materialized.
+      std::vector<std::span<const float>> profiles;
+      profiles.reserve(rows.size());
+      for (const std::size_t row : rows) {
+        profiles.push_back(dataset(d).profile(row));
       }
       relevance[d].coherence =
-          std::max(0.0, total / static_cast<double>(pairs));
+          sim::profile_coherence(profiles, dataset(d).condition_count());
     }
   }
   std::stable_sort(relevance.begin(), relevance.end(),

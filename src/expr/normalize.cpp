@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
-#include <utility>
-#include <vector>
 
+#include "sim/similarity_engine.hpp"
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
@@ -54,65 +52,55 @@ std::size_t mean_impute(ExpressionMatrix& matrix) {
   return imputed;
 }
 
-namespace {
-
-/// Coverage-scaled Euclidean distance over shared present columns;
-/// infinity when fewer than 2 columns are shared.
-double impute_distance(std::span<const float> a, std::span<const float> b) {
-  double sum = 0.0;
-  std::size_t shared = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (stats::is_missing(a[i]) || stats::is_missing(b[i])) continue;
-    const double diff = static_cast<double>(a[i]) - b[i];
-    sum += diff * diff;
-    ++shared;
-  }
-  if (shared < 2) return std::numeric_limits<double>::infinity();
-  return std::sqrt(sum * static_cast<double>(a.size()) /
-                   static_cast<double>(shared));
+std::size_t knn_impute(ExpressionMatrix& matrix, std::size_t k) {
+  return knn_impute(matrix, k, par::ThreadPool::shared());
 }
 
-}  // namespace
-
-std::size_t knn_impute(ExpressionMatrix& matrix, std::size_t k) {
+std::size_t knn_impute(ExpressionMatrix& matrix, std::size_t k,
+                       par::ThreadPool& pool) {
   FV_REQUIRE(k >= 1, "knn_impute needs k >= 1");
+  if (matrix.rows() == 0 || matrix.cols() == 0) return 0;
+  // Complete matrices (common after upstream QC) must not pay the O(n²·m)
+  // distance phase for a guaranteed zero result.
+  const auto& values = matrix.data();
+  if (std::none_of(values.begin(), values.end(),
+                   [](float v) { return stats::is_missing(v); })) {
+    return 0;
+  }
   // Neighbor candidates are drawn from the original (pre-imputation) data so
-  // results are order-independent.
-  const ExpressionMatrix original = matrix;
+  // results are order-independent. The engine's Euclidean kernel is the
+  // coverage-scaled distance this function always used
+  // (sqrt(sum * cols / shared) over shared present columns); min_common = 2
+  // reproduces the old rule that neighbors sharing fewer than 2 columns
+  // carry no evidence. One streamed top-k pass replaces the seed's scalar
+  // O(n² · m) per-pair loop, and only n x k neighbors are ever stored.
+  const auto engine =
+      sim::SimilarityEngine::from_rows(matrix, sim::Metric::kEuclidean);
+  const sim::NeighborTable neighbors = engine.top_k_neighbors(k, pool, 2);
+
   std::size_t imputed = 0;
   for (std::size_t r = 0; r < matrix.rows(); ++r) {
-    // Columns missing in this row.
-    std::vector<std::size_t> holes;
-    for (std::size_t c = 0; c < matrix.cols(); ++c) {
-      if (stats::is_missing(original.at(r, c))) holes.push_back(c);
-    }
-    if (holes.empty()) continue;
+    if (!engine.row_has_missing(r)) continue;
 
-    // k nearest rows by distance (partial selection keeps this O(n log k)).
-    std::vector<std::pair<double, std::size_t>> neighbors;
-    for (std::size_t other = 0; other < original.rows(); ++other) {
-      if (other == r) continue;
-      const double d = impute_distance(original.row(r), original.row(other));
-      if (std::isinf(d)) continue;
-      neighbors.emplace_back(d, other);
-    }
-    const std::size_t keep = std::min(k, neighbors.size());
-    std::partial_sort(neighbors.begin(),
-                      neighbors.begin() + static_cast<long>(keep),
-                      neighbors.end());
-    neighbors.resize(keep);
-
-    const double row_mean = stats::mean(original.row(r));
+    const double row_mean = stats::mean(matrix.row(r));
     const float fallback =
         std::isnan(row_mean) ? 0.0f : static_cast<float>(row_mean);
-    for (const std::size_t c : holes) {
+    const auto nearest = neighbors.neighbors(r);
+    const auto nearest_d = neighbors.neighbor_distances(r);
+    for (std::size_t c = 0; c < matrix.cols(); ++c) {
+      if (!stats::is_missing(matrix.at(r, c))) continue;
       double weighted = 0.0;
       double weight_total = 0.0;
-      for (const auto& [distance, other] : neighbors) {
-        const float v = original.at(other, c);
-        if (stats::is_missing(v)) continue;
-        const double w = 1.0 / std::max(distance, 1e-9);
-        weighted += w * v;
+      for (std::size_t s = 0; s < nearest.size(); ++s) {
+        const std::size_t other = nearest[s];
+        // Reading the pre-imputation value through the engine's mask keeps
+        // rows from seeing each other's imputed cells without copying the
+        // whole matrix: the fill loop below only touches cells missing in
+        // `matrix`, which stay missing until their own row is processed —
+        // but `other`'s row may already be filled, so consult the mask.
+        if (!engine.value_present(other, c)) continue;
+        const double w = 1.0 / std::max<double>(nearest_d[s], 1e-9);
+        weighted += w * matrix.at(other, c);
         weight_total += w;
       }
       matrix.set(r, c, weight_total > 0.0

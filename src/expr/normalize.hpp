@@ -3,6 +3,7 @@
 #pragma once
 
 #include "expr/expression_matrix.hpp"
+#include "par/thread_pool.hpp"
 
 namespace fv::expr {
 
@@ -22,9 +23,17 @@ std::size_t mean_impute(ExpressionMatrix& matrix);
 
 /// KNN imputation (Troyanskaya et al. 2001, the standard microarray
 /// preprocessing): each missing cell is filled with the weighted average of
-/// that column's values in the k nearest rows (Euclidean over shared
-/// present columns, weights 1/distance). Rows with no usable neighbor fall
-/// back to the row mean. Returns the number of imputed cells.
+/// that column's values in the k nearest rows (coverage-scaled Euclidean
+/// over shared present columns — neighbors sharing < 2 columns are
+/// excluded — weights 1/distance). Rows with no usable neighbor fall back
+/// to the row mean. Returns the number of imputed cells.
+///
+/// Neighbors come from one sim::SimilarityEngine::top_k_neighbors pass:
+/// the distance phase streams 64x64 tiles through vectorized kernels and
+/// keeps only n x k candidates (O(n·k) memory), instead of the seed's
+/// scalar per-pair rescan of the whole matrix per missing-bearing row.
 std::size_t knn_impute(ExpressionMatrix& matrix, std::size_t k = 10);
+std::size_t knn_impute(ExpressionMatrix& matrix, std::size_t k,
+                       par::ThreadPool& pool);
 
 }  // namespace fv::expr

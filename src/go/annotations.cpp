@@ -8,28 +8,48 @@ AnnotationTable::AnnotationTable(std::shared_ptr<const Ontology> ontology)
     : ontology_(std::move(ontology)) {
   FV_REQUIRE(ontology_ != nullptr, "annotation table needs an ontology");
   genes_by_term_.resize(ontology_->term_count());
-  gene_set_by_term_.resize(ontology_->term_count());
+  term_bits_.resize(ontology_->term_count());
+  term_counts_.assign(ontology_->term_count(), 0);
 }
 
 void AnnotationTable::annotate(std::string_view gene, TermIndex term) {
   FV_REQUIRE(term < ontology_->term_count(), "term index out of range");
   FV_REQUIRE(!gene.empty(), "gene name must be non-empty");
-  const std::string name(gene);
-  if (gene_index_.find(name) == gene_index_.end()) {
-    gene_index_.emplace(name, genes_.size());
-    genes_.push_back(name);
+  std::string name(gene);
+  std::size_t id;
+  if (const auto it = gene_index_.find(name); it != gene_index_.end()) {
+    id = it->second;
+  } else {
+    id = genes_.size();
+    gene_index_.emplace(name, id);
+    genes_.push_back(std::move(name));
+    terms_by_gene_.emplace_back();
   }
-  auto& terms = terms_by_gene_[name];
-  if (!terms.insert(term).second) return;  // already annotated
-  if (gene_set_by_term_[term].insert(name).second) {
-    genes_by_term_[term].push_back(name);
+  const std::size_t word = id / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (id % 64);
+  auto& bits = term_bits_[term];
+  if (word >= bits.size()) {
+    bits.resize(word + 1, 0);
+  } else if ((bits[word] & bit) != 0) {
+    return;  // already annotated
   }
+  bits[word] |= bit;
+  ++term_counts_[term];
+  terms_by_gene_[id].push_back(term);
+  genes_by_term_[term].push_back(genes_[id]);
+}
+
+std::optional<std::size_t> AnnotationTable::gene_id(
+    std::string_view gene) const {
+  const auto it = gene_index_.find(std::string(gene));
+  if (it == gene_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<TermIndex> AnnotationTable::terms_of(std::string_view gene) const {
-  const auto it = terms_by_gene_.find(std::string(gene));
-  if (it == terms_by_gene_.end()) return {};
-  return std::vector<TermIndex>(it->second.begin(), it->second.end());
+  const auto id = gene_id(gene);
+  if (!id.has_value()) return {};
+  return terms_by_gene_[*id];
 }
 
 const std::vector<std::string>& AnnotationTable::genes_of(
@@ -39,8 +59,14 @@ const std::vector<std::string>& AnnotationTable::genes_of(
 }
 
 std::size_t AnnotationTable::annotation_count(TermIndex term) const {
-  FV_REQUIRE(term < genes_by_term_.size(), "term index out of range");
-  return genes_by_term_[term].size();
+  FV_REQUIRE(term < term_counts_.size(), "term index out of range");
+  return term_counts_[term];
+}
+
+std::span<const std::uint64_t> AnnotationTable::term_bits(
+    TermIndex term) const {
+  FV_REQUIRE(term < term_bits_.size(), "term index out of range");
+  return term_bits_[term];
 }
 
 AnnotationTable AnnotationTable::propagated() const {
@@ -49,8 +75,9 @@ AnnotationTable AnnotationTable::propagated() const {
   // compute each term's ancestor list once.
   std::vector<std::vector<TermIndex>> ancestor_cache(ontology_->term_count());
   std::vector<bool> cached(ontology_->term_count(), false);
-  for (const std::string& gene : genes_) {
-    for (const TermIndex term : terms_by_gene_.at(gene)) {
+  for (std::size_t id = 0; id < genes_.size(); ++id) {
+    const std::string& gene = genes_[id];
+    for (const TermIndex term : terms_by_gene_[id]) {
       out.annotate(gene, term);
       if (!cached[term]) {
         ancestor_cache[term] = ontology_->ancestors(term);

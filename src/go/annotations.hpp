@@ -3,13 +3,24 @@
 // GOLEM's enrichment statistics count, for every term, how many genes are
 // annotated to it *or any of its descendants* — the GO "true path rule".
 // The table stores direct annotations and can produce a propagated copy.
+//
+// Gene names are interned to dense ids on first annotation and every term's
+// membership is a packed bitset over that id space, so enrichment counts
+// are popcounted word intersections (64 genes per instruction) instead of
+// the seed's per-term string-hash probes, and annotate()'s idempotence
+// check is one bit test instead of an unordered_set<std::string> probe.
+// (genes_of() still serves name lists, so genes_by_term_ keeps one string
+// per (term, gene) — the bitset replaces the per-term hash set, not the
+// name storage.)
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "go/ontology.hpp"
@@ -26,7 +37,11 @@ class AnnotationTable {
   void annotate(std::string_view gene, TermIndex term);
 
   /// Number of distinct annotated genes.
-  std::size_t gene_count() const noexcept { return terms_by_gene_.size(); }
+  std::size_t gene_count() const noexcept { return genes_.size(); }
+
+  /// Interned dense id of `gene` (assigned at first annotation), or
+  /// nullopt for genes the table has never seen.
+  std::optional<std::size_t> gene_id(std::string_view gene) const;
 
   /// Terms directly annotated to `gene` (empty for unknown genes).
   std::vector<TermIndex> terms_of(std::string_view gene) const;
@@ -34,10 +49,16 @@ class AnnotationTable {
   /// Genes annotated to `term`.
   const std::vector<std::string>& genes_of(TermIndex term) const;
 
-  /// Number of genes annotated to `term`.
+  /// Number of genes annotated to `term` (a maintained popcount, O(1)).
   std::size_t annotation_count(TermIndex term) const;
 
-  /// All annotated gene names (stable insertion order).
+  /// Packed membership bitset of `term` over interned gene ids: bit
+  /// (64*w + b) of word w is set iff the gene with that id is annotated.
+  /// Sized to the words its highest member id needs — intersect over
+  /// min(sizes). This is what go::enrich popcounts against the query.
+  std::span<const std::uint64_t> term_bits(TermIndex term) const;
+
+  /// All annotated gene names (stable insertion order; position == id).
   const std::vector<std::string>& genes() const noexcept { return genes_; }
 
   /// Returns a new table where every gene is also annotated to all
@@ -51,12 +72,14 @@ class AnnotationTable {
 
  private:
   std::shared_ptr<const Ontology> ontology_;
-  std::vector<std::string> genes_;
-  std::unordered_map<std::string, std::size_t> gene_index_;
-  std::unordered_map<std::string, std::unordered_set<TermIndex>>
-      terms_by_gene_;
+  std::vector<std::string> genes_;  ///< id -> name
+  std::unordered_map<std::string, std::size_t> gene_index_;  ///< name -> id
+  std::vector<std::vector<TermIndex>> terms_by_gene_;  ///< id -> direct terms
   std::vector<std::vector<std::string>> genes_by_term_;
-  std::vector<std::unordered_set<std::string>> gene_set_by_term_;
+  /// Per-term packed membership over gene ids; doubles as the idempotence
+  /// check in annotate() (one bit test instead of a set probe).
+  std::vector<std::vector<std::uint64_t>> term_bits_;
+  std::vector<std::size_t> term_counts_;  ///< maintained popcounts
 };
 
 }  // namespace fv::go

@@ -1,6 +1,8 @@
 #include "go/golem.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <unordered_set>
 
 #include "stats/multiple_testing.hpp"
@@ -15,13 +17,21 @@ EnrichmentResult enrich(const AnnotationTable& annotations,
   EnrichmentResult result;
   const Ontology& ontology = annotations.ontology();
 
-  // Deduplicate the query and split known from unknown genes.
+  // Deduplicate the query, split known from unknown genes, and pack the
+  // recognized ones into a bitset over the table's interned gene ids: each
+  // term's query count below is then a popcounted word intersection with
+  // the term's membership bits (64 genes per instruction) instead of a
+  // string-hash probe per annotated gene per term.
+  std::vector<std::uint64_t> query_bits(
+      (annotations.gene_count() + 63) / 64, 0);
   std::unordered_set<std::string> query_set;
   for (const std::string& gene : query_genes) {
     if (!query_set.insert(gene).second) continue;
-    if (annotations.terms_of(gene).empty()) {
+    const auto id = annotations.gene_id(gene);
+    if (!id.has_value()) {
       result.unknown_genes.push_back(gene);
     } else {
+      query_bits[*id / 64] |= std::uint64_t{1} << (*id % 64);
       ++result.recognized_genes;
     }
   }
@@ -37,9 +47,12 @@ EnrichmentResult enrich(const AnnotationTable& annotations,
   for (TermIndex t = 0; t < ontology.term_count(); ++t) {
     const std::size_t K = annotations.annotation_count(t);
     if (K < options.min_annotated || K > N) continue;
+    const auto term_bits = annotations.term_bits(t);
+    const std::size_t words = std::min(term_bits.size(), query_bits.size());
     std::size_t k = 0;
-    for (const std::string& gene : annotations.genes_of(t)) {
-      if (query_set.count(gene) > 0) ++k;
+    for (std::size_t w = 0; w < words; ++w) {
+      k += static_cast<std::size_t>(
+          std::popcount(term_bits[w] & query_bits[w]));
     }
     if (k == 0 && options.skip_empty_terms) continue;
     EnrichedTerm row;

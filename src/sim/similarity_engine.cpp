@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <memory>
+#include <mutex>
 
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
@@ -35,6 +37,49 @@ double dot_padded(const float* a, const float* b, std::size_t stride) {
   for (std::size_t l = 0; l < kLanes; ++l) total += acc[l];
   return total;
 }
+
+/// Float-accumulator dense dot: the double kernel's 16-lane accumulator
+/// array in float, with the main loop unrolled 4 vector blocks deep (64
+/// elements per iteration into the same 16 chains — unrolling does not
+/// change the per-lane summation order, so the error analysis below holds
+/// for any blocking). Floats halve the bytes per element the vector units
+/// move, so dense rows retire ~2x the elements per cycle (measured 1.7x at
+/// 96 conditions, 2.9x at 512, AVX-512 host; wider accumulator arrays
+/// spill and lose). Only the lane accumulation is float — the 16-way lane
+/// reduction happens in double.
+double dot_padded_float(const float* a, const float* b, std::size_t stride) {
+  constexpr std::size_t kUnroll = 4;
+  float acc[kLanes] = {};
+  std::size_t k = 0;
+  for (; k + kLanes * kUnroll <= stride; k += kLanes * kUnroll) {
+    for (std::size_t u = 0; u < kUnroll; ++u) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        acc[l] += a[k + u * kLanes + l] * b[k + u * kLanes + l];
+      }
+    }
+  }
+  for (; k < stride; k += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      acc[l] += a[k + l] * b[k + l];
+    }
+  }
+  double total = 0.0;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    total += static_cast<double>(acc[l]);
+  }
+  return total;
+}
+
+/// Longest padded row the auto kernel policy accepts for float
+/// accumulation. Each of the 16 float lanes sums stride/16 products
+/// sequentially; on unit-norm inputs (the normalized rows)
+/// Σ|a_k b_k| <= 1 by Cauchy–Schwarz, so the worst-case rounding error —
+/// product rounding plus per-lane summation — is (stride / 16) * 2^-24.
+/// At 256 that is 16 * 5.96e-8 ≈ 9.5e-7, still inside the 1e-6 contract
+/// (measured error on random profiles is ~100x smaller; see the
+/// error-bound study in tests/topk_test.cpp and src/sim/README.md). Longer
+/// rows fall back to the double kernel under DenseKernel::kAuto.
+constexpr std::size_t kFloatKernelMaxStride = 256;
 
 double squared_diff_padded(const float* a, const float* b,
                            std::size_t stride) {
@@ -79,36 +124,14 @@ double finish_uncentered(const PairSums& s) {
   return std::clamp(s.sum_ab / std::sqrt(s.sum_aa * s.sum_bb), -1.0, 1.0);
 }
 
-/// One kTile x kTile pair block of the upper triangle.
-struct TilePair {
-  std::uint32_t a, b;
-};
-
-/// Balanced schedule: every work unit is one pair block, so unit cost is
-/// near-uniform regardless of row index (the seed's row-per-task triangle
-/// gave the first row n-1 pairs and the last row one). Dynamic pull absorbs
-/// what variance remains (diagonal tiles are half-size; masked rows cost
-/// more).
-std::vector<TilePair> upper_triangle_tiles(std::size_t n) {
-  const std::size_t tiles = (n + kTile - 1) / kTile;
-  std::vector<TilePair> work;
-  work.reserve(tiles * (tiles + 1) / 2);
-  for (std::uint32_t ta = 0; ta < tiles; ++ta) {
-    for (std::uint32_t tb = ta; tb < tiles; ++tb) {
-      work.push_back({ta, tb});
-    }
-  }
-  return work;
-}
-
 }  // namespace
 
 SimilarityEngine SimilarityEngine::from_rows(
     const expr::ExpressionMatrix& matrix, Metric metric,
-    Precompute precompute) {
+    Precompute precompute, DenseKernel kernel) {
   SimilarityEngine engine;
   engine.build(matrix.data(), matrix.rows(), matrix.cols(), metric,
-               precompute);
+               precompute, kernel);
   return engine;
 }
 
@@ -122,17 +145,18 @@ SimilarityEngine SimilarityEngine::from_profiles(std::span<const float> flat,
                                                  std::size_t count,
                                                  std::size_t length,
                                                  Metric metric,
-                                                 Precompute precompute) {
+                                                 Precompute precompute,
+                                                 DenseKernel kernel) {
   FV_REQUIRE(flat.size() == count * length,
              "profile buffer size must be count * length");
   SimilarityEngine engine;
-  engine.build(flat, count, length, metric, precompute);
+  engine.build(flat, count, length, metric, precompute, kernel);
   return engine;
 }
 
 void SimilarityEngine::build(std::span<const float> flat, std::size_t count,
                              std::size_t length, Metric metric,
-                             Precompute precompute) {
+                             Precompute precompute, DenseKernel kernel) {
   FV_REQUIRE(precompute == Precompute::kAllPairs ||
                  metric == Metric::kPearson ||
                  metric == Metric::kUncenteredPearson,
@@ -143,6 +167,13 @@ void SimilarityEngine::build(std::span<const float> flat, std::size_t count,
   length_ = length;
   stride_ = ((length + kLanes - 1) / kLanes) * kLanes;
   if (stride_ == 0) stride_ = kLanes;
+  // The float kernel's error bound only holds for unit-norm inputs, so it
+  // serves the correlation fast path; Euclidean rows are unnormalized and
+  // always take the double kernel.
+  float_kernel_ =
+      metric != Metric::kEuclidean &&
+      (kernel == DenseKernel::kFloat ||
+       (kernel == DenseKernel::kAuto && stride_ <= kFloatKernelMaxStride));
   mask_words_ = (length + 63) / 64;
   if (mask_words_ == 0) mask_words_ = 1;
 
@@ -310,12 +341,19 @@ double SimilarityEngine::similarity(std::size_t i, std::size_t j) const {
   FV_REQUIRE(precompute_ == Precompute::kAllPairs,
              "similarity() requires Precompute::kAllPairs");
   FV_REQUIRE(i < count_ && j < count_, "profile index out of range");
+  return similarity_unchecked(i, j);
+}
+
+double SimilarityEngine::similarity_unchecked(std::size_t i,
+                                              std::size_t j) const {
   if (has_missing_[i] != 0 || has_missing_[j] != 0) {
     return masked_similarity(i, j);
   }
   if (degenerate_[i] != 0 || degenerate_[j] != 0) return 0.0;
-  const double dot = dot_padded(normalized_.data() + i * stride_,
-                                normalized_.data() + j * stride_, stride_);
+  const float* a = normalized_.data() + i * stride_;
+  const float* b = normalized_.data() + j * stride_;
+  const double dot = float_kernel_ ? dot_padded_float(a, b, stride_)
+                                   : dot_padded(a, b, stride_);
   return std::clamp(dot, -1.0, 1.0);
 }
 
@@ -352,8 +390,115 @@ float SimilarityEngine::distance(std::size_t i, std::size_t j) const {
   FV_REQUIRE(i < count_ && j < count_, "profile index out of range");
   FV_REQUIRE(precompute_ == Precompute::kAllPairs,
              "distance() requires Precompute::kAllPairs");
+  return distance_unchecked(i, j);
+}
+
+float SimilarityEngine::distance_unchecked(std::size_t i,
+                                           std::size_t j) const {
   if (metric_ == Metric::kEuclidean) return euclidean_distance(i, j);
-  return static_cast<float>(1.0 - similarity(i, j));
+  return static_cast<float>(1.0 - similarity_unchecked(i, j));
+}
+
+namespace {
+
+/// Scratch-block pool for tile streaming: at most one block per concurrent
+/// visitor invocation is ever live (blocks are returned after each tile),
+/// so the distance phase of a streaming consumer peaks at
+/// O(threads * kTile²) floats of transient state, never O(n²). The lock is
+/// taken twice per tile — noise next to the tile's 4096 kernel calls.
+class TileScratchPool {
+ public:
+  std::vector<float> acquire() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        std::vector<float> block = std::move(free_.back());
+        free_.pop_back();
+        return block;
+      }
+    }
+    return std::vector<float>(kTile * kTile);
+  }
+  void release(std::vector<float> block) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(block));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::vector<float>> free_;
+};
+
+}  // namespace
+
+std::size_t SimilarityEngine::tile_count() const noexcept {
+  const std::size_t tiles = (count_ + kTile - 1) / kTile;
+  return tiles * (tiles + 1) / 2;
+}
+
+void SimilarityEngine::compute_tile(std::size_t t, float* scratch,
+                                    DistanceTile& tile) const {
+  const std::size_t n = count_;
+  const std::size_t tiles = (n + kTile - 1) / kTile;
+  // Recover (ta, tb) from the linearized upper-triangle schedule position.
+  std::size_t ta = 0;
+  std::size_t base = 0;
+  while (base + (tiles - ta) <= t) {
+    base += tiles - ta;
+    ++ta;
+  }
+  const std::size_t tb = ta + (t - base);
+
+  tile.index = t;
+  tile.row_begin = ta * kTile;
+  tile.row_end = std::min<std::size_t>(n, (ta + 1) * kTile);
+  tile.col_begin = tb * kTile;
+  tile.col_end = std::min<std::size_t>(n, (tb + 1) * kTile);
+  tile.ld = tile.col_end - tile.col_begin;
+  tile.values = scratch;
+  if (ta == tb) {
+    // Diagonal tile: only j > i is meaningful; zero the rest so reused
+    // scratch blocks never leak another tile's values.
+    std::fill(scratch, scratch + (tile.row_end - tile.row_begin) * tile.ld,
+              0.0f);
+  }
+  for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+    float* row = scratch + (i - tile.row_begin) * tile.ld;
+    for (std::size_t j = ta == tb ? i + 1 : tile.col_begin; j < tile.col_end;
+         ++j) {
+      row[j - tile.col_begin] = distance_unchecked(i, j);
+    }
+  }
+}
+
+void SimilarityEngine::for_each_tile(
+    const std::function<void(const DistanceTile&)>& visit,
+    par::ThreadPool& pool) const {
+  FV_REQUIRE(precompute_ == Precompute::kAllPairs,
+             "for_each_tile() requires Precompute::kAllPairs");
+  if (count_ < 2) return;
+  TileScratchPool scratch;
+  par::parallel_dynamic(pool, 0, tile_count(), [&](std::size_t t) {
+    std::vector<float> block = scratch.acquire();
+    DistanceTile tile;
+    compute_tile(t, block.data(), tile);
+    visit(tile);
+    scratch.release(std::move(block));
+  });
+}
+
+void SimilarityEngine::for_each_tile(
+    const std::function<void(const DistanceTile&)>& visit) const {
+  FV_REQUIRE(precompute_ == Precompute::kAllPairs,
+             "for_each_tile() requires Precompute::kAllPairs");
+  if (count_ < 2) return;
+  std::vector<float> block(kTile * kTile);
+  const std::size_t tiles = tile_count();
+  for (std::size_t t = 0; t < tiles; ++t) {
+    DistanceTile tile;
+    compute_tile(t, block.data(), tile);
+    visit(tile);
+  }
 }
 
 void SimilarityEngine::all_distances(std::span<float> out,
@@ -362,21 +507,22 @@ void SimilarityEngine::all_distances(std::span<float> out,
   FV_REQUIRE(out.size() == n * n, "output must be size() x size()");
   if (n == 0) return;
 
-  const std::vector<TilePair> work = upper_triangle_tiles(n);
+  // Trivial tile visitor: mirror each tile into both triangles of the
+  // dense layout. Tiles cover disjoint (i, j) ranges, so writes never race.
   float* d = out.data();
-  par::parallel_dynamic(pool, 0, work.size(), [&](std::size_t t) {
-    const auto [ta, tb] = work[t];
-    const std::size_t i_end = std::min<std::size_t>(n, (ta + 1) * kTile);
-    const std::size_t j_begin = tb * kTile;
-    const std::size_t j_end = std::min<std::size_t>(n, (tb + 1) * kTile);
-    for (std::size_t i = ta * kTile; i < i_end; ++i) {
-      for (std::size_t j = ta == tb ? i + 1 : j_begin; j < j_end; ++j) {
-        const float dist = distance(i, j);
-        d[i * n + j] = dist;
-        d[j * n + i] = dist;
-      }
-    }
-  });
+  for_each_tile(
+      [&](const DistanceTile& tile) {
+        for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+          const std::size_t j_first =
+              std::max(tile.col_begin, i + 1);
+          for (std::size_t j = j_first; j < tile.col_end; ++j) {
+            const float dist = tile.at(i, j);
+            d[i * n + j] = dist;
+            d[j * n + i] = dist;
+          }
+        }
+      },
+      pool);
   for (std::size_t i = 0; i < n; ++i) d[i * n + i] = 0.0f;
 }
 
@@ -387,28 +533,215 @@ void SimilarityEngine::condensed_distances(std::span<float> out,
              "output must hold condensed_size(size()) values");
   if (n < 2) return;
 
-  // Same balanced tile schedule as all_distances, but each (i, j) pair is
-  // written exactly once at its condensed offset. Within one row segment of
-  // a tile the condensed indices are contiguous (offset(i, j+1) =
-  // offset(i, j) + 1), so the inner loop is a linear store stream; distinct
-  // tiles cover disjoint (i, j-range) segments, so writes never race.
-  const std::vector<TilePair> work = upper_triangle_tiles(n);
+  // Trivial tile visitor: each (i, j) pair lands exactly once at its
+  // condensed offset. Within one row segment the condensed indices are
+  // contiguous (offset(i, j+1) = offset(i, j) + 1), so the inner loop is a
+  // linear store stream; distinct tiles cover disjoint (i, j-range)
+  // segments, so writes never race.
   float* d = out.data();
-  par::parallel_dynamic(pool, 0, work.size(), [&](std::size_t t) {
-    const auto [ta, tb] = work[t];
-    const std::size_t i_end = std::min<std::size_t>(n, (ta + 1) * kTile);
-    const std::size_t j_begin = tb * kTile;
-    const std::size_t j_end = std::min<std::size_t>(n, (tb + 1) * kTile);
-    for (std::size_t i = ta * kTile; i < i_end; ++i) {
-      const std::size_t j_first = ta == tb ? i + 1 : j_begin;
-      if (j_first >= j_end) continue;
-      // Row base such that row[j] is pair (i, j)'s condensed cell.
-      float* row = d + condensed_index(i, j_first, n) - j_first;
-      for (std::size_t j = j_first; j < j_end; ++j) {
-        row[j] = distance(i, j);
+  for_each_tile(
+      [&](const DistanceTile& tile) {
+        for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+          const std::size_t j_first = std::max(tile.col_begin, i + 1);
+          if (j_first >= tile.col_end) continue;
+          // row[j - j_first] is pair (i, j)'s condensed cell; the base
+          // stays inside the buffer so the pointer arithmetic is defined
+          // (UBSan-clean) even for the first row segment.
+          float* row = d + condensed_index(i, j_first, n);
+          for (std::size_t j = j_first; j < tile.col_end; ++j) {
+            row[j - j_first] = tile.at(i, j);
+          }
+        }
+      },
+      pool);
+}
+
+namespace {
+
+/// One nearest-neighbor candidate in a bounded per-row heap. Ordered
+/// lexicographically by (distance, index): the global top-k under this
+/// total order is what top_k_neighbors returns, which makes results
+/// deterministic under any thread schedule (every global top-k entry is
+/// among the k (distance, index)-smallest of whichever slot saw it, so the
+/// union of slot heaps always contains the true top-k).
+struct NeighborEntry {
+  float d = 0.0f;
+  std::uint32_t idx = 0;
+  bool operator<(const NeighborEntry& o) const {
+    return d != o.d ? d < o.d : idx < o.idx;
+  }
+};
+
+/// Per-thread top-k state: n bounded max-heaps in one slab. Slots are
+/// checked out per tile visit, so at most pool.thread_count() exist.
+struct TopKSlot {
+  std::vector<NeighborEntry> heap;  ///< n x k slab
+  std::vector<std::uint32_t> size;  ///< live entries per row
+
+  TopKSlot(std::size_t n, std::size_t k) : heap(n * k), size(n, 0) {}
+
+  void push(std::size_t row, std::size_t k, NeighborEntry e) {
+    NeighborEntry* base = heap.data() + row * k;
+    std::uint32_t& s = size[row];
+    if (s < k) {
+      base[s++] = e;
+      std::push_heap(base, base + s);
+    } else if (e < base[0]) {
+      std::pop_heap(base, base + k);
+      base[k - 1] = e;
+      std::push_heap(base, base + k);
+    }
+  }
+};
+
+}  // namespace
+
+NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
+                                                par::ThreadPool& pool,
+                                                std::size_t min_common) const {
+  FV_REQUIRE(precompute_ == Precompute::kAllPairs,
+             "top_k_neighbors() requires Precompute::kAllPairs");
+  FV_REQUIRE(k >= 1, "top_k_neighbors() needs k >= 1");
+  const std::size_t n = count_;
+  NeighborTable table;
+  table.count = n;
+  table.k = n > 0 ? std::min(k, n - 1) : 0;
+  table.valid.assign(n, 0);
+  if (n < 2 || table.k == 0) return table;
+  const std::size_t kk = table.k;
+  table.indices.assign(n * kk, 0);
+  table.distances.assign(n * kk, 0.0f);
+
+  // Slot checkout mirrors the scratch-block pool: one slot per concurrent
+  // visitor, so peak state is O(threads * n * k) — for the single-threaded
+  // CI host exactly one slot plus the merged table.
+  std::mutex slots_mutex;
+  std::vector<std::unique_ptr<TopKSlot>> slots;
+  std::vector<TopKSlot*> free_slots;
+  const auto acquire = [&]() -> TopKSlot* {
+    {
+      const std::lock_guard<std::mutex> lock(slots_mutex);
+      if (!free_slots.empty()) {
+        TopKSlot* slot = free_slots.back();
+        free_slots.pop_back();
+        return slot;
       }
     }
+    auto fresh = std::make_unique<TopKSlot>(n, kk);
+    TopKSlot* raw = fresh.get();
+    const std::lock_guard<std::mutex> lock(slots_mutex);
+    slots.push_back(std::move(fresh));
+    return raw;
+  };
+  const auto release = [&](TopKSlot* slot) {
+    const std::lock_guard<std::mutex> lock(slots_mutex);
+    free_slots.push_back(slot);
+  };
+
+  for_each_tile(
+      [&](const DistanceTile& tile) {
+        TopKSlot* slot = acquire();
+        for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+          const std::size_t j_first = std::max(tile.col_begin, i + 1);
+          const bool i_missing = has_missing_[i] != 0;
+          for (std::size_t j = j_first; j < tile.col_end; ++j) {
+            if (min_common > 0) {
+              // Dense pairs share all length() cells; only pairs touching a
+              // masked row pay the popcount.
+              const std::size_t common =
+                  i_missing || has_missing_[j] != 0 ? common_present(i, j)
+                                                    : length_;
+              if (common < min_common) continue;
+            }
+            const float dist = tile.at(i, j);
+            slot->push(i, kk, {dist, static_cast<std::uint32_t>(j)});
+            slot->push(j, kk, {dist, static_cast<std::uint32_t>(i)});
+          }
+        }
+        release(slot);
+      },
+      pool);
+
+  // Merge: per row, the union of slot heaps contains the global
+  // (distance, index)-smallest k; sort it and keep the head. Rows are
+  // independent, so the merge itself parallelizes statically.
+  par::parallel_for(pool, 0, n, 64, [&](std::size_t i) {
+    std::vector<NeighborEntry> candidates;
+    for (const auto& slot : slots) {
+      const NeighborEntry* base = slot->heap.data() + i * kk;
+      candidates.insert(candidates.end(), base, base + slot->size[i]);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    const std::size_t keep = std::min(kk, candidates.size());
+    table.valid[i] = static_cast<std::uint32_t>(keep);
+    for (std::size_t s = 0; s < keep; ++s) {
+      table.indices[i * kk + s] = candidates[s].idx;
+      table.distances[i * kk + s] = candidates[s].d;
+    }
   });
+  return table;
+}
+
+namespace {
+
+/// Sums a tile's meaningful cells (the strict upper triangle) in double.
+double tile_distance_sum(const DistanceTile& tile) {
+  double sum = 0.0;
+  for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+    for (std::size_t j = std::max(tile.col_begin, i + 1); j < tile.col_end;
+         ++j) {
+      sum += tile.at(i, j);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+double SimilarityEngine::mean_pairwise_distance(par::ThreadPool& pool) const {
+  if (count_ < 2) return 0.0;
+  // Per-tile partials reduced in schedule order: deterministic no matter
+  // which thread computed which tile.
+  std::vector<double> partial(tile_count(), 0.0);
+  for_each_tile(
+      [&](const DistanceTile& tile) {
+        partial[tile.index] = tile_distance_sum(tile);
+      },
+      pool);
+  double total = 0.0;
+  for (const double p : partial) total += p;
+  return total / static_cast<double>(condensed_size(count_));
+}
+
+double SimilarityEngine::mean_pairwise_distance() const {
+  if (count_ < 2) return 0.0;
+  double total = 0.0;
+  for_each_tile(
+      [&](const DistanceTile& tile) { total += tile_distance_sum(tile); });
+  return total / static_cast<double>(condensed_size(count_));
+}
+
+double profile_coherence(std::span<const float> flat, std::size_t count,
+                         std::size_t length) {
+  if (count < 2) return 0.0;
+  const auto engine = SimilarityEngine::from_profiles(flat, count, length,
+                                                      Metric::kPearson);
+  // Mean r = 1 - mean (1 - r); engine distances match stats::pearson
+  // within the 1e-6 contract.
+  return std::max(0.0, 1.0 - engine.mean_pairwise_distance());
+}
+
+double profile_coherence(std::span<const std::span<const float>> profiles,
+                         std::size_t length) {
+  if (profiles.size() < 2) return 0.0;
+  std::vector<float> flat(profiles.size() * length);
+  for (std::size_t q = 0; q < profiles.size(); ++q) {
+    FV_REQUIRE(profiles[q].size() == length,
+               "every profile must have `length` values");
+    std::copy(profiles[q].begin(), profiles[q].end(),
+              flat.begin() + q * length);
+  }
+  return profile_coherence(flat, profiles.size(), length);
 }
 
 void SimilarityEngine::dot_all(std::span<const float> query,

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,59 @@ enum class Precompute {
   kDotBank,
 };
 
+/// Which accumulator the dense correlation fast path uses.
+enum class DenseKernel {
+  /// Float accumulators when the row length keeps the worst-case rounding
+  /// bound inside the 1e-6 equivalence contract (stride <= 256), the double
+  /// reference otherwise. See src/sim/README.md for the bound.
+  kAuto,
+  kDouble,  ///< Always the double reference kernel.
+  /// Always float accumulators, even past the proven length — tests and
+  /// benches use this to measure the error curve; production callers should
+  /// prefer kAuto.
+  kFloat,
+};
+
+/// One computed tile of the pairwise-distance upper triangle, handed to a
+/// for_each_tile() visitor. `values` is a row-major
+/// (row_end - row_begin) x ld block owned by the engine for the duration of
+/// the visit only — visitors must copy what they keep. On diagonal tiles
+/// (row and column ranges overlap) only strictly-upper cells (j > i) are
+/// meaningful; the rest are zero.
+struct DistanceTile {
+  std::size_t index = 0;      ///< position in the tile schedule (stable)
+  std::size_t row_begin = 0, row_end = 0;  ///< i range [row_begin, row_end)
+  std::size_t col_begin = 0, col_end = 0;  ///< j range [col_begin, col_end)
+  const float* values = nullptr;
+  std::size_t ld = 0;         ///< leading dimension of `values`
+
+  /// Distance of pair (i, j); requires i/j inside this tile's ranges and
+  /// j > i.
+  float at(std::size_t i, std::size_t j) const {
+    return values[(i - row_begin) * ld + (j - col_begin)];
+  }
+};
+
+/// n x k nearest-neighbor table: for each profile, its k nearest other
+/// profiles in ascending (distance, index) order. Rows with fewer valid
+/// neighbors than k (filtered by min_common, or n - 1 < k) are short;
+/// neighbor_count() says how many are real.
+struct NeighborTable {
+  std::size_t count = 0;  ///< profiles
+  std::size_t k = 0;      ///< neighbor slots per profile
+  std::vector<std::uint32_t> indices;    ///< count x k
+  std::vector<float> distances;          ///< count x k
+  std::vector<std::uint32_t> valid;      ///< real neighbors per profile
+
+  std::size_t neighbor_count(std::size_t i) const { return valid[i]; }
+  std::span<const std::uint32_t> neighbors(std::size_t i) const {
+    return {indices.data() + i * k, valid[i]};
+  }
+  std::span<const float> neighbor_distances(std::size_t i) const {
+    return {distances.data() + i * k, valid[i]};
+  }
+};
+
 class SimilarityEngine {
  public:
   SimilarityEngine() = default;
@@ -49,7 +103,8 @@ class SimilarityEngine {
   static SimilarityEngine from_rows(const expr::ExpressionMatrix& matrix,
                                     Metric metric,
                                     Precompute precompute =
-                                        Precompute::kAllPairs);
+                                        Precompute::kAllPairs,
+                                    DenseKernel kernel = DenseKernel::kAuto);
 
   /// Builds the engine over the columns of `matrix` (array profiles) by
   /// materializing the transpose once.
@@ -62,7 +117,9 @@ class SimilarityEngine {
                                         std::size_t count, std::size_t length,
                                         Metric metric,
                                         Precompute precompute =
-                                            Precompute::kAllPairs);
+                                            Precompute::kAllPairs,
+                                        DenseKernel kernel =
+                                            DenseKernel::kAuto);
 
   std::size_t size() const noexcept { return count_; }      ///< profiles
   std::size_t length() const noexcept { return length_; }   ///< values each
@@ -71,9 +128,24 @@ class SimilarityEngine {
   std::size_t stride() const noexcept { return stride_; }
   Metric metric() const noexcept { return metric_; }
 
+  /// Whether the dense correlation fast path runs on float accumulators
+  /// (DenseKernel::kFloat, or kAuto with rows short enough to prove the
+  /// 1e-6 contract).
+  bool float_kernel_active() const noexcept { return float_kernel_; }
+
   bool row_has_missing(std::size_t i) const { return has_missing_[i] != 0; }
   /// Number of present (non-missing) values in profile i.
   std::size_t present(std::size_t i) const { return present_[i]; }
+  /// Whether value `k` of profile `i` was present (non-missing) in the
+  /// input — the precomputed bitmask, so consumers (kNN imputation) can
+  /// test original presence without keeping their own matrix copy.
+  /// Requires Precompute::kAllPairs.
+  bool value_present(std::size_t i, std::size_t k) const {
+    FV_REQUIRE(precompute_ == Precompute::kAllPairs && i < count_ &&
+                   k < length_,
+               "value_present() needs kAllPairs and in-range indices");
+    return present_at(i, k);
+  }
 
   /// The precomputed transform of profile i (unit-norm centered values for
   /// Pearson, unit-norm raw for uncentered, unit-norm centered mid-ranks for
@@ -98,11 +170,56 @@ class SimilarityEngine {
   /// Requires Precompute::kAllPairs.
   float distance(std::size_t i, std::size_t j) const;
 
+  /// Number of tiles in the balanced upper-triangle schedule; tile indices
+  /// passed to visitors lie in [0, tile_count()). Lets streaming consumers
+  /// preallocate per-tile partials for deterministic reduction.
+  std::size_t tile_count() const noexcept;
+
+  /// Streams every pairwise distance through `visit` one computed tile at a
+  /// time instead of writing a matrix: the balanced 64x64 upper-triangle
+  /// tile schedule runs on the pool (dynamic pull), each worker computes a
+  /// tile into a scratch block and hands it to `visit`. At most
+  /// pool.thread_count() tile blocks are live at any moment, so a streaming
+  /// consumer's distance phase peaks at O(consumer state), never O(n²).
+  /// Contract: each unordered pair is delivered exactly once; `visit` runs
+  /// concurrently from pool threads (it must synchronize shared state or
+  /// keep per-thread/per-tile state — tiles never overlap, and tile.index
+  /// is a stable schedule position for ordered reductions); the tile's
+  /// values are only valid during the visit.
+  void for_each_tile(const std::function<void(const DistanceTile&)>& visit,
+                     par::ThreadPool& pool) const;
+
+  /// Serial variant running on the calling thread — for consumers that are
+  /// themselves pool tasks (a blocking nested parallel_dynamic on the same
+  /// pool would deadlock) or for tiny engines where scheduling outweighs
+  /// the work.
+  void for_each_tile(
+      const std::function<void(const DistanceTile&)>& visit) const;
+
+  /// The k nearest other profiles of every profile — ascending
+  /// (distance, index) per row, built by streaming tiles into per-thread
+  /// bounded max-heaps merged at the end: O(n·k) memory per thread, never
+  /// the O(n²/2) a materialized distance matrix costs. Deterministic under
+  /// any thread schedule (the per-slot heaps keep supersets of the global
+  /// (distance, index)-smallest k). Pairs whose profiles share fewer than
+  /// `min_common` present cells are excluded (0 = keep everything) — kNN
+  /// imputation uses this to drop meaninglessly-overlapping neighbors.
+  NeighborTable top_k_neighbors(std::size_t k, par::ThreadPool& pool,
+                                std::size_t min_common = 0) const;
+
+  /// Mean of all n(n-1)/2 pairwise distances, streamed tile by tile (no
+  /// matrix materialized; per-tile partials reduced in schedule order, so
+  /// the result is deterministic). 0 when size() < 2. The serial overload
+  /// is safe inside pool tasks. Query-coherence weights (SPELL, the merged
+  /// interface) are 1 minus this under correlation metrics.
+  double mean_pairwise_distance(par::ThreadPool& pool) const;
+  double mean_pairwise_distance() const;
+
   /// Fills `out` (size() x size(), row-major) with all pairwise distances:
-  /// symmetric, zero diagonal. Work is scheduled as balanced square tiles
-  /// on the pool (dynamic pull, so masked-path tiles cannot stall a static
-  /// partition). Prefer condensed_distances() — it writes half the memory;
-  /// this dense form is kept for callers not yet ported.
+  /// symmetric, zero diagonal — a trivial for_each_tile visitor kept for
+  /// callers that genuinely need the dense mirrored form. Prefer
+  /// condensed_distances() (half the memory) or top_k_neighbors() /
+  /// for_each_tile() (no matrix at all) on memory-bound paths.
   void all_distances(std::span<float> out, par::ThreadPool& pool) const;
 
   /// Fills `out` (condensed_size(size()) floats, fv::condensed_index
@@ -124,6 +241,7 @@ class SimilarityEngine {
  private:
   Metric metric_ = Metric::kPearson;
   Precompute precompute_ = Precompute::kAllPairs;
+  bool float_kernel_ = false;
   std::size_t count_ = 0;
   std::size_t length_ = 0;
   std::size_t stride_ = 0;
@@ -151,7 +269,18 @@ class SimilarityEngine {
   std::vector<double> own_sumsq_;  ///< sum of squared present values
 
   void build(std::span<const float> flat, std::size_t count,
-             std::size_t length, Metric metric, Precompute precompute);
+             std::size_t length, Metric metric, Precompute precompute,
+             DenseKernel kernel);
+  /// Computes tile `t` of the schedule into `scratch` (>= kTile*kTile
+  /// floats) and fills `tile` to describe it.
+  void compute_tile(std::size_t t, float* scratch, DistanceTile& tile) const;
+  /// distance()/similarity() without the per-pair argument checks — the
+  /// tile loop calls these O(n²) times with schedule-guaranteed indices,
+  /// and the check branches are measurable next to a 96-element dot
+  /// product. One shared dispatch so the public and tile paths cannot
+  /// drift.
+  float distance_unchecked(std::size_t i, std::size_t j) const;
+  double similarity_unchecked(std::size_t i, std::size_t j) const;
   bool present_at(std::size_t i, std::size_t k) const {
     return (mask_[i * mask_words_ + k / 64] >>
             (k % 64) & 1) != 0;
@@ -160,5 +289,20 @@ class SimilarityEngine {
   double masked_similarity(std::size_t i, std::size_t j) const;
   float euclidean_distance(std::size_t i, std::size_t j) const;
 };
+
+/// Query-coherence of `count` stacked row-major profiles of `length`
+/// values each: mean pairwise Pearson over all pairs, clamped at zero
+/// (anti-coherent sets carry no evidence). Built on a throwaway sub-engine
+/// whose tiles stream serially, so it is safe to call from inside pool
+/// tasks — SPELL's dataset weighting and the merged interface's dataset
+/// ordering both score query gene sets with this. 0 when count < 2.
+double profile_coherence(std::span<const float> flat, std::size_t count,
+                         std::size_t length);
+
+/// Convenience overload for non-contiguous sources (selected dataset
+/// rows): stacks the profile spans into one flat buffer internally. Every
+/// span must have `length` values.
+double profile_coherence(std::span<const std::span<const float>> profiles,
+                         std::size_t length);
 
 }  // namespace fv::sim

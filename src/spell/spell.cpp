@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -24,22 +25,22 @@ struct DatasetContribution {
 
 /// Query-coherence weight of one dataset: mean pairwise Pearson among the
 /// query genes found there, clamped at zero (anti-coherent datasets carry no
-/// evidence). Needs >= 2 query genes to say anything. Only k*(k-1)/2 exact
-/// pairs per query, so the scalar kernel is fine here and the per-dataset
-/// engine can stay a memory-lean dot bank.
+/// evidence). Needs >= 2 query genes to say anything. The query rows are
+/// stacked into a small sub-engine and the pair sums stream through its
+/// tile visitor — the iterative search grows the query every round, so the
+/// per-round q(q-1)/2 pairs run on the blocked kernels instead of the
+/// scalar per-pair path, and the long-lived per-dataset engine stays a
+/// memory-lean dot bank. Serial tile walk on purpose: this runs inside the
+/// per-dataset pool task, and a blocking nested parallel loop on the same
+/// pool could deadlock.
 double dataset_weight(const expr::Dataset& dataset,
                       const std::vector<std::size_t>& query_rows) {
-  if (query_rows.size() < 2) return 0.0;
-  double total = 0.0;
-  std::size_t pairs = 0;
-  for (std::size_t i = 0; i < query_rows.size(); ++i) {
-    for (std::size_t j = i + 1; j < query_rows.size(); ++j) {
-      total += stats::pearson(dataset.profile(query_rows[i]),
-                              dataset.profile(query_rows[j]));
-      ++pairs;
-    }
+  std::vector<std::span<const float>> profiles;
+  profiles.reserve(query_rows.size());
+  for (const std::size_t row : query_rows) {
+    profiles.push_back(dataset.profile(row));
   }
-  return std::max(0.0, total / static_cast<double>(pairs));
+  return sim::profile_coherence(profiles, dataset.condition_count());
 }
 
 DatasetContribution score_dataset(const expr::Dataset& dataset,

@@ -1,7 +1,12 @@
 // Unit tests for the expr data model: matrix, tree, dataset, normalization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "expr/dataset.hpp"
 #include "expr/expression_matrix.hpp"
@@ -329,6 +334,112 @@ TEST(KnnImputeTest, RecoversPlantedValuesBetterThanMean) {
 TEST(KnnImputeTest, InvalidKThrows) {
   ExpressionMatrix m(2, 2, 1.0f);
   EXPECT_THROW(fv::expr::knn_impute(m, 0), fv::InvalidArgument);
+}
+
+namespace seed_reference {
+
+/// The seed's scalar kNN imputation, kept verbatim as the regression
+/// reference for the engine-backed top-k path: candidate selection over
+/// coverage-scaled Euclidean distance (rows sharing < 2 columns excluded),
+/// 1/distance weights, row-mean fallback.
+double impute_distance(std::span<const float> a, std::span<const float> b) {
+  double sum = 0.0;
+  std::size_t shared = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (fv::stats::is_missing(a[i]) || fv::stats::is_missing(b[i])) continue;
+    const double diff = static_cast<double>(a[i]) - b[i];
+    sum += diff * diff;
+    ++shared;
+  }
+  if (shared < 2) return std::numeric_limits<double>::infinity();
+  return std::sqrt(sum * static_cast<double>(a.size()) /
+                   static_cast<double>(shared));
+}
+
+std::size_t knn_impute(ExpressionMatrix& matrix, std::size_t k) {
+  const ExpressionMatrix original = matrix;
+  std::size_t imputed = 0;
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    std::vector<std::size_t> holes;
+    for (std::size_t c = 0; c < matrix.cols(); ++c) {
+      if (fv::stats::is_missing(original.at(r, c))) holes.push_back(c);
+    }
+    if (holes.empty()) continue;
+    std::vector<std::pair<double, std::size_t>> neighbors;
+    for (std::size_t other = 0; other < original.rows(); ++other) {
+      if (other == r) continue;
+      const double d = impute_distance(original.row(r), original.row(other));
+      if (std::isinf(d)) continue;
+      neighbors.emplace_back(d, other);
+    }
+    const std::size_t keep = std::min(k, neighbors.size());
+    std::partial_sort(neighbors.begin(),
+                      neighbors.begin() + static_cast<long>(keep),
+                      neighbors.end());
+    neighbors.resize(keep);
+    const double row_mean = fv::stats::mean(original.row(r));
+    const float fallback =
+        std::isnan(row_mean) ? 0.0f : static_cast<float>(row_mean);
+    for (const std::size_t c : holes) {
+      double weighted = 0.0;
+      double weight_total = 0.0;
+      for (const auto& [distance, other] : neighbors) {
+        const float v = original.at(other, c);
+        if (fv::stats::is_missing(v)) continue;
+        const double w = 1.0 / std::max(distance, 1e-9);
+        weighted += w * v;
+        weight_total += w;
+      }
+      matrix.set(r, c, weight_total > 0.0
+                           ? static_cast<float>(weighted / weight_total)
+                           : fallback);
+      ++imputed;
+    }
+  }
+  return imputed;
+}
+
+}  // namespace seed_reference
+
+TEST(KnnImputeTest, MatchesSeedReferenceImplementation) {
+  // The engine-backed path must reproduce the seed's imputed values: same
+  // neighbor selection (coverage-scaled Euclidean, < 2 shared columns
+  // excluded, ties by row index), same 1/distance weighting, same
+  // fallbacks. Tolerance covers the float-vs-double distance weights only.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const std::size_t rows = 50 + 7 * seed, cols = 11;
+    ExpressionMatrix m(rows, cols);
+    fv::Rng gen(9100 + seed);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double scale = 0.5 + 0.2 * static_cast<double>(r % 5);
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (gen.uniform() < 0.12) continue;  // missing
+        m.set(r, c, static_cast<float>(
+                        scale * std::sin(0.45 * static_cast<double>(c)) +
+                        gen.normal(0.0, 0.1)));
+      }
+    }
+    // Edge rows: entirely missing (row-mean fallback -> 0), and a
+    // one-value row (never a neighbor, mean fallback for itself).
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.set(0, c, kMissing);
+      if (c > 0) m.set(1, c, kMissing);
+    }
+    m.set(1, 0, 2.5f);
+
+    ExpressionMatrix engine_path = m;
+    ExpressionMatrix reference_path = m;
+    const std::size_t imputed = fv::expr::knn_impute(engine_path, 6);
+    const std::size_t expected =
+        seed_reference::knn_impute(reference_path, 6);
+    EXPECT_EQ(imputed, expected);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        EXPECT_NEAR(engine_path.at(r, c), reference_path.at(r, c), 1e-4)
+            << "seed " << seed << " cell (" << r << ", " << c << ")";
+      }
+    }
+  }
 }
 
 }  // namespace

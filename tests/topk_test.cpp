@@ -1,0 +1,366 @@
+// Tests for the streaming tile consumers of the similarity engine: the
+// for_each_tile visitor contract (exactly-once pair delivery, values equal
+// to the pairwise API, serial == pooled), top_k_neighbors equivalence
+// against sort-the-full-row (including distance ties and masked/missing
+// rows), the min_common filter, the streamed mean-pairwise reduction, and
+// the float-accumulator dense kernel's error bound against the double
+// reference across row lengths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "cluster/distance.hpp"
+#include "expr/expression_matrix.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/similarity_engine.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/triangular.hpp"
+
+namespace {
+
+namespace ex = fv::expr;
+namespace sm = fv::sim;
+namespace st = fv::stats;
+
+ex::ExpressionMatrix random_matrix(std::size_t rows, std::size_t cols,
+                                   double missing_rate, std::uint64_t seed) {
+  fv::Rng rng(seed);
+  ex::ExpressionMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double sign = r % 2 == 0 ? 1.0 : -1.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.uniform() < missing_rate) continue;  // stays missing (NaN)
+      const double pattern = std::sin(0.31 * static_cast<double>(c + 1));
+      m.set(r, c,
+            static_cast<float>(sign * pattern + rng.normal(0.0, 0.4)));
+    }
+  }
+  return m;
+}
+
+/// Reference top-k: sort every full row of pairwise distances by
+/// (distance, index) and keep the head — exactly the total order the
+/// engine's bounded heaps use.
+struct ReferenceRow {
+  std::vector<std::uint32_t> indices;
+  std::vector<float> distances;
+};
+
+std::vector<ReferenceRow> reference_top_k(const sm::SimilarityEngine& engine,
+                                          std::size_t k,
+                                          std::size_t min_common) {
+  const std::size_t n = engine.size();
+  std::vector<ReferenceRow> rows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::pair<float, std::uint32_t>> candidates;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (min_common > 0) {
+        std::size_t common = 0;
+        for (std::size_t c = 0; c < engine.length(); ++c) {
+          if (engine.value_present(i, c) && engine.value_present(j, c)) {
+            ++common;
+          }
+        }
+        if (common < min_common) continue;
+      }
+      const std::size_t a = std::min(i, j);
+      const std::size_t b = std::max(i, j);
+      candidates.emplace_back(engine.distance(a, b),
+                              static_cast<std::uint32_t>(j));
+    }
+    std::sort(candidates.begin(), candidates.end());
+    const std::size_t keep = std::min(k, candidates.size());
+    for (std::size_t s = 0; s < keep; ++s) {
+      rows[i].distances.push_back(candidates[s].first);
+      rows[i].indices.push_back(candidates[s].second);
+    }
+  }
+  return rows;
+}
+
+void expect_table_matches_reference(const sm::SimilarityEngine& engine,
+                                    std::size_t k, std::size_t min_common,
+                                    fv::par::ThreadPool& pool) {
+  const auto table = engine.top_k_neighbors(k, pool, min_common);
+  const auto reference = reference_top_k(engine, table.k, min_common);
+  ASSERT_EQ(table.count, engine.size());
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    const auto got_idx = table.neighbors(i);
+    const auto got_d = table.neighbor_distances(i);
+    ASSERT_EQ(got_idx.size(), reference[i].indices.size()) << "row " << i;
+    for (std::size_t s = 0; s < got_idx.size(); ++s) {
+      EXPECT_EQ(got_idx[s], reference[i].indices[s])
+          << "row " << i << " slot " << s;
+      EXPECT_EQ(got_d[s], reference[i].distances[s])
+          << "row " << i << " slot " << s;
+    }
+  }
+}
+
+TEST(TopKNeighborsTest, MatchesFullRowSortAcrossTileBoundaries) {
+  // 70 and 130 rows cross the 64-row tile edge; include missing cells so
+  // masked rows exercise the slow kernels inside the tile stream.
+  fv::par::ThreadPool pool(3);
+  for (const std::size_t rows : {10u, 70u, 130u}) {
+    const auto m = random_matrix(rows, 9, 0.1, 500 + rows);
+    for (const auto metric : {sm::Metric::kPearson, sm::Metric::kEuclidean}) {
+      const auto engine = sm::SimilarityEngine::from_rows(m, metric);
+      for (const std::size_t k : {1u, 5u, 17u}) {
+        expect_table_matches_reference(engine, k, 0, pool);
+      }
+    }
+  }
+}
+
+TEST(TopKNeighborsTest, TiedDistancesResolveByIndexDeterministically) {
+  // Blocks of identical rows make whole distance groups tie at 0 (Pearson
+  // distance between identical profiles) and at the cross-block value; the
+  // (distance, index) total order must pick the lowest indices, on every
+  // run, under a multi-threaded pool.
+  ex::ExpressionMatrix m(96, 8);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double base = r % 2 == 0 ? std::sin(0.7 * (c + 1.0))
+                                     : std::cos(0.9 * (c + 1.0));
+      m.set(r, c, static_cast<float>(base));
+    }
+  }
+  fv::par::ThreadPool pool(4);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  const auto first = engine.top_k_neighbors(5, pool);
+  expect_table_matches_reference(engine, 5, 0, pool);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    const auto again = engine.top_k_neighbors(5, pool);
+    EXPECT_EQ(again.indices, first.indices);
+    EXPECT_EQ(again.distances, first.distances);
+  }
+}
+
+TEST(TopKNeighborsTest, MinCommonFiltersSparseOverlaps) {
+  // Rows 0/1 overlap on one column only; rows 2..5 are dense. With
+  // min_common = 2 the sparse pair must vanish from both rows' tables.
+  const float na = st::missing_value();
+  ex::ExpressionMatrix m(6, 4);
+  const std::vector<std::vector<float>> rows{
+      {1.0f, 2.0f, na, na},
+      {na, 2.5f, 3.0f, na},
+      {0.5f, 1.5f, 2.5f, 3.5f},
+      {3.0f, 1.0f, 2.0f, 0.5f},
+      {1.0f, 1.0f, 2.0f, 3.0f},
+      {2.0f, 0.5f, 1.5f, 2.5f}};
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      if (!st::is_missing(rows[r][c])) m.set(r, c, rows[r][c]);
+    }
+  }
+  fv::par::ThreadPool pool(2);
+  const auto engine =
+      sm::SimilarityEngine::from_rows(m, sm::Metric::kEuclidean);
+  expect_table_matches_reference(engine, 5, 2, pool);
+  const auto table = engine.top_k_neighbors(5, pool, 2);
+  for (const auto j : table.neighbors(0)) EXPECT_NE(j, 1u);
+  for (const auto j : table.neighbors(1)) EXPECT_NE(j, 0u);
+  // Dense rows keep all 5 possible neighbors minus the filtered ones only.
+  EXPECT_EQ(table.neighbor_count(2), 5u);
+}
+
+TEST(TopKNeighborsTest, DegenerateSizesAndLargeK) {
+  fv::par::ThreadPool pool(2);
+  const auto empty = sm::SimilarityEngine::from_profiles(
+      {}, 0, 5, sm::Metric::kPearson);
+  const auto none = empty.top_k_neighbors(3, pool);
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_EQ(none.k, 0u);
+
+  const std::vector<float> one{1.0f, 2.0f, 3.0f};
+  const auto single =
+      sm::SimilarityEngine::from_profiles(one, 1, 3, sm::Metric::kPearson);
+  const auto lone = single.top_k_neighbors(4, pool);
+  EXPECT_EQ(lone.count, 1u);
+  EXPECT_EQ(lone.k, 0u);
+  EXPECT_EQ(lone.neighbor_count(0), 0u);
+
+  // k past n - 1 clamps; every row still gets all n - 1 neighbors.
+  const auto m = random_matrix(7, 6, 0.0, 901);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  const auto table = engine.top_k_neighbors(50, pool);
+  EXPECT_EQ(table.k, 6u);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(table.neighbor_count(i), 6u);
+  expect_table_matches_reference(engine, 50, 0, pool);
+
+  const auto bank = sm::SimilarityEngine::from_rows(
+      m, sm::Metric::kPearson, sm::Precompute::kDotBank);
+  EXPECT_THROW(bank.top_k_neighbors(3, pool), fv::InvalidArgument);
+}
+
+TEST(ForEachTileTest, DeliversEveryPairOnceWithPairwiseValues) {
+  for (const std::size_t rows : {5u, 70u, 130u}) {
+    const auto m = random_matrix(rows, 9, 0.15, 700 + rows);
+    const auto engine =
+        sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+    fv::par::ThreadPool pool(3);
+    std::vector<int> visits(rows * rows, 0);
+    std::vector<float> values(rows * rows, 0.0f);
+    std::mutex mutex;
+    std::size_t tiles_seen = 0;
+    engine.for_each_tile(
+        [&](const sm::DistanceTile& tile) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          ++tiles_seen;
+          EXPECT_LT(tile.index, engine.tile_count());
+          for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+            for (std::size_t j = std::max(tile.col_begin, i + 1);
+                 j < tile.col_end; ++j) {
+              ++visits[i * rows + j];
+              values[i * rows + j] = tile.at(i, j);
+            }
+          }
+        },
+        pool);
+    EXPECT_EQ(tiles_seen, engine.tile_count());
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = i + 1; j < rows; ++j) {
+        EXPECT_EQ(visits[i * rows + j], 1) << i << "," << j;
+        EXPECT_EQ(values[i * rows + j], engine.distance(i, j));
+      }
+    }
+  }
+}
+
+TEST(ForEachTileTest, SerialVariantMatchesPooled) {
+  const auto m = random_matrix(70, 9, 0.1, 801);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  fv::par::ThreadPool pool(3);
+  std::vector<float> pooled(fv::condensed_size(70), -1.0f);
+  std::vector<float> serial(fv::condensed_size(70), -1.0f);
+  engine.condensed_distances(pooled, pool);
+  engine.for_each_tile([&](const sm::DistanceTile& tile) {
+    for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+      for (std::size_t j = std::max(tile.col_begin, i + 1); j < tile.col_end;
+           ++j) {
+        serial[fv::condensed_index(i, j, 70)] = tile.at(i, j);
+      }
+    }
+  });
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(ForEachTileTest, MeanPairwiseDistanceMatchesBruteForce) {
+  const auto m = random_matrix(70, 9, 0.1, 811);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  double total = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = i + 1; j < m.rows(); ++j) {
+      total += engine.distance(i, j);
+    }
+  }
+  const double expected =
+      total / static_cast<double>(fv::condensed_size(m.rows()));
+  fv::par::ThreadPool pool(3);
+  EXPECT_NEAR(engine.mean_pairwise_distance(pool), expected, 1e-9);
+  EXPECT_NEAR(engine.mean_pairwise_distance(), expected, 1e-9);
+  EXPECT_EQ(engine.mean_pairwise_distance(pool),
+            engine.mean_pairwise_distance(pool));  // deterministic
+}
+
+// --- Float-accumulator dense kernel --------------------------------------
+
+/// Flat dense random profiles (no missing cells — the float kernel serves
+/// the dense fast path only).
+std::vector<float> dense_profiles(std::size_t count, std::size_t length,
+                                  std::uint64_t seed) {
+  fv::Rng rng(seed);
+  std::vector<float> flat(count * length);
+  for (float& v : flat) {
+    v = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return flat;
+}
+
+TEST(FloatKernelTest, AutoEngagesShortRowsAndFallsBackPastBound) {
+  const auto probe = [](std::size_t length, sm::DenseKernel kernel) {
+    const auto flat = dense_profiles(2, length, 1000 + length);
+    return sm::SimilarityEngine::from_profiles(flat, 2, length,
+                                               sm::Metric::kPearson,
+                                               sm::Precompute::kAllPairs,
+                                               kernel)
+        .float_kernel_active();
+  };
+  // Auto: proven lengths (stride <= 256) use float, longer rows fall back.
+  EXPECT_TRUE(probe(96, sm::DenseKernel::kAuto));
+  EXPECT_TRUE(probe(256, sm::DenseKernel::kAuto));
+  EXPECT_FALSE(probe(257, sm::DenseKernel::kAuto));
+  EXPECT_FALSE(probe(10000, sm::DenseKernel::kAuto));
+  // Forced kernels ignore the bound.
+  EXPECT_FALSE(probe(96, sm::DenseKernel::kDouble));
+  EXPECT_TRUE(probe(10000, sm::DenseKernel::kFloat));
+  // Euclidean rows are unnormalized — the bound does not apply, so the
+  // float kernel never engages there.
+  const auto flat = dense_profiles(2, 96, 77);
+  EXPECT_FALSE(sm::SimilarityEngine::from_profiles(flat, 2, 96,
+                                                   sm::Metric::kEuclidean)
+                   .float_kernel_active());
+}
+
+TEST(FloatKernelTest, ErrorBoundAcrossRowLengths) {
+  // The study behind kFloatKernelMaxStride: forced-float vs the double
+  // reference on dense random profiles across row lengths 96 -> 10k. The
+  // worst-case bound is (stride / 16) * 2^-24; measured error must sit
+  // inside the 1e-6 contract wherever kAuto engages, and inside the
+  // worst-case bound everywhere.
+  constexpr std::size_t kProfiles = 24;
+  for (const std::size_t length :
+       {96u, 160u, 256u, 512u, 1024u, 4096u, 10000u}) {
+    const auto flat = dense_profiles(kProfiles, length, 2000 + length);
+    const auto engine_f = sm::SimilarityEngine::from_profiles(
+        flat, kProfiles, length, sm::Metric::kPearson,
+        sm::Precompute::kAllPairs, sm::DenseKernel::kFloat);
+    const auto engine_d = sm::SimilarityEngine::from_profiles(
+        flat, kProfiles, length, sm::Metric::kPearson,
+        sm::Precompute::kAllPairs, sm::DenseKernel::kDouble);
+    ASSERT_TRUE(engine_f.float_kernel_active());
+    ASSERT_FALSE(engine_d.float_kernel_active());
+    double max_error = 0.0;
+    for (std::size_t i = 0; i < kProfiles; ++i) {
+      for (std::size_t j = i + 1; j < kProfiles; ++j) {
+        max_error = std::max(max_error,
+                             std::abs(engine_f.similarity(i, j) -
+                                      engine_d.similarity(i, j)));
+      }
+    }
+    const std::size_t stride = engine_f.stride();
+    const double worst_case =
+        static_cast<double>(stride / 16) * std::ldexp(1.0, -24);
+    EXPECT_LE(max_error, worst_case)
+        << "length " << length << " measured " << max_error;
+    if (stride <= 256) {
+      EXPECT_LT(max_error, 1e-6)
+          << "length " << length << " breaks the contract";
+    }
+  }
+}
+
+TEST(FloatKernelTest, ForcedFloatStaysInsideScalarContractOnRealShapes) {
+  // End-to-end: a typical compendium shape (96 conditions) under kAuto must
+  // still match the scalar reference within the 1e-6 contract — the same
+  // check sim_test runs, but explicitly pinned to the float kernel.
+  const auto m = random_matrix(40, 96, 0.0, 3001);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  ASSERT_TRUE(engine.float_kernel_active());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = i + 1; j < m.rows(); ++j) {
+      const double reference =
+          fv::cluster::profile_distance(m.row(i), m.row(j),
+                                        sm::Metric::kPearson);
+      EXPECT_NEAR(engine.distance(i, j), reference, 1e-6);
+    }
+  }
+}
+
+}  // namespace
