@@ -3,8 +3,11 @@
 //
 //   generate <dir> [--genes N] [--seed S]
 //       synthesize a compendium directory (PCL + manifest)
-//   cluster <dir> <dataset> [--metric pearson|euclidean] [--linkage avg|...]
-//       hierarchically cluster one member dataset in place (PCL -> CDT+GTR)
+//   cluster <dir> <dataset> [--metric pearson|euclidean]
+//           [--linkage single|complete|avg|ward|median|centroid]
+//       hierarchically cluster one member dataset in place (PCL -> CDT+GTR);
+//       ward/median/centroid operate on squared Euclidean distances and
+//       force --metric euclidean
 //   render <dir> <out.ppm> [--select g1,g2,...] [--width W] [--height H]
 //       render the synchronized multi-pane frame
 //   search <dir> g1,g2,... [--top N] [--iterate R]
@@ -80,15 +83,46 @@ int cmd_cluster(int argc, char** argv) {
   const std::string dir = argv[0];
   const std::string name = argv[1];
   auto datasets = ex::load_compendium_dir(dir);
-  fv::cluster::Metric metric =
-      flag(argc, argv, "--metric", "pearson") == "euclidean"
-          ? fv::cluster::Metric::kEuclidean
-          : fv::cluster::Metric::kPearson;
+  const std::string metric_name = flag(argc, argv, "--metric", "pearson");
+  fv::cluster::Metric metric;
+  if (metric_name == "pearson") {
+    metric = fv::cluster::Metric::kPearson;
+  } else if (metric_name == "euclidean") {
+    metric = fv::cluster::Metric::kEuclidean;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --metric '%s' (expected pearson|euclidean)\n",
+                 metric_name.c_str());
+    return 2;
+  }
   const std::string linkage_name = flag(argc, argv, "--linkage", "avg");
-  fv::cluster::Linkage linkage =
-      linkage_name == "single"     ? fv::cluster::Linkage::kSingle
-      : linkage_name == "complete" ? fv::cluster::Linkage::kComplete
-                                   : fv::cluster::Linkage::kAverage;
+  fv::cluster::Linkage linkage;
+  if (linkage_name == "single") {
+    linkage = fv::cluster::Linkage::kSingle;
+  } else if (linkage_name == "complete") {
+    linkage = fv::cluster::Linkage::kComplete;
+  } else if (linkage_name == "avg" || linkage_name == "average") {
+    linkage = fv::cluster::Linkage::kAverage;
+  } else if (linkage_name == "ward") {
+    linkage = fv::cluster::Linkage::kWard;
+  } else if (linkage_name == "median") {
+    linkage = fv::cluster::Linkage::kMedian;
+  } else if (linkage_name == "centroid") {
+    linkage = fv::cluster::Linkage::kCentroid;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --linkage '%s' (expected single|complete|avg|"
+                 "ward|median|centroid)\n",
+                 linkage_name.c_str());
+    return 2;
+  }
+  if (fv::cluster::linkage_uses_squared_distances(linkage) &&
+      metric != fv::cluster::Metric::kEuclidean) {
+    std::printf("note: %s linkage runs on squared Euclidean distances; "
+                "forcing --metric euclidean\n",
+                linkage_name.c_str());
+    metric = fv::cluster::Metric::kEuclidean;
+  }
   bool found = false;
   fv::par::ThreadPool pool;
   for (auto& dataset : datasets) {

@@ -63,4 +63,27 @@ DistanceMatrix column_distances(const expr::ExpressionMatrix& matrix,
   return all_pairs(sim::SimilarityEngine::from_columns(matrix, metric), pool);
 }
 
+namespace {
+
+DistanceMatrix all_squared_pairs(const sim::SimilarityEngine& engine,
+                                 par::ThreadPool& pool) {
+  DistanceMatrix distances(engine.size());
+  engine.condensed_squared_distances(distances.condensed(), pool);
+  return distances;
+}
+
+}  // namespace
+
+DistanceMatrix row_squared_distances(const expr::ExpressionMatrix& matrix,
+                                     par::ThreadPool& pool) {
+  return all_squared_pairs(
+      sim::SimilarityEngine::from_rows(matrix, Metric::kEuclidean), pool);
+}
+
+DistanceMatrix column_squared_distances(const expr::ExpressionMatrix& matrix,
+                                        par::ThreadPool& pool) {
+  return all_squared_pairs(
+      sim::SimilarityEngine::from_columns(matrix, Metric::kEuclidean), pool);
+}
+
 }  // namespace fv::cluster

@@ -87,4 +87,17 @@ DistanceMatrix row_distances(const expr::ExpressionMatrix& matrix,
 DistanceMatrix column_distances(const expr::ExpressionMatrix& matrix,
                                 Metric metric, par::ThreadPool& pool);
 
+/// Squared Euclidean row distances — the input form the Lance–Williams
+/// recurrences of Ward/centroid/median linkage operate on. Same condensed
+/// layout and O(n(n-1)/2) memory as row_distances; values are exactly the
+/// squares of the Metric::kEuclidean distances (including the Cluster 3.0
+/// missing-coverage scaling), emitted by the engine's squared condensed
+/// tile writer with no dense staging buffer.
+DistanceMatrix row_squared_distances(const expr::ExpressionMatrix& matrix,
+                                     par::ThreadPool& pool);
+
+/// Squared Euclidean column distances; see row_squared_distances.
+DistanceMatrix column_squared_distances(const expr::ExpressionMatrix& matrix,
+                                        par::ThreadPool& pool);
+
 }  // namespace fv::cluster

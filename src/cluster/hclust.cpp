@@ -13,39 +13,55 @@ namespace {
 
 constexpr float kInf = std::numeric_limits<float>::infinity();
 
-double lance_williams(Linkage linkage, double d_ak, double d_bk,
-                      std::size_t size_a, std::size_t size_b) {
+/// Full Lance–Williams update: the distance from the merged cluster A∪B to
+/// a third cluster K, as α_a·d(A,K) + α_b·d(B,K) + β·d(A,B) + γ·|d(A,K) −
+/// d(B,K)|. Ward/centroid/median operate on squared Euclidean distances;
+/// their β (and Ward's size-dependent α) terms are what makes them need
+/// d(A,B) — the reducible trio never reads it.
+double lance_williams(Linkage linkage, double d_ak, double d_bk, double d_ab,
+                      std::size_t size_a, std::size_t size_b,
+                      std::size_t size_k) {
+  const double na = static_cast<double>(size_a);
+  const double nb = static_cast<double>(size_b);
+  const double nk = static_cast<double>(size_k);
   switch (linkage) {
     case Linkage::kSingle:
       return std::min(d_ak, d_bk);
     case Linkage::kComplete:
       return std::max(d_ak, d_bk);
     case Linkage::kAverage:
-      return (static_cast<double>(size_a) * d_ak +
-              static_cast<double>(size_b) * d_bk) /
-             static_cast<double>(size_a + size_b);
+      return (na * d_ak + nb * d_bk) / (na + nb);
+    case Linkage::kWard:
+      return ((na + nk) * d_ak + (nb + nk) * d_bk - nk * d_ab) /
+             (na + nb + nk);
+    case Linkage::kCentroid:
+      return (na * d_ak + nb * d_bk) / (na + nb) -
+             na * nb * d_ab / ((na + nb) * (na + nb));
+    case Linkage::kMedian:
+      return 0.5 * d_ak + 0.5 * d_bk - 0.25 * d_ab;
   }
   FV_ASSERT(false, "unhandled linkage");
   return 0.0;
 }
 
-}  // namespace
-
-std::vector<Merge> agglomerate(DistanceMatrix distances, Linkage linkage) {
-  const std::size_t n = distances.size();
-  FV_REQUIRE(n >= 1, "cannot cluster an empty set");
-  std::vector<Merge> merges;
-  if (n == 1) return merges;
-  merges.reserve(n - 1);
-
-  // Hot-path condensed addressing: offset(i, j) for i < j is
-  // row_base[i] + (j - i - 1), so with the bases precomputed every access
-  // in the scans below is adds only — no per-access multiply/divide.
-  const std::span<float> v = distances.condensed();
+/// Precomputed condensed row bases: offset(i, j) for i < j is
+/// row_base[i] + (j - i - 1), so hot scans are adds only.
+std::vector<std::size_t> condensed_row_bases(std::size_t n) {
   std::vector<std::size_t> row_base(n, 0);
   for (std::size_t i = 0; i + 1 < n; ++i) {
     row_base[i] = condensed_index(i, i + 1, n);
   }
+  return row_base;
+}
+
+std::vector<Merge> nn_chain_agglomerate(DistanceMatrix& distances,
+                                        Linkage linkage) {
+  const std::size_t n = distances.size();
+  std::vector<Merge> merges;
+  merges.reserve(n - 1);
+
+  const std::span<float> v = distances.condensed();
+  const std::vector<std::size_t> row_base = condensed_row_bases(n);
   const auto cell = [&](std::size_t i, std::size_t j) -> float& {
     return i < j ? v[row_base[i] + (j - i - 1)] : v[row_base[j] + (i - j - 1)];
   };
@@ -58,12 +74,12 @@ std::vector<Merge> agglomerate(DistanceMatrix distances, Linkage linkage) {
   // The nearest-neighbor chain: d(chain[t], chain[t+1]) is non-increasing
   // in t, so the chain can never cycle and its tip always reaches a
   // reciprocal nearest-neighbor pair. Merging an RNN pair is correct for
-  // reducible linkages (Lance–Williams single/complete/average): a merge
-  // elsewhere can never bring two clusters closer together, so the
-  // surviving chain prefix stays valid and is resumed, not rebuilt. Every
-  // loop iteration either grows the chain (each cluster enters at most
-  // once between merges) or merges, giving O(n) scans of O(n) each between
-  // consecutive merges amortized — O(n²) total.
+  // reducible linkages (single/complete/average/Ward): a merge elsewhere
+  // can never bring two clusters closer together, so the surviving chain
+  // prefix stays valid and is resumed, not rebuilt. Every loop iteration
+  // either grows the chain (each cluster enters at most once between
+  // merges) or merges, giving O(n) scans of O(n) each between consecutive
+  // merges amortized — O(n²) total.
   std::vector<std::size_t> chain;
   chain.reserve(n);
   std::size_t lowest_active = 0;  // restart hint; only ever moves forward
@@ -115,9 +131,9 @@ std::vector<Merge> agglomerate(DistanceMatrix distances, Linkage linkage) {
             Merge{node_id[a], node_id[b], static_cast<double>(best)});
         for (std::size_t k = 0; k < n; ++k) {
           if (active[k] == 0 || k == a || k == b) continue;
-          const double updated =
-              lance_williams(linkage, cell(a, k), cell(b, k),
-                             cluster_size[a], cluster_size[b]);
+          const double updated = lance_williams(
+              linkage, cell(a, k), cell(b, k), best, cluster_size[a],
+              cluster_size[b], cluster_size[k]);
           cell(a, k) = static_cast<float>(updated);
         }
         active[b] = 0;
@@ -128,14 +144,229 @@ std::vector<Merge> agglomerate(DistanceMatrix distances, Linkage linkage) {
       chain.push_back(best_j);
     }
   }
-  // Chain merges emerge out of height order (a deep chain merges its
-  // tightest tail pair first); restore the canonical sorted/relabeled form
-  // every consumer expects.
-  return canonicalize_merges(std::move(merges), n);
+  return merges;
+}
+
+/// Indexed binary min-heap over cluster slots keyed by (distance, slot) —
+/// the slot tiebreak makes pops deterministic under equal keys. Supports
+/// update-key (up or down) and remove by slot id, the two operations the
+/// lazy-repair loop of the generic agglomerator needs.
+class CandidateHeap {
+ public:
+  /// Builds over slots 0..n-1 with the given keys (O(n) heapify).
+  explicit CandidateHeap(std::vector<float> keys)
+      : keys_(std::move(keys)), heap_(keys_.size()), pos_(keys_.size()) {
+    std::iota(heap_.begin(), heap_.end(), 0u);
+    std::iota(pos_.begin(), pos_.end(), 0u);
+    for (std::size_t h = heap_.size() / 2; h-- > 0;) sift_down(h);
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t top() const { return heap_.front(); }
+  float key(std::size_t slot) const { return keys_[slot]; }
+
+  void update(std::size_t slot, float key) {
+    keys_[slot] = key;
+    const std::size_t h = pos_[slot];
+    if (!sift_up(h)) sift_down(h);
+  }
+
+  void remove(std::size_t slot) {
+    const std::size_t h = pos_[slot];
+    const std::size_t last = heap_.size() - 1;
+    if (h != last) {
+      move(heap_[last], h);
+      heap_.pop_back();
+      if (!sift_up(h)) sift_down(h);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+ private:
+  bool less(std::size_t a, std::size_t b) const {
+    return keys_[a] < keys_[b] || (keys_[a] == keys_[b] && a < b);
+  }
+  void move(std::size_t slot, std::size_t h) {
+    heap_[h] = static_cast<std::uint32_t>(slot);
+    pos_[slot] = static_cast<std::uint32_t>(h);
+  }
+  bool sift_up(std::size_t h) {
+    const std::size_t slot = heap_[h];
+    bool moved = false;
+    while (h > 0) {
+      const std::size_t parent = (h - 1) / 2;
+      if (!less(slot, heap_[parent])) break;
+      move(heap_[parent], h);
+      h = parent;
+      moved = true;
+    }
+    move(slot, h);
+    return moved;
+  }
+  void sift_down(std::size_t h) {
+    const std::size_t slot = heap_[h];
+    for (;;) {
+      std::size_t child = 2 * h + 1;
+      if (child >= heap_.size()) break;
+      if (child + 1 < heap_.size() && less(heap_[child + 1], heap_[child])) {
+        ++child;
+      }
+      if (!less(heap_[child], slot)) break;
+      move(heap_[child], h);
+      h = child;
+    }
+    move(slot, h);
+  }
+
+  std::vector<float> keys_;
+  std::vector<std::uint32_t> heap_;  ///< heap position -> slot
+  std::vector<std::uint32_t> pos_;   ///< slot -> heap position
+};
+
+/// Generic heap agglomerator (Müllner's generic_linkage shape): each slot i
+/// keeps a *candidate* nearest neighbor nn[i] among slots j > i with cached
+/// distance key[i], all in an indexed min-heap. The key invariant is that
+/// key[i] is always a LOWER BOUND on the true minimum of row i:
+///
+///  * merges only rewrite cells of the surviving row; when a rewritten cell
+///    (k, new) drops below key[k] for an owner row k < new, key[k] is
+///    lowered on the spot, and the surviving row is rescanned exactly;
+///  * cells that grow or disappear (their cluster died) leave key[i]
+///    stale-LOW, never stale-high.
+///
+/// So when the heap minimum's cached pair is still live and its cell still
+/// equals the cached key, that pair is a true global minimum and is merged;
+/// otherwise the popped slot's row is rescanned (lazy deletion / repair)
+/// and the loop retries. Non-reducible linkages (centroid/median) are
+/// exactly the case where cells can shrink after a merge — the decrease
+/// hook above is what the NN-chain fundamentally lacks. O(n²) typical
+/// (every repair is paid for by a stale candidate), O(n³) adversarial
+/// worst case, O(n) memory beyond the condensed matrix.
+std::vector<Merge> heap_agglomerate(DistanceMatrix& distances,
+                                    Linkage linkage) {
+  const std::size_t n = distances.size();
+  std::vector<Merge> merges;
+  merges.reserve(n - 1);
+
+  const std::span<float> v = distances.condensed();
+  const std::vector<std::size_t> row_base = condensed_row_bases(n);
+  const auto cell = [&](std::size_t i, std::size_t j) -> float& {
+    return i < j ? v[row_base[i] + (j - i - 1)] : v[row_base[j] + (i - j - 1)];
+  };
+
+  std::vector<std::uint8_t> active(n, 1);
+  std::vector<std::size_t> cluster_size(n, 1);
+  std::vector<int> node_id(n);
+  std::iota(node_id.begin(), node_id.end(), 0);
+  std::vector<std::uint32_t> nn(n, 0);
+
+  // Exact nearest neighbor of row i among active slots j > i; kInf when no
+  // such slot remains (the row then owns no pairs and never merges as an
+  // owner).
+  const auto rescan_row = [&](std::size_t i) -> float {
+    float best = kInf;
+    std::uint32_t best_j = static_cast<std::uint32_t>(n);
+    const float* row = v.data() + row_base[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (active[j] == 0) continue;
+      const float d = row[j - i - 1];
+      if (d < best) {
+        best = d;
+        best_j = static_cast<std::uint32_t>(j);
+      }
+    }
+    nn[i] = best_j;
+    return best;
+  };
+
+  std::vector<float> keys(n, kInf);
+  for (std::size_t i = 0; i + 1 < n; ++i) keys[i] = rescan_row(i);
+  CandidateHeap heap(std::move(keys));
+
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    // Pop-and-repair until the heap minimum's candidate is live and its
+    // cached distance matches the current cell.
+    std::size_t a, b;
+    for (;;) {
+      a = heap.top();
+      b = nn[a];
+      const float cached = heap.key(a);
+      if (b < n && active[b] != 0 && cell(a, b) == cached) break;
+      heap.update(a, rescan_row(a));
+    }
+    const double d_ab = static_cast<double>(heap.key(a));
+    merges.push_back(Merge{node_id[a], node_id[b], d_ab});
+
+    // The merged cluster lives in slot b (the larger index), so every
+    // remaining row k < b can still point at it as a candidate.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (active[k] == 0 || k == a || k == b) continue;
+      const double updated =
+          lance_williams(linkage, cell(a, k), cell(b, k), d_ab,
+                         cluster_size[a], cluster_size[b], cluster_size[k]);
+      const float d = static_cast<float>(updated);
+      cell(b, k) = d;
+      // Keep the lower-bound invariant when a cell shrinks below its owner
+      // row's cached key (only possible for non-reducible linkages).
+      if (k < b && d < heap.key(k)) {
+        nn[k] = static_cast<std::uint32_t>(b);
+        heap.update(k, d);
+      }
+    }
+    active[a] = 0;
+    heap.remove(a);
+    cluster_size[b] += cluster_size[a];
+    node_id[b] = static_cast<int>(n + step);
+    heap.update(b, rescan_row(b));
+  }
+  return merges;
+}
+
+}  // namespace
+
+std::vector<Merge> agglomerate(DistanceMatrix distances, Linkage linkage,
+                               Agglomerator algorithm) {
+  const std::size_t n = distances.size();
+  FV_REQUIRE(n >= 1, "cannot cluster an empty set");
+  if (n == 1) return {};
+
+  if (algorithm == Agglomerator::kAuto) {
+    algorithm = linkage_is_reducible(linkage) ? Agglomerator::kNNChain
+                                              : Agglomerator::kHeap;
+  }
+  FV_REQUIRE(
+      algorithm == Agglomerator::kHeap || linkage_is_reducible(linkage),
+      "NN-chain requires a reducible linkage (single/complete/average/Ward); "
+      "median/centroid need the heap agglomerator");
+
+  std::vector<Merge> merges = algorithm == Agglomerator::kHeap
+                                  ? heap_agglomerate(distances, linkage)
+                                  : nn_chain_agglomerate(distances, linkage);
+
+  if (linkage_uses_squared_distances(linkage)) {
+    // The recurrence ran on squared Euclidean distances; report heights in
+    // plain distance units. Rounding can leave a merge cost a hair below
+    // zero on near-coincident points — clamp before the root. sqrt is
+    // monotone, so canonical ordering is unaffected.
+    for (Merge& merge : merges) {
+      merge.distance = std::sqrt(std::max(merge.distance, 0.0));
+    }
+  }
+
+  // Both paths emit merges out of height order (a deep chain merges its
+  // tightest tail pair first; the heap interleaves repair). Restore the
+  // canonical relabeled form every consumer expects — carrying, not
+  // clamping, the genuine inversions median/centroid produce.
+  return canonicalize_merges(std::move(merges), n,
+                             linkage_can_invert(linkage)
+                                 ? HeightOrder::kAllowInversions
+                                 : HeightOrder::kMonotone);
 }
 
 std::vector<Merge> canonicalize_merges(std::vector<Merge> merges,
-                                       std::size_t leaf_count) {
+                                       std::size_t leaf_count,
+                                       HeightOrder order) {
   const std::size_t n = leaf_count;
   const std::size_t m = merges.size();
   // pending[k]: internal children of merge k not yet emitted.
@@ -156,12 +387,12 @@ std::vector<Merge> canonicalize_merges(std::vector<Merge> merges,
   }
 
   // Dependency-aware ordering: repeatedly emit the lowest merge whose
-  // children are already emitted. For exact reducible-linkage heights this
-  // is plain sort-by-height; the dependency gate additionally absorbs the
-  // rounding-level inversions average linkage can produce (its updates are
-  // order-sensitive at ~1 ulp), where a bare sort could order a parent
-  // before its child. Ties fall back to emission order, so already-
-  // canonical input passes through unchanged.
+  // children are already emitted. For exact monotone heights this is plain
+  // sort-by-height; the dependency gate additionally keeps children ahead
+  // of parents when heights dip — the ~1 ulp inversions average linkage can
+  // produce (clamped under kMonotone) and the genuine inversions of
+  // median/centroid (preserved under kAllowInversions). Ties fall back to
+  // emission order, so already-canonical input passes through unchanged.
   using Entry = std::pair<double, std::size_t>;  // (height, emission index)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
   for (std::size_t k = 0; k < m; ++k) {
@@ -180,14 +411,16 @@ std::vector<Merge> canonicalize_merges(std::vector<Merge> merges,
     if (merge.right >= static_cast<int>(n)) {
       merge.right = new_id[static_cast<std::size_t>(merge.right) - n];
     }
-    if (!out.empty() && merge.distance < out.back().distance) {
-      // A dependency-forced dip. Legal inputs only produce these at float
-      // rounding magnitude; clamp so the emitted sequence is monotone (the
-      // contract cut_tree_k's id-order cut relies on).
+    if (order == HeightOrder::kMonotone && !out.empty() &&
+        merge.distance < out.back().distance) {
+      // A dependency-forced dip. Legal monotone inputs only produce these
+      // at float rounding magnitude; clamp so the emitted sequence is
+      // non-decreasing.
       FV_REQUIRE(out.back().distance - merge.distance <=
                      1e-3 * std::max(1.0, std::abs(out.back().distance)),
                  "merge heights invert beyond rounding noise — input is not "
-                 "a reducible-linkage hierarchy");
+                 "a monotone hierarchy (use HeightOrder::kAllowInversions "
+                 "for median/centroid merge lists)");
       merge.distance = out.back().distance;
     }
     new_id[k] = static_cast<int>(n + out.size());
@@ -203,11 +436,13 @@ std::vector<Merge> canonicalize_merges(std::vector<Merge> merges,
 
 expr::HierTree merges_to_tree(const std::vector<Merge>& merges,
                               std::size_t leaf_count,
-                              double (*similarity_from_distance)(double)) {
+                              double (*similarity_from_distance)(double),
+                              HeightOrder order) {
   FV_REQUIRE(leaf_count >= 1, "tree needs at least one leaf");
   FV_REQUIRE(merges.size() + 1 == leaf_count,
              "merge count must be leaf_count - 1");
-  const std::vector<Merge> canonical = canonicalize_merges(merges, leaf_count);
+  const std::vector<Merge> canonical =
+      canonicalize_merges(merges, leaf_count, order);
   expr::HierTree tree(leaf_count);
   for (const Merge& merge : canonical) {
     tree.add_node(merge.left, merge.right,
@@ -222,37 +457,79 @@ double negated_similarity(double distance) { return -distance; }
 
 namespace {
 
-double (*similarity_converter(Metric metric))(double) {
-  return metric == Metric::kEuclidean ? negated_similarity
-                                      : correlation_similarity;
+double (*similarity_converter(Metric metric, Linkage linkage))(double) {
+  return metric == Metric::kEuclidean ||
+                 linkage_uses_squared_distances(linkage)
+             ? negated_similarity
+             : correlation_similarity;
+}
+
+HeightOrder tree_order(Linkage linkage) {
+  return linkage_can_invert(linkage) ? HeightOrder::kAllowInversions
+                                     : HeightOrder::kMonotone;
+}
+
+DistanceMatrix distances_for_linkage(const expr::ExpressionMatrix& matrix,
+                                     Metric metric, Linkage linkage,
+                                     bool columns, par::ThreadPool& pool) {
+  if (linkage_uses_squared_distances(linkage)) {
+    FV_REQUIRE(metric == Metric::kEuclidean,
+               "Ward/centroid/median linkages operate on squared Euclidean "
+               "distances; use Metric::kEuclidean");
+    return columns ? column_squared_distances(matrix, pool)
+                   : row_squared_distances(matrix, pool);
+  }
+  return columns ? column_distances(matrix, metric, pool)
+                 : row_distances(matrix, metric, pool);
 }
 
 }  // namespace
 
 std::vector<Merge> cluster_genes(expr::Dataset& dataset, Metric metric,
                                  Linkage linkage, par::ThreadPool& pool) {
-  auto merges =
-      agglomerate(row_distances(dataset.values(), metric, pool), linkage);
+  auto merges = agglomerate(
+      distances_for_linkage(dataset.values(), metric, linkage, false, pool),
+      linkage);
   dataset.attach_gene_tree(merges_to_tree(merges, dataset.gene_count(),
-                                          similarity_converter(metric)));
+                                          similarity_converter(metric, linkage),
+                                          tree_order(linkage)));
   return merges;
 }
 
 std::vector<Merge> cluster_arrays(expr::Dataset& dataset, Metric metric,
                                   Linkage linkage, par::ThreadPool& pool) {
-  auto merges =
-      agglomerate(column_distances(dataset.values(), metric, pool), linkage);
-  dataset.attach_array_tree(merges_to_tree(merges, dataset.condition_count(),
-                                           similarity_converter(metric)));
+  auto merges = agglomerate(
+      distances_for_linkage(dataset.values(), metric, linkage, true, pool),
+      linkage);
+  dataset.attach_array_tree(merges_to_tree(
+      merges, dataset.condition_count(), similarity_converter(metric, linkage),
+      tree_order(linkage)));
   return merges;
 }
 
 std::vector<std::vector<std::size_t>> cut_tree_at_similarity(
     const expr::HierTree& tree, double min_similarity) {
   FV_REQUIRE(tree.node_count() > 0, "cannot cut an empty tree");
+  // Subtree minimum similarity per internal node, computable in one forward
+  // pass (children always precede parents in id order). On monotone trees
+  // this equals the node's own similarity; on inverted (median/centroid)
+  // trees it is what the "ALL internal merges clear the threshold" contract
+  // actually needs — a node can sit above the threshold while a merge
+  // beneath it dips below.
+  const std::size_t leaves = tree.leaf_count();
+  std::vector<double> subtree_min(tree.node_count(),
+                                  std::numeric_limits<double>::infinity());
+  for (std::size_t id = leaves; id < tree.node_count(); ++id) {
+    const expr::HierTreeNode& node = tree.node(static_cast<int>(id));
+    double low = node.similarity;
+    for (const int child : {node.left, node.right}) {
+      if (!tree.is_leaf(child)) {
+        low = std::min(low, subtree_min[static_cast<std::size_t>(child)]);
+      }
+    }
+    subtree_min[id] = low;
+  }
   std::vector<std::vector<std::size_t>> clusters;
-  // Canonical trees have monotone merge heights: once a node's similarity
-  // clears the threshold, so do all merges beneath it.
   std::vector<int> stack{tree.root()};
   while (!stack.empty()) {
     const int id = stack.back();
@@ -261,10 +538,10 @@ std::vector<std::vector<std::size_t>> cut_tree_at_similarity(
       clusters.push_back({static_cast<std::size_t>(id)});
       continue;
     }
-    const expr::HierTreeNode& node = tree.node(id);
-    if (node.similarity >= min_similarity) {
+    if (subtree_min[static_cast<std::size_t>(id)] >= min_similarity) {
       clusters.push_back(tree.leaves_under(id));
     } else {
+      const expr::HierTreeNode& node = tree.node(id);
       stack.push_back(node.right);
       stack.push_back(node.left);
     }
@@ -276,9 +553,11 @@ std::vector<std::vector<std::size_t>> cut_tree_k(const expr::HierTree& tree,
                                                  std::size_t k) {
   FV_REQUIRE(k >= 1 && k <= tree.leaf_count(),
              "cluster count must lie in [1, leaf_count]");
-  // The last k-1 merges (highest node ids — canonical trees order ids by
-  // height, ties by emission) are undone; every node below the boundary
-  // roots one cluster.
+  // The last k-1 merges (highest node ids) are undone. Children precede
+  // parents in id order, so the id set >= boundary is closed under parents
+  // — the traversal below always yields exactly k clusters, monotone
+  // heights or not; on monotone trees "last k-1 ids" is also "highest k-1
+  // merges".
   const std::size_t boundary = tree.node_count() - (k - 1);
   std::vector<std::vector<std::size_t>> clusters;
   std::vector<int> stack{tree.root()};

@@ -1,16 +1,24 @@
 // Hierarchical agglomerative clustering.
 //
 // Produces the gene/array dendrograms that ForestView panes display and the
-// GTR/ATR files store. The agglomerator is the NN-chain algorithm over the
-// condensed DistanceMatrix: follow nearest-neighbor links until a reciprocal
-// pair appears, merge it, and continue from the surviving chain. For the
-// reducible linkages offered here (single / complete / average under
-// Lance–Williams updates) every reciprocal pair is safe to merge
-// immediately, which bounds total work at O(n²) — the seed's
-// nearest-neighbor-cached agglomeration degraded to O(n³) when many slots
-// shared a merged neighbor (exactly what module-structured expression data
-// produces). Chain merges emerge out of height order; canonicalize_merges
-// restores the sorted, relabeled form before anything downstream sees them.
+// GTR/ATR files store. Two agglomerators share the condensed DistanceMatrix
+// and the full Lance–Williams update table:
+//
+//  * NN-chain — follow nearest-neighbor links until a reciprocal pair
+//    appears, merge it, resume from the surviving chain. Guaranteed O(n²),
+//    but only correct for *reducible* linkages (single / complete / average
+//    / Ward), where a merge elsewhere can never bring two clusters closer.
+//  * Generic heap — a lazy-deletion indexed min-heap of per-cluster
+//    nearest-neighbor candidates, repaired on pop. Handles the
+//    non-reducible linkages (median / centroid), whose updates can pull
+//    third clusters closer and produce genuine height inversions; O(n²)
+//    typical, O(n³) adversarial worst case, O(n) memory beyond the matrix.
+//
+// agglomerate() dispatches reducible -> NN-chain, non-reducible -> heap
+// (overridable via Agglomerator). Chain merges emerge out of height order
+// and heap merges can invert legitimately; canonicalize_merges restores the
+// child-before-parent relabeled form — clamping rounding-level dips for
+// monotone linkages, carrying real inversions for median/centroid.
 #pragma once
 
 #include <vector>
@@ -25,6 +33,53 @@ enum class Linkage {
   kSingle,    ///< min pairwise distance between clusters
   kComplete,  ///< max pairwise distance
   kAverage,   ///< UPGMA: size-weighted mean distance
+  kWard,      ///< minimum within-cluster variance increase (squared input)
+  kCentroid,  ///< UPGMC: distance between centroids (squared input)
+  kMedian,    ///< WPGMC: distance between midpoints (squared input)
+};
+
+/// Reducible linkages (single / complete / average / Ward) satisfy
+/// d(A∪B, C) >= min(d(A,C), d(B,C)) and are safe for the NN-chain path;
+/// median/centroid are not and dispatch to the heap agglomerator.
+constexpr bool linkage_is_reducible(Linkage linkage) {
+  return linkage == Linkage::kSingle || linkage == Linkage::kComplete ||
+         linkage == Linkage::kAverage || linkage == Linkage::kWard;
+}
+
+/// Ward / centroid / median run their Lance–Williams recurrences on
+/// *squared* Euclidean distances; agglomerate() expects the input matrix in
+/// that form (see row_squared_distances) and reports merge heights as the
+/// square root of the merge cost, back in distance units.
+constexpr bool linkage_uses_squared_distances(Linkage linkage) {
+  return linkage == Linkage::kWard || linkage == Linkage::kCentroid ||
+         linkage == Linkage::kMedian;
+}
+
+/// Median/centroid hierarchies are not monotone: a parent merge can sit
+/// *below* its children (a genuine height inversion, not rounding noise).
+/// Downstream stages carry these through instead of clamping.
+constexpr bool linkage_can_invert(Linkage linkage) {
+  return linkage == Linkage::kCentroid || linkage == Linkage::kMedian;
+}
+
+/// Which agglomeration algorithm agglomerate() runs. kAuto picks NN-chain
+/// for reducible linkages and the heap for the rest; forcing kHeap on a
+/// reducible linkage is valid (equivalence tests and benches do) while
+/// forcing kNNChain on a non-reducible one is rejected.
+enum class Agglomerator {
+  kAuto,
+  kNNChain,
+  kHeap,
+};
+
+/// How canonicalize_merges treats height inversions. kMonotone (the
+/// reducible-linkage contract) clamps rounding-level dips to the running
+/// maximum and rejects anything larger; kAllowInversions emits heights
+/// exactly as given — ordering is still dependency-gated (children before
+/// parents, lowest ready merge first), but the emitted sequence may dip.
+enum class HeightOrder {
+  kMonotone,
+  kAllowInversions,
 };
 
 /// One agglomeration step. Node ids follow the HierTree convention:
@@ -35,31 +90,40 @@ struct Merge {
   double distance = 0.0;
 };
 
-/// Runs NN-chain agglomerative clustering over a (consumed) condensed
-/// distance matrix. Returns the n-1 merges in canonical order
-/// (non-decreasing distance, children before parents — already passed
-/// through canonicalize_merges).
-std::vector<Merge> agglomerate(DistanceMatrix distances, Linkage linkage);
+/// Runs agglomerative clustering over a (consumed) condensed distance
+/// matrix. For Ward/centroid/median the input must hold *squared* Euclidean
+/// distances (see linkage_uses_squared_distances); merge heights come back
+/// square-rooted, in plain distance units. Returns the n-1 merges in
+/// canonical order (children before parents, already passed through
+/// canonicalize_merges — non-decreasing distance except for the genuine
+/// inversions median/centroid produce, which are preserved).
+std::vector<Merge> agglomerate(DistanceMatrix distances, Linkage linkage,
+                               Agglomerator algorithm = Agglomerator::kAuto);
 
-/// Reorders a merge list into canonical dendrogram order — non-decreasing
-/// height with every child emitted before its parent — and relabels node
+/// Reorders a merge list into canonical dendrogram order — every child
+/// emitted before its parent, lowest ready merge first — and relabels node
 /// ids to match the new positions. Accepts chain-emission order (heights
 /// out of order) as produced inside the NN-chain; requires a valid forest
 /// in the input's own emission convention (the k-th element creates node
 /// leaf_count + k, children refer to leaves or earlier elements, each node
-/// consumed at most once) whose height inversions do not exceed rounding
-/// noise — the monotone-hierarchy contract of reducible linkages.
+/// consumed at most once). Under HeightOrder::kMonotone (default) height
+/// inversions must not exceed rounding noise — they are clamped, larger
+/// ones rejected; under kAllowInversions heights pass through untouched.
 /// Idempotent on already-canonical input.
-std::vector<Merge> canonicalize_merges(std::vector<Merge> merges,
-                                       std::size_t leaf_count);
+std::vector<Merge> canonicalize_merges(
+    std::vector<Merge> merges, std::size_t leaf_count,
+    HeightOrder order = HeightOrder::kMonotone);
 
 /// Converts merges to the HierTree file model. `similarity_from_distance`
 /// maps merge heights into the GTR similarity column; for correlation
 /// distances use `correlation_similarity` (1 - d). Input may be in any
-/// emission order (it is canonicalized first), so raw chain output works.
+/// emission order (it is canonicalized first under `order`), so raw chain
+/// output works. Pass HeightOrder::kAllowInversions for median/centroid
+/// merge lists so their inversions reach the tree unclamped.
 expr::HierTree merges_to_tree(const std::vector<Merge>& merges,
                               std::size_t leaf_count,
-                              double (*similarity_from_distance)(double));
+                              double (*similarity_from_distance)(double),
+                              HeightOrder order = HeightOrder::kMonotone);
 
 /// Similarity conversions for merges_to_tree.
 double correlation_similarity(double distance);  ///< 1 - d
@@ -67,6 +131,9 @@ double negated_similarity(double distance);      ///< -d (Euclidean trees)
 
 /// Clusters the dataset's genes and attaches the resulting tree.
 /// Returns the merge list for callers that need the heights.
+/// Ward/centroid/median linkages require Metric::kEuclidean (their
+/// Lance–Williams recurrences are only meaningful on squared Euclidean
+/// distances) and build the squared condensed matrix internally.
 std::vector<Merge> cluster_genes(expr::Dataset& dataset, Metric metric,
                                  Linkage linkage, par::ThreadPool& pool);
 
@@ -77,14 +144,19 @@ std::vector<Merge> cluster_arrays(expr::Dataset& dataset, Metric metric,
 /// Cuts a tree at a similarity threshold: returns the leaf sets of the
 /// maximal subtrees whose internal merges all have similarity >= threshold.
 /// Singletons are included, so the result is a partition of all leaves.
-/// A single-leaf tree yields one singleton cluster.
+/// A single-leaf tree yields one singleton cluster. Correct on inverted
+/// (non-monotone) trees too: the "all internal merges" contract is checked
+/// against a precomputed subtree minimum, not just the root of a subtree.
 std::vector<std::vector<std::size_t>> cut_tree_at_similarity(
     const expr::HierTree& tree, double min_similarity);
 
 /// Cuts a tree into exactly k clusters (k in [1, leaf_count]) by undoing
-/// the last k-1 merges. Requires a canonical tree (node ids ordered by
-/// merge height, as merges_to_tree builds); under tied heights the cut is
-/// deterministic — the tie at the boundary is broken by node id.
+/// the last k-1 merges. Requires a canonical tree (children before parents
+/// in node-id order, as merges_to_tree builds); the cut undoes merges in
+/// reverse emission order, which equals reverse height order for monotone
+/// trees and stays a well-defined k-partition on inverted ones. Under tied
+/// heights the cut is deterministic — the tie at the boundary is broken by
+/// node id.
 std::vector<std::vector<std::size_t>> cut_tree_k(const expr::HierTree& tree,
                                                  std::size_t k);
 

@@ -19,7 +19,12 @@ struct NodePosition {
 
 /// Computes positions for every node id. Leaf k of the display order sits at
 /// slot k; an internal node sits midway between its children with depth
-/// scaled by (1 - similarity) normalized to the root's.
+/// scaled by (1 - similarity) normalized to the deepest merge in the tree.
+/// On monotone trees the deepest merge IS the root; on inverted
+/// (median/centroid) trees an interior node can lie below the root, and
+/// normalizing by the true minimum similarity renders the inversion
+/// proportionally — the parent's junction lands to the leaf side of its
+/// child's — instead of clamping both onto the far edge.
 std::vector<NodePosition> layout_tree(const expr::HierTree& tree,
                                       double slot_size) {
   std::vector<NodePosition> positions(tree.node_count());
@@ -30,10 +35,14 @@ std::vector<NodePosition> layout_tree(const expr::HierTree& tree,
     positions[order[slot]].depth = 0.0;
   }
   if (tree.internal_count() == 0) return positions;
-  const double root_similarity = tree.node(tree.root()).similarity;
-  // Depth normalization: similarity 1 -> 0, root similarity -> 1. Guard the
+  double min_similarity = tree.node(tree.root()).similarity;
+  for (std::size_t id = tree.leaf_count(); id < tree.node_count(); ++id) {
+    min_similarity =
+        std::min(min_similarity, tree.node(static_cast<int>(id)).similarity);
+  }
+  // Depth normalization: similarity 1 -> 0, deepest merge -> 1. Guard the
   // degenerate case of all merges at similarity 1.
-  const double range = std::max(1e-9, 1.0 - root_similarity);
+  const double range = std::max(1e-9, 1.0 - min_similarity);
   for (std::size_t id = tree.leaf_count(); id < tree.node_count(); ++id) {
     const auto& node = tree.node(static_cast<int>(id));
     const auto& left = positions[static_cast<std::size_t>(node.left)];

@@ -12,8 +12,11 @@ namespace fv::render {
 /// y + (i + 0.5) * slot, where slot = total_height / leaf_count (fractional
 /// slots are fine — whole-genome trees squeeze into a global-view strip).
 /// Depth (merge similarity) maps linearly onto the horizontal extent —
-/// similarity 1 at the leaf edge (right), the root's similarity at the far
-/// left. All segments are axis-aligned, TreeView style.
+/// similarity 1 at the leaf edge (right), the tree's deepest merge at the
+/// far left (the root on monotone trees; possibly an interior node on the
+/// inverted trees median/centroid linkage produces, whose inversions render
+/// proportionally rather than clamped). All segments are axis-aligned,
+/// TreeView style.
 void draw_gene_dendrogram(Canvas& canvas, const expr::HierTree& tree, long x,
                           long y, long width, long total_height, Rgb8 color);
 

@@ -526,33 +526,55 @@ void SimilarityEngine::all_distances(std::span<float> out,
   for (std::size_t i = 0; i < n; ++i) d[i * n + i] = 0.0f;
 }
 
+namespace {
+
+/// Shared condensed-layout tile visitor: each (i, j) pair lands exactly
+/// once at its condensed offset, through `transform`. Within one row
+/// segment the condensed indices are contiguous (offset(i, j+1) =
+/// offset(i, j) + 1), so the inner loop is a linear store stream; distinct
+/// tiles cover disjoint (i, j-range) segments, so writes never race.
+template <typename Transform>
+auto condensed_tile_writer(float* d, std::size_t n, Transform transform) {
+  return [d, n, transform](const DistanceTile& tile) {
+    for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+      const std::size_t j_first = std::max(tile.col_begin, i + 1);
+      if (j_first >= tile.col_end) continue;
+      // row[j - j_first] is pair (i, j)'s condensed cell; the base stays
+      // inside the buffer so the pointer arithmetic is defined
+      // (UBSan-clean) even for the first row segment.
+      float* row = d + condensed_index(i, j_first, n);
+      for (std::size_t j = j_first; j < tile.col_end; ++j) {
+        row[j - j_first] = transform(tile.at(i, j));
+      }
+    }
+  };
+}
+
+}  // namespace
+
 void SimilarityEngine::condensed_distances(std::span<float> out,
                                            par::ThreadPool& pool) const {
   const std::size_t n = count_;
   FV_REQUIRE(out.size() == condensed_size(n),
              "output must hold condensed_size(size()) values");
   if (n < 2) return;
-
-  // Trivial tile visitor: each (i, j) pair lands exactly once at its
-  // condensed offset. Within one row segment the condensed indices are
-  // contiguous (offset(i, j+1) = offset(i, j) + 1), so the inner loop is a
-  // linear store stream; distinct tiles cover disjoint (i, j-range)
-  // segments, so writes never race.
-  float* d = out.data();
   for_each_tile(
-      [&](const DistanceTile& tile) {
-        for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
-          const std::size_t j_first = std::max(tile.col_begin, i + 1);
-          if (j_first >= tile.col_end) continue;
-          // row[j - j_first] is pair (i, j)'s condensed cell; the base
-          // stays inside the buffer so the pointer arithmetic is defined
-          // (UBSan-clean) even for the first row segment.
-          float* row = d + condensed_index(i, j_first, n);
-          for (std::size_t j = j_first; j < tile.col_end; ++j) {
-            row[j - j_first] = tile.at(i, j);
-          }
-        }
-      },
+      condensed_tile_writer(out.data(), n, [](float d) { return d; }), pool);
+}
+
+void SimilarityEngine::condensed_squared_distances(
+    std::span<float> out, par::ThreadPool& pool) const {
+  FV_REQUIRE(metric_ == Metric::kEuclidean,
+             "condensed_squared_distances() squares Euclidean distances; "
+             "correlation metrics have no squared-distance form");
+  const std::size_t n = count_;
+  FV_REQUIRE(out.size() == condensed_size(n),
+             "output must hold condensed_size(size()) values");
+  if (n < 2) return;
+  // Same writer with each cell squared on the way out — the cheapest point
+  // to square is the already-L1-resident tile.
+  for_each_tile(
+      condensed_tile_writer(out.data(), n, [](float d) { return d * d; }),
       pool);
 }
 

@@ -231,6 +231,15 @@ class SimilarityEngine {
   /// segment, so writes never race.
   void condensed_distances(std::span<float> out, par::ThreadPool& pool) const;
 
+  /// condensed_distances() with every cell squared — the input form the
+  /// Lance–Williams recurrences of Ward/centroid/median hierarchical
+  /// clustering operate on. Each value is exactly the float square of the
+  /// corresponding condensed_distances() cell (same tiles, same schedule,
+  /// same memory profile — no dense staging buffer). Euclidean engines
+  /// only: squaring a correlation distance has no Lance–Williams meaning.
+  void condensed_squared_distances(std::span<float> out,
+                                   par::ThreadPool& pool) const;
+
   /// out[i] = dot(normalized_row(i), query) for every profile — the
   /// one-vs-all kernel behind SPELL scoring. `query` must have stride()
   /// entries (zero-padded past length()). Pearson-family metrics only:

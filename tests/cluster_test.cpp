@@ -72,6 +72,70 @@ TEST(DistanceTest, MatrixIsSymmetricWithZeroDiagonal) {
   }
 }
 
+TEST(DistanceTest, SquaredDistancesAreExactSquares) {
+  // The squared condensed writer must emit exactly the float square of the
+  // Euclidean writer, cell for cell — the Lance–Williams input contract for
+  // Ward/centroid/median.
+  const auto m = two_blob_matrix(5, 12, 7);
+  fv::par::ThreadPool pool(2);
+  const auto plain = cl::row_distances(m, cl::Metric::kEuclidean, pool);
+  const auto squared = cl::row_squared_distances(m, pool);
+  ASSERT_EQ(squared.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    for (std::size_t j = i + 1; j < plain.size(); ++j) {
+      EXPECT_FLOAT_EQ(squared.at(i, j), plain.at(i, j) * plain.at(i, j));
+    }
+  }
+  const auto squared_cols = cl::column_squared_distances(m, pool);
+  const auto plain_cols = cl::column_distances(m, cl::Metric::kEuclidean, pool);
+  ASSERT_EQ(squared_cols.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = i + 1; j < 12; ++j) {
+      EXPECT_FLOAT_EQ(squared_cols.at(i, j),
+                      plain_cols.at(i, j) * plain_cols.at(i, j));
+    }
+  }
+}
+
+TEST(ClusterTest, WardClusterGenesBuildsValidTree) {
+  const auto m = two_blob_matrix(6, 16, 19);
+  fv::par::ThreadPool pool(2);
+  auto merges = cl::agglomerate(cl::row_squared_distances(m, pool),
+                                cl::Linkage::kWard);
+  const auto tree = cl::merges_to_tree(merges, m.rows(),
+                                       cl::negated_similarity);
+  EXPECT_TRUE(tree.is_complete());
+  // Ward separates the two planted blobs at k = 2.
+  const auto clusters = cl::cut_tree_k(tree, 2);
+  ASSERT_EQ(clusters.size(), 2u);
+  for (const auto& cluster : clusters) {
+    EXPECT_EQ(cluster.size(), 6u);
+    const bool first_blob = cluster.front() < 6;
+    for (const std::size_t leaf : cluster) {
+      EXPECT_EQ(leaf < 6, first_blob);
+    }
+  }
+}
+
+TEST(ClusterTest, SquaredLinkagesRejectCorrelationMetrics) {
+  auto genome = ex::make_genome(ex::GenomeSpec::yeast_like(40), 23);
+  ex::StressDatasetSpec spec;
+  spec.missing_rate = 0.0;
+  auto ds = ex::make_stress_dataset(genome, spec, 9);
+  fv::par::ThreadPool pool(2);
+  EXPECT_THROW(cl::cluster_genes(ds, cl::Metric::kPearson,
+                                 cl::Linkage::kWard, pool),
+               fv::InvalidArgument);
+  // With the Euclidean metric all three squared linkages attach trees.
+  for (const auto linkage : {cl::Linkage::kWard, cl::Linkage::kCentroid,
+                             cl::Linkage::kMedian}) {
+    cl::cluster_genes(ds, cl::Metric::kEuclidean, linkage, pool);
+    ASSERT_TRUE(ds.gene_tree().has_value());
+    EXPECT_TRUE(ds.gene_tree()->is_complete());
+    EXPECT_EQ(ds.gene_tree()->leaf_count(), ds.gene_count());
+  }
+}
+
 TEST(DistanceTest, ColumnDistancesMatchManualColumns) {
   const auto m = two_blob_matrix(4, 6, 5);
   fv::par::ThreadPool pool(2);

@@ -1,15 +1,23 @@
-// NN-chain equivalence suite: the chain agglomerator must reproduce the
-// seed's greedy global-minimum agglomeration — same merge set and heights
-// on distinct-distance inputs, identical cut_tree_k partitions everywhere,
-// including adversarial tied-distance matrices.
+// Agglomerator equivalence suite: the NN-chain and heap agglomerators must
+// reproduce greedy global-minimum agglomeration — same merge set and
+// heights on distinct-distance inputs, identical cut_tree_k partitions
+// everywhere, including adversarial tied-distance matrices — for every
+// linkage each path supports. Also covers the height-inversion pipeline:
+// median/centroid inversions must survive canonicalize_merges,
+// merges_to_tree and the tree cuts unclamped.
 //
 // The reference here is the O(n^3) greedy scan (merge the globally closest
-// active pair every step), which the seed's nearest-neighbor-cached
-// agglomerator was property-tested against before the NN-chain rewrite; it
-// is therefore a faithful stand-in for the seed's trees.
+// active pair every step) with the Lance–Williams update written in its
+// textbook coefficient form α_a·d_ak + α_b·d_bk + β·d_ab + γ·|d_ak − d_bk|
+// — deliberately a different formulation from the library's switch, so the
+// two implementations cross-check each other. The reducible trio matches
+// what the seed's nearest-neighbor-cached agglomerator was property-tested
+// against before the NN-chain rewrite; it is therefore a faithful stand-in
+// for the seed's trees.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <set>
@@ -25,6 +33,33 @@ namespace {
 
 namespace cl = fv::cluster;
 namespace ex = fv::expr;
+
+/// Lance–Williams coefficients (α_a, α_b, β, γ) for merging clusters of
+/// sizes na/nb, evaluated against a third cluster of size nk.
+struct LwCoefficients {
+  double alpha_a = 0.0, alpha_b = 0.0, beta = 0.0, gamma = 0.0;
+};
+
+LwCoefficients lw_coefficients(cl::Linkage linkage, double na, double nb,
+                               double nk) {
+  switch (linkage) {
+    case cl::Linkage::kSingle:
+      return {0.5, 0.5, 0.0, -0.5};
+    case cl::Linkage::kComplete:
+      return {0.5, 0.5, 0.0, 0.5};
+    case cl::Linkage::kAverage:
+      return {na / (na + nb), nb / (na + nb), 0.0, 0.0};
+    case cl::Linkage::kWard:
+      return {(na + nk) / (na + nb + nk), (nb + nk) / (na + nb + nk),
+              -nk / (na + nb + nk), 0.0};
+    case cl::Linkage::kCentroid:
+      return {na / (na + nb), nb / (na + nb),
+              -na * nb / ((na + nb) * (na + nb)), 0.0};
+    case cl::Linkage::kMedian:
+      return {0.5, 0.5, -0.25, 0.0};
+  }
+  return {};
+}
 
 std::vector<cl::Merge> reference_agglomerate(cl::DistanceMatrix distances,
                                              cl::Linkage linkage) {
@@ -51,31 +86,62 @@ std::vector<cl::Merge> reference_agglomerate(cl::DistanceMatrix distances,
     merges.push_back(cl::Merge{node_id[bi], node_id[bj], best});
     for (std::size_t k = 0; k < n; ++k) {
       if (!active[k] || k == bi || k == bj) continue;
-      double updated = 0.0;
-      switch (linkage) {
-        case cl::Linkage::kSingle:
-          updated = std::min(distances.at(bi, k), distances.at(bj, k));
-          break;
-        case cl::Linkage::kComplete:
-          updated = std::max(distances.at(bi, k), distances.at(bj, k));
-          break;
-        case cl::Linkage::kAverage:
-          updated = (static_cast<double>(size[bi]) * distances.at(bi, k) +
-                     static_cast<double>(size[bj]) * distances.at(bj, k)) /
-                    static_cast<double>(size[bi] + size[bj]);
-          break;
-      }
+      const LwCoefficients c =
+          lw_coefficients(linkage, static_cast<double>(size[bi]),
+                          static_cast<double>(size[bj]),
+                          static_cast<double>(size[k]));
+      const double d_ak = distances.at(bi, k);
+      const double d_bk = distances.at(bj, k);
+      const double updated = c.alpha_a * d_ak + c.alpha_b * d_bk +
+                             c.beta * best + c.gamma * std::abs(d_ak - d_bk);
       distances.set(bi, k, static_cast<float>(updated));
     }
     active[bj] = false;
     size[bi] += size[bj];
     node_id[bi] = static_cast<int>(n + step);
   }
+  if (cl::linkage_uses_squared_distances(linkage)) {
+    // Match agglomerate()'s output convention: the recurrence ran on
+    // squared distances, heights come back in plain distance units.
+    for (cl::Merge& merge : merges) {
+      merge.distance = std::sqrt(std::max(merge.distance, 0.0));
+    }
+  }
   return merges;
 }
 
 constexpr cl::Linkage kAllLinkages[] = {
     cl::Linkage::kSingle, cl::Linkage::kComplete, cl::Linkage::kAverage};
+
+constexpr cl::Linkage kAllSixLinkages[] = {
+    cl::Linkage::kSingle,   cl::Linkage::kComplete, cl::Linkage::kAverage,
+    cl::Linkage::kWard,     cl::Linkage::kCentroid, cl::Linkage::kMedian};
+
+constexpr cl::Linkage kSquaredLinkages[] = {
+    cl::Linkage::kWard, cl::Linkage::kCentroid, cl::Linkage::kMedian};
+
+/// Random point cloud in R^dim -> squared Euclidean condensed matrix, the
+/// input form Ward/centroid/median run on. Random *matrices* would not do:
+/// non-Euclidean dissimilarities can drive the centroid/median recurrences
+/// to negative "squared distances", which no realizable input produces.
+cl::DistanceMatrix squared_point_cloud_distances(std::size_t n,
+                                                 std::size_t dim,
+                                                 fv::Rng& rng) {
+  std::vector<double> points(n * dim);
+  for (double& coordinate : points) coordinate = rng.uniform(-1.0, 1.0);
+  cl::DistanceMatrix d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < dim; ++k) {
+        const double diff = points[i * dim + k] - points[j * dim + k];
+        sum += diff * diff;
+      }
+      d.set(i, j, static_cast<float>(sum));
+    }
+  }
+  return d;
+}
 
 /// Canonical form of a partition: clusters as sorted leaf lists, sorted.
 std::vector<std::vector<std::size_t>> canonical_partition(
@@ -100,11 +166,12 @@ void expect_same_merges(const std::vector<cl::Merge>& chain,
 void expect_same_cuts(const std::vector<cl::Merge>& chain,
                       const std::vector<cl::Merge>& reference,
                       std::size_t leaf_count,
-                      const std::vector<std::size_t>& ks) {
+                      const std::vector<std::size_t>& ks,
+                      cl::HeightOrder order = cl::HeightOrder::kMonotone) {
   const auto chain_tree =
-      cl::merges_to_tree(chain, leaf_count, cl::correlation_similarity);
-  const auto ref_tree =
-      cl::merges_to_tree(reference, leaf_count, cl::correlation_similarity);
+      cl::merges_to_tree(chain, leaf_count, cl::correlation_similarity, order);
+  const auto ref_tree = cl::merges_to_tree(reference, leaf_count,
+                                           cl::correlation_similarity, order);
   for (const std::size_t k : ks) {
     EXPECT_EQ(canonical_partition(cl::cut_tree_k(chain_tree, k)),
               canonical_partition(cl::cut_tree_k(ref_tree, k)))
@@ -244,6 +311,192 @@ TEST(NNChainEquivalenceTest, MergesToTreeAcceptsEmissionOrder) {
             std::minmax(2, 3));
   EXPECT_EQ(std::minmax(canonical[2].left, canonical[2].right),
             std::minmax(4, 5));
+}
+
+// --- Heap agglomerator vs brute force, all six linkages -------------------
+
+// Ward/centroid/median on squared point-cloud distances: the heap path (and
+// for Ward, the NN-chain dispatch) must reproduce the greedy reference's
+// merge set and heights. Distinct distances with probability 1, so trees
+// are unique.
+TEST(HeapEquivalenceTest, SquaredLinkagesMatchBruteForceOnPointClouds) {
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    fv::Rng rng(seed);
+    const std::size_t n = 8 + seed % 17;
+    const auto d = squared_point_cloud_distances(n, 6, rng);
+    for (const auto linkage : kSquaredLinkages) {
+      const auto reference = reference_agglomerate(d, linkage);
+      const auto order = cl::linkage_can_invert(linkage)
+                             ? cl::HeightOrder::kAllowInversions
+                             : cl::HeightOrder::kMonotone;
+      // kAuto dispatch (NN-chain for Ward, heap for centroid/median)...
+      expect_same_merges(cl::agglomerate(d, linkage), reference);
+      // ...and the heap forced explicitly, for every linkage.
+      const auto heap =
+          cl::agglomerate(d, linkage, cl::Agglomerator::kHeap);
+      expect_same_merges(heap, reference);
+      expect_same_cuts(heap, reference, n, all_ks(n), order);
+    }
+  }
+}
+
+// The heap path is also valid (if pointless in production) for the
+// reducible trio; forcing it must still match the reference exactly.
+TEST(HeapEquivalenceTest, ReducibleLinkagesMatchBruteForceUnderForcedHeap) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    fv::Rng rng(seed);
+    const std::size_t n = 8 + seed % 13;
+    cl::DistanceMatrix d(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        d.set(i, j, static_cast<float>(rng.uniform(0.01, 2.0)));
+      }
+    }
+    for (const auto linkage : kAllLinkages) {
+      const auto heap = cl::agglomerate(d, linkage, cl::Agglomerator::kHeap);
+      const auto reference = reference_agglomerate(d, linkage);
+      expect_same_merges(heap, reference);
+      expect_same_cuts(heap, reference, n, all_ks(n));
+    }
+  }
+}
+
+// All-tied adversarial blocks (realizable as squared distances, so the
+// centroid/median recurrences stay meaningful): merge orders may differ
+// under ties, but block-aligned partitions must not.
+TEST(HeapEquivalenceTest, TiedBlockPartitionsAllSixLinkages) {
+  constexpr std::size_t kBlocks = 4;
+  constexpr std::size_t kPerBlock = 5;
+  constexpr std::size_t n = kBlocks * kPerBlock;
+  cl::DistanceMatrix d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same_block = i / kPerBlock == j / kPerBlock;
+      d.set(i, j, same_block ? 0.25f : 4.0f);
+    }
+  }
+  for (const auto linkage : kAllSixLinkages) {
+    const auto order = cl::linkage_can_invert(linkage)
+                           ? cl::HeightOrder::kAllowInversions
+                           : cl::HeightOrder::kMonotone;
+    const auto heap = cl::agglomerate(d, linkage, cl::Agglomerator::kHeap);
+    const auto reference = reference_agglomerate(d, linkage);
+    ASSERT_EQ(heap.size(), reference.size());
+    expect_same_cuts(heap, reference, n, {1, kBlocks, n}, order);
+  }
+}
+
+// NN-chain must refuse the linkages it cannot run correctly.
+TEST(HeapEquivalenceTest, NNChainRejectsNonReducibleLinkages) {
+  cl::DistanceMatrix d(3);
+  d.set(0, 1, 1.0f);
+  d.set(0, 2, 1.0f);
+  d.set(1, 2, 1.0f);
+  EXPECT_THROW(cl::agglomerate(d, cl::Linkage::kCentroid,
+                               cl::Agglomerator::kNNChain),
+               fv::InvalidArgument);
+  EXPECT_THROW(
+      cl::agglomerate(d, cl::Linkage::kMedian, cl::Agglomerator::kNNChain),
+      fv::InvalidArgument);
+}
+
+// --- Height inversions survive the full pipeline --------------------------
+
+// The equilateral triangle is the textbook centroid inversion: two points
+// merge at distance 1, and the third point sits sqrt(3)/2 ≈ 0.866 from
+// their midpoint — the parent lands BELOW its child.
+TEST(InversionTest, EquilateralTriangleInvertsUnderCentroidAndMedian) {
+  cl::DistanceMatrix d(3);  // squared side length 1
+  d.set(0, 1, 1.0f);
+  d.set(0, 2, 1.0f);
+  d.set(1, 2, 1.0f);
+  for (const auto linkage : {cl::Linkage::kCentroid, cl::Linkage::kMedian}) {
+    const auto merges = cl::agglomerate(d, linkage);
+    ASSERT_EQ(merges.size(), 2u);
+    EXPECT_NEAR(merges[0].distance, 1.0, 1e-6);
+    EXPECT_NEAR(merges[1].distance, std::sqrt(3.0) / 2.0, 1e-6);
+    EXPECT_LT(merges[1].distance, merges[0].distance);  // genuine inversion
+
+    // The inversion reaches the HierTree unclamped...
+    const auto tree = cl::merges_to_tree(merges, 3, cl::negated_similarity,
+                                         cl::HeightOrder::kAllowInversions);
+    const double child = tree.node(3).similarity;
+    const double root = tree.node(4).similarity;
+    EXPECT_NEAR(child, -1.0, 1e-6);
+    EXPECT_NEAR(root, -std::sqrt(3.0) / 2.0, 1e-6);
+    EXPECT_GT(root, child);  // similarity inverts with the height
+
+    // ...while the monotone contract correctly refuses it (0.134 is far
+    // beyond rounding noise).
+    EXPECT_THROW(cl::merges_to_tree(merges, 3, cl::negated_similarity),
+                 fv::InvalidArgument);
+  }
+}
+
+TEST(InversionTest, CanonicalizeAllowInversionsKeepsChildrenFirst) {
+  // Leaves 0..4; emission order: (2,3)@0.9 -> node 5, (0,1)@0.2 -> node 6,
+  // then the parent of node 6 DIPS to 0.1 (inversion), root joins at 1.0.
+  const std::vector<cl::Merge> emission{
+      {2, 3, 0.9}, {0, 1, 0.2}, {6, 4, 0.1}, {7, 5, 1.0}};
+  const auto canonical = cl::canonicalize_merges(
+      emission, 5, cl::HeightOrder::kAllowInversions);
+  ASSERT_EQ(canonical.size(), 4u);
+  // Lowest-ready-first: (0,1)@0.2 precedes (2,3)@0.9; the @0.1 parent can
+  // only emerge after its child but keeps its dipped height.
+  EXPECT_DOUBLE_EQ(canonical[0].distance, 0.2);
+  EXPECT_DOUBLE_EQ(canonical[1].distance, 0.1);
+  EXPECT_DOUBLE_EQ(canonical[2].distance, 0.9);
+  EXPECT_DOUBLE_EQ(canonical[3].distance, 1.0);
+  // Children before parents throughout (node 5+k created by merge k).
+  for (std::size_t k = 0; k < canonical.size(); ++k) {
+    EXPECT_LT(canonical[k].left, static_cast<int>(5 + k));
+    EXPECT_LT(canonical[k].right, static_cast<int>(5 + k));
+  }
+  // The dip's child is merge 0's node (id 5): the @0.1 merge consumes it.
+  EXPECT_EQ(std::minmax(canonical[1].left, canonical[1].right),
+            std::minmax(5, 4));
+}
+
+TEST(InversionTest, CutTreeKPartitionsInvertedTrees) {
+  // Two tight triangles far apart, clustered by centroid: each triangle
+  // closes with an inversion, then the triangles join at the top.
+  constexpr std::size_t n = 6;
+  cl::DistanceMatrix d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same = (i < 3) == (j < 3);
+      d.set(i, j, same ? 1.0f : 100.0f);
+    }
+  }
+  const auto merges = cl::agglomerate(d, cl::Linkage::kCentroid);
+  const auto tree = cl::merges_to_tree(merges, n, cl::negated_similarity,
+                                       cl::HeightOrder::kAllowInversions);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const auto clusters = cl::cut_tree_k(tree, k);
+    EXPECT_EQ(clusters.size(), k);
+    std::size_t total = 0;
+    for (const auto& cluster : clusters) total += cluster.size();
+    EXPECT_EQ(total, n);  // a partition, even with inverted heights
+  }
+  // k = 2 must split the two triangles.
+  EXPECT_EQ(canonical_partition(cl::cut_tree_k(tree, 2)),
+            canonical_partition({{0, 1, 2}, {3, 4, 5}}));
+}
+
+TEST(InversionTest, CutTreeAtSimilarityUsesSubtreeMinimum) {
+  // Hand-built inverted tree: node 4 = (0,1)@0.9, node 5 = (2,3)@0.5,
+  // root 6 = (4,5)@0.7 — the root sits ABOVE node 5 in similarity.
+  fv::expr::HierTree tree(4);
+  tree.add_node(0, 1, 0.9);
+  tree.add_node(2, 3, 0.5);
+  tree.add_node(4, 5, 0.7);
+  // At threshold 0.6 the root clears its own similarity but its subtree
+  // does not ("all internal merges >= threshold" is the contract): {0,1}
+  // stays a cluster, {2} and {3} fall apart.
+  EXPECT_EQ(canonical_partition(cl::cut_tree_at_similarity(tree, 0.6)),
+            canonical_partition({{0, 1}, {2}, {3}}));
+  // Below every merge the whole tree is one cluster.
+  EXPECT_EQ(cl::cut_tree_at_similarity(tree, 0.4).size(), 1u);
 }
 
 TEST(NNChainEquivalenceTest, CanonicalizeRejectsBrokenForests) {

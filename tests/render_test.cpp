@@ -287,6 +287,28 @@ TEST(DendrogramTest, ArrayVariantDraws) {
   EXPECT_EQ(fb.at(5, 19), rd::colors::kWhite);  // leaf 0 at bottom edge
 }
 
+TEST(DendrogramTest, InvertedTreeRendersProportionally) {
+  // Centroid/median trees can invert: here the root joins at similarity
+  // -0.5 while its child merged at -1.0 (the child is the DEEPEST merge).
+  // Depth must normalize against that deepest merge, so the child's
+  // junction lands on the far-left edge and the root's strictly inside —
+  // a clamping renderer would pile both onto the left edge.
+  fv::expr::HierTree tree(3);
+  const int child = tree.add_node(0, 1, -1.0);
+  tree.add_node(child, 2, -0.5);
+  Framebuffer fb(41, 30);
+  rd::draw_gene_dendrogram(fb, tree, 0, 0, 41, 10, rd::colors::kWhite);
+  // Child junction: depth (1 - (-1.0)) / 2.0 = 1.0 -> x = 0; its vertical
+  // connector spans the leaf-0/leaf-1 centers (y = 5..15).
+  EXPECT_EQ(fb.at(0, 10), rd::colors::kWhite);
+  // Root junction: depth (1 - (-0.5)) / 2.0 = 0.75 -> x = 10; connector
+  // spans the child junction (y = 10) to leaf 2 (y = 25).
+  EXPECT_EQ(fb.at(10, 20), rd::colors::kWhite);
+  // Nothing but the child junction may touch the left edge — the root
+  // rendered to the RIGHT of its child (the inversion is visible).
+  EXPECT_NE(fb.at(0, 20), rd::colors::kWhite);
+}
+
 TEST(DendrogramTest, TooSmallAreaThrows) {
   fv::expr::HierTree tree(2);
   tree.add_node(0, 1, 0.5);

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fails when any relative markdown link in the repo points at nothing.
+
+Scans every tracked-looking *.md file (build trees and hidden dirs
+skipped), extracts inline links and images `[text](target)`, and checks
+that relative targets exist on disk after stripping any `#fragment`.
+External schemes (http/https/mailto) and pure in-page anchors are
+ignored — this is a docs-rot gate, not a web crawler.
+
+Usage: tools/check_markdown_links.py [ROOT]   (default: repo root)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown link/image: [text](target) / ![alt](target). Targets
+# with spaces or nested parens are not used in this repo; titles
+# (`[t](url "title")`) are split off below.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_DIRS = {"build", ".git", ".claude"}
+# Retrieved external reference material quotes other repos' markdown
+# verbatim (including their relative links); not ours to keep unbroken.
+SKIP_FILES = {"SNIPPETS.md", "PAPERS.md"}
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = []
+    for path in root.rglob("*.md"):
+        if path.name in SKIP_FILES:
+            continue
+        parts = set(path.relative_to(root).parts[:-1])
+        if parts & SKIP_DIRS or any(p.startswith("build") for p in parts):
+            continue
+        files.append(path)
+    return sorted(files)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    broken: list[str] = []
+    checked = 0
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8", errors="replace")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            checked += 1
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                broken.append(
+                    f"{md.relative_to(root)}:{line}: broken link -> {target}")
+    for report in broken:
+        print(report, file=sys.stderr)
+    print(f"{checked} relative links checked, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
