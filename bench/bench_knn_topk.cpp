@@ -1,7 +1,13 @@
-// ISSUE 3 benchmarks: streaming top-k neighbor engine + float dense kernel.
+// ISSUE 3 + ISSUE 5 benchmarks: streaming top-k neighbor engine, float
+// dense kernel, and the norm-bound pruned top-k strategy.
 //
 // What this bench reports:
 //  * BM_TopKNeighbors         — streamed n x k neighbor tables vs n
+//  * BM_TopKNeighbors{Exact,Pruned} — the exact tile stream vs the
+//                               Cauchy–Schwarz bound-pruned schedule on
+//                               dataset-block module data (the pruned run
+//                               exports tiles_pruned/tiles_total/
+//                               bounds_checked as JSON counters)
 //  * BM_DistancePhaseCondensed— the materializing alternative (same tiles,
 //                               n(n-1)/2 floats) for the memory contrast
 //  * BM_DenseKernel{Double,Float} — the distance phase under the double
@@ -9,11 +15,14 @@
 //                               accumulator path (~2x on dense rows)
 //  * BM_KnnImpute{Engine,Seed}— kNN imputation through top_k_neighbors vs
 //                               the seed's scalar per-pair rescan
-//  * An epilogue at n = 4000 genes x 96 conditions, 5% missing, k = 10:
-//    distance-phase RSS of the top-k path vs condensed storage (target
-//    < 10%), imputation speedup (target >= 3x), and the float kernel's
-//    measured max error vs the double reference (target: inside the 1e-6
-//    contract wherever kAuto engages).
+//  * An ISSUE 3 epilogue at n = 4000 genes x 96 conditions, 5% missing,
+//    k = 10: distance-phase RSS of the top-k path vs condensed storage
+//    (target < 10%), imputation speedup (target >= 3x), and the float
+//    kernel's measured max error vs the double reference (target: inside
+//    the 1e-6 contract wherever kAuto engages).
+//  * An ISSUE 5 epilogue at n = 4000, k = 10 on module-structured data:
+//    pruned strategy bit-identical NeighborTable to exact (asserted) and
+//    distance-phase speedup (target >= 2x), with the prune statistics.
 #include <benchmark/benchmark.h>
 
 #include <malloc.h>
@@ -71,6 +80,42 @@ const ex::ExpressionMatrix& genes_matrix(std::size_t genes,
     }
   }
   return cache.emplace(key, std::move(m)).first->second;
+}
+
+/// Module-structured data for the pruned-vs-exact contrast: contiguous
+/// 250-gene modules, each strongly varying inside its own pair of
+/// 16-condition dataset blocks and flat (noise) elsewhere — the
+/// condition-specific co-regulation of real compendia (a module responds
+/// in the datasets that perturb it; SPELL's dataset weighting exists
+/// because signal concentrates this way). Contiguity matters: genes
+/// arrive pre-grouped the way a clustered/display-ordered compendium
+/// stores them, so the engine's 64-row tile blocks are module-pure and
+/// the segment-norm envelopes stay sharp.
+const ex::ExpressionMatrix& module_block_matrix(std::size_t genes) {
+  static std::map<std::size_t, ex::ExpressionMatrix> cache;
+  const auto it = cache.find(genes);
+  if (it != cache.end()) return it->second;
+  constexpr std::size_t kModuleSize = 250;
+  constexpr std::size_t kDatasetCols = 16;
+  const std::size_t datasets = kConditions / kDatasetCols;
+  fv::Rng rng(91000 + genes);
+  ex::ExpressionMatrix m(genes, kConditions);
+  for (std::size_t g = 0; g < genes; ++g) {
+    const std::size_t module = g / kModuleSize;
+    const std::size_t d0 = module % datasets;
+    const std::size_t d1 = (module + 1 + module / datasets) % datasets;
+    const double freq = 0.25 + 0.05 * static_cast<double>(module % 7);
+    const double phase = 0.61 * static_cast<double>(module);
+    for (std::size_t c = 0; c < kConditions; ++c) {
+      const std::size_t dataset = c / kDatasetCols;
+      double value = rng.normal(0.0, 0.05);
+      if (dataset == d0 || dataset == d1) {
+        value += std::sin(freq * static_cast<double>(c + 1) + phase);
+      }
+      m.set(g, c, static_cast<float>(value));
+    }
+  }
+  return cache.emplace(genes, std::move(m)).first->second;
 }
 
 // --- The seed's scalar kNN imputation, kept as the speedup reference ------
@@ -157,6 +202,38 @@ void BM_TopKNeighbors(benchmark::State& state) {
       1024.0;
 }
 BENCHMARK(BM_TopKNeighbors)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void topk_strategy_phase(benchmark::State& state, sm::TopKStrategy strategy,
+                         bool export_stats) {
+  const auto& m = module_block_matrix(static_cast<std::size_t>(state.range(0)));
+  fv::par::ThreadPool pool(1);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  sm::TopKStats stats;
+  for (auto _ : state) {
+    const auto table =
+        engine.top_k_neighbors(kNeighbors, pool, 0, strategy, &stats);
+    benchmark::DoNotOptimize(table.indices.data());
+  }
+  if (export_stats) {
+    // Into the JSON snapshot, so the PR-over-PR gate archive carries the
+    // prune trajectory alongside the times.
+    state.counters["tiles_total"] = static_cast<double>(stats.tiles_total);
+    state.counters["tiles_pruned"] = static_cast<double>(stats.tiles_pruned);
+    state.counters["bounds_checked"] =
+        static_cast<double>(stats.bounds_checked);
+  }
+}
+
+void BM_TopKNeighborsExact(benchmark::State& state) {
+  topk_strategy_phase(state, sm::TopKStrategy::kExact, false);
+}
+void BM_TopKNeighborsPruned(benchmark::State& state) {
+  topk_strategy_phase(state, sm::TopKStrategy::kPruned, true);
+}
+BENCHMARK(BM_TopKNeighborsExact)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TopKNeighborsPruned)->Arg(1000)->Arg(2000)->Arg(4000)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_DistancePhaseCondensed(benchmark::State& state) {
@@ -311,6 +388,46 @@ void report_issue_targets() {
       kConditions, engine_auto.float_kernel_active() ? "yes" : "no");
 }
 
+// --- Epilogue: the issue-5 pruned-strategy gate ---------------------------
+
+void report_issue5_targets() {
+  constexpr std::size_t kGenes = 4000;
+  const auto& m = module_block_matrix(kGenes);
+  fv::par::ThreadPool pool(1);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+
+  fv::Timer timer;
+  const auto exact =
+      engine.top_k_neighbors(kNeighbors, pool, 0, sm::TopKStrategy::kExact);
+  const double exact_seconds = timer.seconds();
+  timer.reset();
+  sm::TopKStats stats;
+  const auto pruned = engine.top_k_neighbors(
+      kNeighbors, pool, 0, sm::TopKStrategy::kPruned, &stats);
+  const double pruned_seconds = timer.seconds();
+
+  // The whole point of bound pruning: the table is the SAME table.
+  const bool identical = pruned.indices == exact.indices &&
+                         pruned.distances == exact.distances &&
+                         pruned.valid == exact.valid;
+  const double speedup = exact_seconds / pruned_seconds;
+  std::printf(
+      "\n[ISSUE 5 targets @ %zu genes x %zu conditions (dataset-block "
+      "modules), k = %zu, 1 thread]\n"
+      "  pruned NeighborTable bit-identical to exact: %s\n"
+      "  distance phase: exact %.3f s -> pruned %.3f s (%.2fx; target >= "
+      "2x: %s)\n"
+      "  prune statistics: %zu/%zu tiles skipped (%.1f%%), %zu bounds "
+      "checked\n",
+      kGenes, kConditions, kNeighbors, identical ? "PASS" : "FAIL",
+      exact_seconds, pruned_seconds, speedup,
+      speedup >= 2.0 ? "PASS" : "FAIL", stats.tiles_pruned,
+      stats.tiles_total,
+      100.0 * static_cast<double>(stats.tiles_pruned) /
+          static_cast<double>(stats.tiles_total),
+      stats.bounds_checked);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -318,5 +435,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   report_issue_targets();
+  report_issue5_targets();
   return 0;
 }

@@ -6,10 +6,9 @@
 #   BUILD_DIR  cmake build tree containing bench/ (default: build)
 #   OUT_DIR    where BENCH_<name>.json files land (default: bench_results)
 #
-# Optional PR-over-PR comparison: set FV_BENCH_BASELINE to a directory of a
-# previous run's BENCH_*.json files and compare_benchmarks.py prints a delta
-# table after the runs, failing the script on any >10% regression
-# (FV_BENCH_THRESHOLD overrides the percentage).
+# Optional PR-over-PR comparison via FV_BENCH_BASELINE — authoritative
+# description in docs/benchmarks.md ("The regression gate and
+# FV_BENCH_BASELINE").
 #
 # JSON goes through --benchmark_out (not stdout redirection) because several
 # benches print a human-readable report epilogue after the runs.

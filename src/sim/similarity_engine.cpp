@@ -1,8 +1,10 @@
 #include "sim/similarity_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <mutex>
 
@@ -26,6 +28,14 @@ constexpr std::size_t kLanes = 16;
 /// 64 x 64 pairs reuse it.
 constexpr std::size_t kTile = 64;
 
+/// Segment width of the blocked row norms the pruned top-k bound uses: one
+/// kernel lane block. Finer segments only tighten the Cauchy–Schwarz bound
+/// (splitting a segment can never increase Σ_s ||a_s||·||b_s|| — apply
+/// Cauchy–Schwarz to the sub-norm pairs), and 16 matches the condition-
+/// block granularity of compendium data (datasets enter as groups of
+/// adjacent columns); the cost is one float per 16 row elements.
+constexpr std::size_t kBoundSegment = kLanes;
+
 double dot_padded(const float* a, const float* b, std::size_t stride) {
   double acc[kLanes] = {};
   for (std::size_t k = 0; k < stride; k += kLanes) {
@@ -38,48 +48,60 @@ double dot_padded(const float* a, const float* b, std::size_t stride) {
   return total;
 }
 
+/// Elements between double flushes of the float kernel's lane array. Each
+/// float lane sums kFloatFlushBlock / 16 products sequentially before the
+/// block's lane sums drain into double accumulators and the float lanes
+/// reset; on unit-norm inputs (the normalized rows) the per-block absolute
+/// product sums add up to Σ|a_k b_k| <= 1 over the whole row by
+/// Cauchy–Schwarz, so the total rounding error is bounded by
+/// (kFloatFlushBlock / 16) * 2^-24 ≈ 9.5e-7 at ANY stride — always inside
+/// the 1e-6 equivalence contract. (Before the flush existed the bound was
+/// (stride / 16) * 2^-24 and kAuto had to fall back past stride 256; the
+/// flush is what removed the ceiling.) Must be a multiple of the unrolled
+/// step, kLanes * kUnroll = 64. Measured error on random profiles is
+/// ~100x below the bound; see the error-bound study in tests/topk_test.cpp
+/// and src/sim/README.md.
+constexpr std::size_t kFloatFlushBlock = 256;
+
 /// Float-accumulator dense dot: the double kernel's 16-lane accumulator
 /// array in float, with the main loop unrolled 4 vector blocks deep (64
 /// elements per iteration into the same 16 chains — unrolling does not
-/// change the per-lane summation order, so the error analysis below holds
+/// change the per-lane summation order, so the error analysis above holds
 /// for any blocking). Floats halve the bytes per element the vector units
 /// move, so dense rows retire ~2x the elements per cycle (measured 1.7x at
 /// 96 conditions, 2.9x at 512, AVX-512 host; wider accumulator arrays
-/// spill and lose). Only the lane accumulation is float — the 16-way lane
-/// reduction happens in double.
+/// spill and lose). Every kFloatFlushBlock elements the lanes flush into
+/// double accumulators (for stride <= 256 that is a single flush, i.e. the
+/// exact pre-flush arithmetic); the final 16-way reduction is in double.
 double dot_padded_float(const float* a, const float* b, std::size_t stride) {
   constexpr std::size_t kUnroll = 4;
-  float acc[kLanes] = {};
-  std::size_t k = 0;
-  for (; k + kLanes * kUnroll <= stride; k += kLanes * kUnroll) {
-    for (std::size_t u = 0; u < kUnroll; ++u) {
-      for (std::size_t l = 0; l < kLanes; ++l) {
-        acc[l] += a[k + u * kLanes + l] * b[k + u * kLanes + l];
+  double flushed[kLanes] = {};
+  for (std::size_t base = 0; base < stride; base += kFloatFlushBlock) {
+    const std::size_t end = std::min(stride, base + kFloatFlushBlock);
+    float acc[kLanes] = {};
+    std::size_t k = base;
+    for (; k + kLanes * kUnroll <= end; k += kLanes * kUnroll) {
+      for (std::size_t u = 0; u < kUnroll; ++u) {
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          acc[l] += a[k + u * kLanes + l] * b[k + u * kLanes + l];
+        }
       }
     }
-  }
-  for (; k < stride; k += kLanes) {
+    for (; k < end; k += kLanes) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        acc[l] += a[k + l] * b[k + l];
+      }
+    }
     for (std::size_t l = 0; l < kLanes; ++l) {
-      acc[l] += a[k + l] * b[k + l];
+      flushed[l] += static_cast<double>(acc[l]);
     }
   }
   double total = 0.0;
   for (std::size_t l = 0; l < kLanes; ++l) {
-    total += static_cast<double>(acc[l]);
+    total += flushed[l];
   }
   return total;
 }
-
-/// Longest padded row the auto kernel policy accepts for float
-/// accumulation. Each of the 16 float lanes sums stride/16 products
-/// sequentially; on unit-norm inputs (the normalized rows)
-/// Σ|a_k b_k| <= 1 by Cauchy–Schwarz, so the worst-case rounding error —
-/// product rounding plus per-lane summation — is (stride / 16) * 2^-24.
-/// At 256 that is 16 * 5.96e-8 ≈ 9.5e-7, still inside the 1e-6 contract
-/// (measured error on random profiles is ~100x smaller; see the
-/// error-bound study in tests/topk_test.cpp and src/sim/README.md). Longer
-/// rows fall back to the double kernel under DenseKernel::kAuto.
-constexpr std::size_t kFloatKernelMaxStride = 256;
 
 double squared_diff_padded(const float* a, const float* b,
                            std::size_t stride) {
@@ -169,11 +191,12 @@ void SimilarityEngine::build(std::span<const float> flat, std::size_t count,
   if (stride_ == 0) stride_ = kLanes;
   // The float kernel's error bound only holds for unit-norm inputs, so it
   // serves the correlation fast path; Euclidean rows are unnormalized and
-  // always take the double kernel.
-  float_kernel_ =
-      metric != Metric::kEuclidean &&
-      (kernel == DenseKernel::kFloat ||
-       (kernel == DenseKernel::kAuto && stride_ <= kFloatKernelMaxStride));
+  // always take the double kernel. The compensated block flush keeps the
+  // bound inside the 1e-6 contract at any stride, so kAuto no longer
+  // falls back on long rows.
+  float_kernel_ = metric != Metric::kEuclidean &&
+                  (kernel == DenseKernel::kFloat ||
+                   kernel == DenseKernel::kAuto);
   mask_words_ = (length + 63) / 64;
   if (mask_words_ == 0) mask_words_ = 1;
 
@@ -276,6 +299,45 @@ void SimilarityEngine::build(std::span<const float> flat, std::size_t count,
       zscale_[i] =
           static_cast<float>(std::sqrt(static_cast<double>(present - 1)));
     }
+  }
+
+  // Blocked segment norms for the pruned top-k bound (correlation engines
+  // that answer pairwise queries). Computed in double and inflated by one
+  // part in 2^20 before the float store, so a stored norm can never round
+  // below the true segment norm — the tile bound stays a proof. Rows with
+  // missing cells get norms too, but the pruned path never consults them
+  // (their pairwise-complete re-centering is unbounded by the full-row
+  // norms, so blocks containing them are never pruned).
+  if (correlation && all_pairs) {
+    seg_count_ = stride_ / kBoundSegment;
+    seg_norms_.assign(count * seg_count_, 0.0f);
+    for (std::size_t i = 0; i < count; ++i) {
+      const float* row = normalized_.data() + i * stride_;
+      float* out = seg_norms_.data() + i * seg_count_;
+      for (std::size_t s = 0; s < seg_count_; ++s) {
+        double sumsq = 0.0;
+        for (std::size_t k = 0; k < kBoundSegment; ++k) {
+          const double v = row[s * kBoundSegment + k];
+          sumsq += v * v;
+        }
+        out[s] = static_cast<float>(std::sqrt(sumsq) *
+                                    (1.0 + std::ldexp(1.0, -20)));
+      }
+    }
+    // How far the computed float distance can fall below the exact-
+    // arithmetic Cauchy–Schwarz chain: kernel rounding (the float kernel's
+    // block-flush bound when active, the double kernel's negligible one
+    // otherwise) plus the double->float cast of 1 - dot (values <= 2, so
+    // one ulp is 2^-23) plus margin for the double arithmetic of the bound
+    // itself. Subtracted from every tile bound before the threshold test.
+    const double kernel_error =
+        float_kernel_
+            ? static_cast<double>(std::min(stride_, kFloatFlushBlock) /
+                                  kLanes) *
+                  std::ldexp(1.0, -24)
+            : static_cast<double>(stride_ / kLanes) * std::ldexp(1.0, -52);
+    prune_slack_ =
+        static_cast<float>(kernel_error + 4.0 * std::ldexp(1.0, -23));
   }
 }
 
@@ -616,19 +678,41 @@ struct TopKSlot {
   }
 };
 
+/// Monotone-decreasing publish of a row's heap threshold. Stale (larger)
+/// values only cost prunes, never correctness, so relaxed order suffices.
+void publish_min(std::atomic<float>& slot, float value) {
+  float current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
                                                 par::ThreadPool& pool,
-                                                std::size_t min_common) const {
+                                                std::size_t min_common,
+                                                TopKStrategy strategy,
+                                                TopKStats* stats) const {
   FV_REQUIRE(precompute_ == Precompute::kAllPairs,
              "top_k_neighbors() requires Precompute::kAllPairs");
   FV_REQUIRE(k >= 1, "top_k_neighbors() needs k >= 1");
+  FV_REQUIRE(
+      strategy != TopKStrategy::kPruned || metric_ != Metric::kEuclidean,
+      "TopKStrategy::kPruned needs a correlation metric — Euclidean rows "
+      "are unnormalized, so the Cauchy–Schwarz norm bound does not exist; "
+      "use kAuto (which falls back to kExact) instead");
+  if (strategy == TopKStrategy::kAuto) {
+    strategy = metric_ == Metric::kEuclidean ? TopKStrategy::kExact
+                                             : TopKStrategy::kPruned;
+  }
   const std::size_t n = count_;
   NeighborTable table;
   table.count = n;
   table.k = n > 0 ? std::min(k, n - 1) : 0;
   table.valid.assign(n, 0);
+  if (stats != nullptr) *stats = TopKStats{};
   if (n < 2 || table.k == 0) return table;
   const std::size_t kk = table.k;
   table.indices.assign(n * kk, 0);
@@ -660,29 +744,171 @@ NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
     free_slots.push_back(slot);
   };
 
-  for_each_tile(
-      [&](const DistanceTile& tile) {
-        TopKSlot* slot = acquire();
-        for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
-          const std::size_t j_first = std::max(tile.col_begin, i + 1);
-          const bool i_missing = has_missing_[i] != 0;
-          for (std::size_t j = j_first; j < tile.col_end; ++j) {
-            if (min_common > 0) {
-              // Dense pairs share all length() cells; only pairs touching a
-              // masked row pay the popcount.
-              const std::size_t common =
-                  i_missing || has_missing_[j] != 0 ? common_present(i, j)
-                                                    : length_;
-              if (common < min_common) continue;
-            }
-            const float dist = tile.at(i, j);
-            slot->push(i, kk, {dist, static_cast<std::uint32_t>(j)});
-            slot->push(j, kk, {dist, static_cast<std::uint32_t>(i)});
-          }
+  // Pushes every surviving pair of one computed tile into a slot's heaps.
+  // Shared verbatim by both strategies, so they cannot drift.
+  const auto consume_tile = [&](const DistanceTile& tile, TopKSlot& slot) {
+    for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+      const std::size_t j_first = std::max(tile.col_begin, i + 1);
+      const bool i_missing = has_missing_[i] != 0;
+      for (std::size_t j = j_first; j < tile.col_end; ++j) {
+        if (min_common > 0) {
+          // Dense pairs share all length() cells; only pairs touching a
+          // masked row pay the popcount.
+          const std::size_t common =
+              i_missing || has_missing_[j] != 0 ? common_present(i, j)
+                                                : length_;
+          if (common < min_common) continue;
         }
-        release(slot);
-      },
-      pool);
+        const float dist = tile.at(i, j);
+        slot.push(i, kk, {dist, static_cast<std::uint32_t>(j)});
+        slot.push(j, kk, {dist, static_cast<std::uint32_t>(i)});
+      }
+    }
+  };
+
+  if (strategy == TopKStrategy::kExact) {
+    if (stats != nullptr) {
+      stats->tiles_total = tile_count();
+      stats->tiles_computed = tile_count();
+    }
+    for_each_tile(
+        [&](const DistanceTile& tile) {
+          TopKSlot* slot = acquire();
+          consume_tile(tile, *slot);
+          release(slot);
+        },
+        pool);
+  } else {
+    // --- Norm-bound tile pruning ------------------------------------
+    // Per 64-row block: the segment-wise max norms of its rows (an
+    // envelope) and whether every row is dense. For blocks A, B the dot
+    // of any cross pair (i in A, j in B) obeys
+    //   dot(a_i, a_j) <= Σ_s ||a_i[s]||·||a_j[s]||   (Cauchy–Schwarz per
+    //                                                 segment)
+    //                 <= Σ_s amax[s]·bmax[s]          (the envelope),
+    // so every pair distance in tile (A, B) is at least
+    // 1 - Σ_s amax[s]·bmax[s] - slack, where the slack covers kernel and
+    // cast rounding (see build()). A tile whose bound strictly beats the
+    // published heap threshold of every row it touches cannot contribute
+    // a single heap entry and is skipped whole.
+    const std::size_t blocks = (n + kTile - 1) / kTile;
+    std::vector<float> block_max(blocks * seg_count_, 0.0f);
+    std::vector<std::uint8_t> block_prunable(blocks, 1);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t row_end = std::min(n, (b + 1) * kTile);
+      float* bmax = block_max.data() + b * seg_count_;
+      for (std::size_t i = b * kTile; i < row_end; ++i) {
+        if (has_missing_[i] != 0) {
+          // A masked pair's correlation re-centers over the pairwise-
+          // complete subset; no full-row norm bounds it. Every tile
+          // touching this block computes exactly.
+          block_prunable[b] = 0;
+          break;
+        }
+        const float* sn = seg_norms_.data() + i * seg_count_;
+        for (std::size_t s = 0; s < seg_count_; ++s) {
+          bmax[s] = std::max(bmax[s], sn[s]);
+        }
+      }
+    }
+
+    // Shared per-row heap thresholds: the k-th-smallest distance any one
+    // slot has seen so far for the row (+inf until some slot's heap is
+    // full). The k-th smallest of a SUBSET of a row's candidates can only
+    // overestimate the k-th smallest of all of them, so pruning against a
+    // published threshold — even a stale or partial-slot one — never
+    // drops a true top-k pair. The feedback only decides how much is
+    // pruned, never what is returned: the exact top-k under the total
+    // (distance, index) order is unique, hence schedule-independent.
+    std::vector<std::atomic<float>> thresholds(n);
+    for (auto& t : thresholds) {
+      t.store(std::numeric_limits<float>::infinity(),
+              std::memory_order_relaxed);
+    }
+
+    // Diagonal-first schedule: sweep the block offset d = tb - ta
+    // outward, so near-diagonal tiles (same-module pairs on clustered
+    // compendia) fill the heaps with tight thresholds before the far
+    // tiles — the prunable bulk — are checked. Exactly-once delivery
+    // holds by construction: the permutation visits each tile index once.
+    // Each entry carries its (ta, tb) so workers never re-decode the
+    // linearization; `index` is the row-major upper-triangle position
+    // compute_tile expects (base of block-row ta, plus the offset d).
+    struct TileRef {
+      std::size_t index, ta, tb;
+    };
+    std::vector<TileRef> order;
+    order.reserve(tile_count());
+    for (std::size_t d = 0; d < blocks; ++d) {
+      for (std::size_t ta = 0; ta + d < blocks; ++ta) {
+        order.push_back({ta * blocks - ta * (ta - 1) / 2 + d, ta, ta + d});
+      }
+    }
+
+    std::atomic<std::size_t> pruned_tiles{0};
+    std::atomic<std::size_t> checked_bounds{0};
+    TileScratchPool scratch;
+    par::parallel_dynamic(pool, 0, order.size(), [&](std::size_t pos) {
+      const auto [t, ta, tb] = order[pos];
+      const std::size_t row_begin = ta * kTile;
+      const std::size_t row_end = std::min(n, row_begin + kTile);
+      const std::size_t col_begin = tb * kTile;
+      const std::size_t col_end = std::min(n, col_begin + kTile);
+
+      if (block_prunable[ta] != 0 && block_prunable[tb] != 0) {
+        checked_bounds.fetch_add(1, std::memory_order_relaxed);
+        const float* amax = block_max.data() + ta * seg_count_;
+        const float* bmax = block_max.data() + tb * seg_count_;
+        double dot_bound = 0.0;
+        for (std::size_t s = 0; s < seg_count_; ++s) {
+          dot_bound += static_cast<double>(amax[s]) * bmax[s];
+        }
+        const double lower_distance = 1.0 - dot_bound - prune_slack_;
+        // Strictly beating every touched row's threshold proves no pair
+        // in the tile can displace a heap entry (a tie in distance could
+        // still enter on a smaller index, so equality never prunes).
+        bool skip = true;
+        for (std::size_t i = row_begin; skip && i < row_end; ++i) {
+          skip =
+              lower_distance > thresholds[i].load(std::memory_order_relaxed);
+        }
+        for (std::size_t j = col_begin; skip && j < col_end; ++j) {
+          skip =
+              lower_distance > thresholds[j].load(std::memory_order_relaxed);
+        }
+        if (skip) {
+          pruned_tiles.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+
+      std::vector<float> block = scratch.acquire();
+      DistanceTile tile;
+      compute_tile(t, block.data(), tile);
+      TopKSlot* slot = acquire();
+      consume_tile(tile, *slot);
+      // Broadcast the freshly-tightened heap minima back into the
+      // schedule so later tiles prune against them. Only full heaps
+      // publish — a short heap's max says nothing about the k-th-best.
+      const auto publish = [&](std::size_t r) {
+        if (slot->size[r] == kk) {
+          publish_min(thresholds[r], slot->heap[r * kk].d);
+        }
+      };
+      for (std::size_t i = row_begin; i < row_end; ++i) publish(i);
+      if (tb != ta) {
+        for (std::size_t j = col_begin; j < col_end; ++j) publish(j);
+      }
+      release(slot);
+      scratch.release(std::move(block));
+    });
+    if (stats != nullptr) {
+      stats->tiles_total = order.size();
+      stats->tiles_pruned = pruned_tiles.load();
+      stats->tiles_computed = order.size() - stats->tiles_pruned;
+      stats->bounds_checked = checked_bounds.load();
+    }
+  }
 
   // Merge: per row, the union of slot heaps contains the global
   // (distance, index)-smallest k; sort it and keep the head. Rows are

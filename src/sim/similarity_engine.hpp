@@ -44,15 +44,46 @@ enum class Precompute {
 
 /// Which accumulator the dense correlation fast path uses.
 enum class DenseKernel {
-  /// Float accumulators when the row length keeps the worst-case rounding
-  /// bound inside the 1e-6 equivalence contract (stride <= 256), the double
-  /// reference otherwise. See src/sim/README.md for the bound.
+  /// Float accumulators for every correlation engine: the compensated
+  /// block-flush (lane sums drained into doubles every 256 elements) keeps
+  /// the worst-case rounding bound at (256/16)·2⁻²⁴ ≈ 9.5e-7 — inside the
+  /// 1e-6 equivalence contract — at any row length. See src/sim/README.md.
   kAuto,
   kDouble,  ///< Always the double reference kernel.
-  /// Always float accumulators, even past the proven length — tests and
-  /// benches use this to measure the error curve; production callers should
-  /// prefer kAuto.
+  /// Same as kAuto for correlation metrics; kept distinct so tests and
+  /// benches can state "the float path, explicitly" and so the error-bound
+  /// study keeps a stable name if kAuto ever regains a fallback.
   kFloat,
+};
+
+/// How top_k_neighbors runs its distance phase.
+enum class TopKStrategy {
+  /// kPruned whenever the engine can prove bounds (correlation metrics,
+  /// whose normalized rows carry the Cauchy–Schwarz norm structure),
+  /// kExact otherwise (Euclidean). The returned table is identical either
+  /// way — pruning skips only pairs *proven* unable to enter any heap.
+  kAuto,
+  /// Stream every tile through the heaps (the unconditional path).
+  kExact,
+  /// Norm-bound tile pruning: skip whole 64×64 tiles whose Cauchy–Schwarz
+  /// distance lower bound cannot beat the current per-row heap thresholds.
+  /// Results stay exact and schedule-independent (the exact top-k under
+  /// the total (distance, index) order is unique, and only provably-losing
+  /// pairs are skipped). Correlation metrics only — Euclidean rows are
+  /// unnormalized, so the unit-norm bound does not exist for them.
+  kPruned,
+};
+
+/// Per-call statistics of a top_k_neighbors distance phase, for
+/// benchmarking the pruned strategy. The *table* is deterministic and
+/// schedule-independent; these counters are not under a multi-threaded
+/// pool (how many tiles prune depends on how tight the shared thresholds
+/// were when each tile was checked) — they are exact under a 1-thread pool.
+struct TopKStats {
+  std::size_t tiles_total = 0;     ///< tiles in the schedule
+  std::size_t tiles_computed = 0;  ///< tiles whose pairs were computed
+  std::size_t tiles_pruned = 0;    ///< tiles skipped on a bound proof
+  std::size_t bounds_checked = 0;  ///< tiles whose bound was evaluated
 };
 
 /// One computed tile of the pairwise-distance upper triangle, handed to a
@@ -129,8 +160,8 @@ class SimilarityEngine {
   Metric metric() const noexcept { return metric_; }
 
   /// Whether the dense correlation fast path runs on float accumulators
-  /// (DenseKernel::kFloat, or kAuto with rows short enough to prove the
-  /// 1e-6 contract).
+  /// (DenseKernel::kFloat or kAuto — every correlation engine unless
+  /// kDouble was forced; the block-flush bound holds at any stride).
   bool float_kernel_active() const noexcept { return float_kernel_; }
 
   bool row_has_missing(std::size_t i) const { return has_missing_[i] != 0; }
@@ -204,8 +235,19 @@ class SimilarityEngine {
   /// (distance, index)-smallest k). Pairs whose profiles share fewer than
   /// `min_common` present cells are excluded (0 = keep everything) — kNN
   /// imputation uses this to drop meaninglessly-overlapping neighbors.
+  ///
+  /// `strategy` selects the distance phase: under TopKStrategy::kPruned
+  /// (or kAuto on a correlation metric) tiles whose Cauchy–Schwarz
+  /// distance lower bound — from precomputed per-row blocked segment
+  /// norms — provably cannot beat the current per-row heap thresholds are
+  /// skipped whole, without computing a single pair. The table is
+  /// bit-identical to kExact (prune on proof only; see src/sim/README.md
+  /// for the derivation). `stats`, when non-null, receives the per-call
+  /// prune counters.
   NeighborTable top_k_neighbors(std::size_t k, par::ThreadPool& pool,
-                                std::size_t min_common = 0) const;
+                                std::size_t min_common = 0,
+                                TopKStrategy strategy = TopKStrategy::kAuto,
+                                TopKStats* stats = nullptr) const;
 
   /// Mean of all n(n-1)/2 pairwise distances, streamed tile by tile (no
   /// matrix materialized; per-tile partials reduced in schedule order, so
@@ -276,6 +318,20 @@ class SimilarityEngine {
   std::vector<std::uint32_t> missing_begin_;
   std::vector<double> own_sum_;    ///< sum of present values per row
   std::vector<double> own_sumsq_;  ///< sum of squared present values
+  /// Blocked segment norms of the normalized rows (correlation metrics
+  /// with kAllPairs only): count x seg_count_, seg_norms_[i * seg_count_
+  /// + s] >= ||normalized_row(i)[s*16 .. (s+1)*16)|| (inflated a hair past
+  /// the double-precision norm so the stored float can never round below
+  /// the true value). The Cauchy–Schwarz tile bound of the pruned top-k
+  /// path is built from these.
+  std::vector<float> seg_norms_;
+  std::size_t seg_count_ = 0;  ///< stride_ / 16 segments per row
+  /// Everything the computed float distance can fall below the
+  /// exact-arithmetic Cauchy–Schwarz chain by: kernel rounding (the float
+  /// kernel's block-flush bound when active) + the double->float cast of
+  /// the distance + margin. The pruned path subtracts this from every
+  /// bound, so "bound > threshold" is a proof about *computed* distances.
+  float prune_slack_ = 0.0f;
 
   void build(std::span<const float> flat, std::size_t count,
              std::size_t length, Metric metric, Precompute precompute,

@@ -2,9 +2,12 @@
 // for_each_tile visitor contract (exactly-once pair delivery, values equal
 // to the pairwise API, serial == pooled), top_k_neighbors equivalence
 // against sort-the-full-row (including distance ties and masked/missing
-// rows), the min_common filter, the streamed mean-pairwise reduction, and
-// the float-accumulator dense kernel's error bound against the double
-// reference across row lengths.
+// rows), the min_common filter, the norm-bound pruned top-k strategy
+// (bit-identical to exact on module-structured, all-tied, heavily-masked
+// and k >= n-1 inputs; prune statistics accounting; Euclidean rejection),
+// the streamed mean-pairwise reduction, and the float-accumulator dense
+// kernel's block-flush error bound against the double reference across row
+// lengths.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -88,6 +91,13 @@ void expect_table_matches_reference(const sm::SimilarityEngine& engine,
                                     std::size_t k, std::size_t min_common,
                                     fv::par::ThreadPool& pool) {
   const auto table = engine.top_k_neighbors(k, pool, min_common);
+  // kAuto routes correlation engines through the pruned strategy; every
+  // reference check therefore also pins pruned == exact, bit for bit.
+  const auto exact = engine.top_k_neighbors(k, pool, min_common,
+                                            sm::TopKStrategy::kExact);
+  ASSERT_EQ(table.indices, exact.indices);
+  ASSERT_EQ(table.distances, exact.distances);
+  ASSERT_EQ(table.valid, exact.valid);
   const auto reference = reference_top_k(engine, table.k, min_common);
   ASSERT_EQ(table.count, engine.size());
   for (std::size_t i = 0; i < engine.size(); ++i) {
@@ -199,6 +209,175 @@ TEST(TopKNeighborsTest, DegenerateSizesAndLargeK) {
   EXPECT_THROW(bank.top_k_neighbors(3, pool), fv::InvalidArgument);
 }
 
+// --- Norm-bound tile pruning ----------------------------------------------
+
+/// Dataset-block module data: contiguous gene modules, each strongly
+/// varying inside its own pair of 16-condition dataset blocks and flat
+/// (noise) elsewhere — condition-specific co-regulation, the compendium
+/// shape whose normalized rows concentrate norm energy in different
+/// segments, giving the pruned strategy's Cauchy–Schwarz bound something
+/// to prove on cross-module tiles.
+ex::ExpressionMatrix block_module_matrix(std::size_t rows, std::size_t cols,
+                                         std::size_t module_rows,
+                                         std::uint64_t seed) {
+  fv::Rng rng(seed);
+  const std::size_t datasets = cols / 16;
+  ex::ExpressionMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t module = r / module_rows;
+    const std::size_t d0 = module % datasets;
+    const std::size_t d1 = (module + 1 + module / datasets) % datasets;
+    const double freq = 0.35 + 0.07 * static_cast<double>(module % 7);
+    const double phase = 0.5 * static_cast<double>(module);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t dataset = c / 16;
+      double value = rng.normal(0.0, 0.05);
+      if (dataset == d0 || dataset == d1) {
+        value += std::sin(freq * static_cast<double>(c + 1) + phase);
+      }
+      m.set(r, c, static_cast<float>(value));
+    }
+  }
+  return m;
+}
+
+void expect_tables_identical(const sm::NeighborTable& a,
+                             const sm::NeighborTable& b) {
+  ASSERT_EQ(a.count, b.count);
+  ASSERT_EQ(a.k, b.k);
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.distances, b.distances);
+  EXPECT_EQ(a.valid, b.valid);
+}
+
+TEST(TopKPrunedTest, PrunesCrossModuleTilesAndStaysBitIdentical) {
+  // 320 rows = 5 tile blocks over 4 modules with mostly-disjoint dataset
+  // supports: cross-module tiles must actually prune under Pearson, and
+  // the table must still be the exact top-k (checked against kExact bit
+  // for bit and against the brute-force reference through the kAuto
+  // helper). Spearman rides along for correctness only: the rank
+  // transform hands the 64 uncorrelated noise cells a third of every
+  // row's energy, which both flattens the segment-norm envelope and
+  // inflates within-module distances past the cross-module bound — zero
+  // prunes is the honest outcome there, and the accounting must say so.
+  const auto m = block_module_matrix(320, 96, 80, 41);
+  fv::par::ThreadPool pool(1);  // serial pool: prune stats deterministic
+  for (const auto metric : {sm::Metric::kPearson, sm::Metric::kSpearman}) {
+    const auto engine = sm::SimilarityEngine::from_rows(m, metric);
+    sm::TopKStats stats;
+    const auto pruned = engine.top_k_neighbors(
+        5, pool, 0, sm::TopKStrategy::kPruned, &stats);
+    const auto exact =
+        engine.top_k_neighbors(5, pool, 0, sm::TopKStrategy::kExact);
+    expect_tables_identical(pruned, exact);
+    EXPECT_EQ(stats.tiles_total, engine.tile_count());
+    EXPECT_EQ(stats.tiles_pruned + stats.tiles_computed, stats.tiles_total);
+    EXPECT_LE(stats.bounds_checked, stats.tiles_total);
+    if (metric == sm::Metric::kPearson) {
+      EXPECT_GT(stats.tiles_pruned, 0u) << "cross-module tiles must prune";
+    }
+    expect_table_matches_reference(engine, 5, 0, pool);
+  }
+}
+
+TEST(TopKPrunedTest, MultithreadedPrunedResultsAreScheduleIndependent) {
+  // The threshold broadcast races benignly under a real pool: published
+  // thresholds may be stale, which only changes how many tiles prune. The
+  // returned table is the unique exact top-k every run.
+  const auto m = block_module_matrix(300, 96, 75, 77);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  fv::par::ThreadPool pool(4);
+  const auto exact =
+      engine.top_k_neighbors(6, pool, 0, sm::TopKStrategy::kExact);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    const auto pruned =
+        engine.top_k_neighbors(6, pool, 0, sm::TopKStrategy::kPruned);
+    expect_tables_identical(pruned, exact);
+  }
+}
+
+TEST(TopKPrunedTest, AllTiedBlocksNeverPruneAWinner) {
+  // Adversarial: two alternating profiles make every distance tie at 0 or
+  // at the one cross value, and the tile bounds sit exactly at the heap
+  // thresholds. Equality must never prune (a tied pair with a smaller
+  // index still displaces a heap entry), so the (distance, index) winners
+  // must match the exact path entry for entry.
+  ex::ExpressionMatrix m(130, 8);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double base = r % 2 == 0 ? std::sin(0.7 * (c + 1.0))
+                                     : std::cos(0.9 * (c + 1.0));
+      m.set(r, c, static_cast<float>(base));
+    }
+  }
+  fv::par::ThreadPool pool(3);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  sm::TopKStats stats;
+  const auto pruned = engine.top_k_neighbors(
+      7, pool, 0, sm::TopKStrategy::kPruned, &stats);
+  const auto exact =
+      engine.top_k_neighbors(7, pool, 0, sm::TopKStrategy::kExact);
+  expect_tables_identical(pruned, exact);
+  expect_table_matches_reference(engine, 7, 0, pool);
+}
+
+TEST(TopKPrunedTest, HeavilyMaskedRowsWithMinCommonMatchExact) {
+  // 40% missing leaves essentially every tile block with a masked row —
+  // unprunable by design (pairwise-complete re-centering is unbounded by
+  // full-row norms) — and min_common drops sparse overlaps entirely. The
+  // pruned strategy must degrade to exact computation, not to wrong
+  // tables.
+  const auto m = random_matrix(150, 12, 0.4, 913);
+  fv::par::ThreadPool pool(3);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  sm::TopKStats stats;
+  const auto pruned = engine.top_k_neighbors(
+      4, pool, 6, sm::TopKStrategy::kPruned, &stats);
+  const auto exact =
+      engine.top_k_neighbors(4, pool, 6, sm::TopKStrategy::kExact);
+  expect_tables_identical(pruned, exact);
+  EXPECT_EQ(stats.tiles_pruned + stats.tiles_computed, stats.tiles_total);
+  expect_table_matches_reference(engine, 4, 6, pool);
+}
+
+TEST(TopKPrunedTest, KPastRowCountIsTheNoPruneDegenerateCase) {
+  // k >= n - 1: a row's heap only fills once it has seen every candidate,
+  // so thresholds publish too late to matter and every tile computes. The
+  // pruned table must still be the full sorted neighbor list.
+  const auto m = block_module_matrix(100, 96, 25, 5);
+  fv::par::ThreadPool pool(2);
+  const auto engine = sm::SimilarityEngine::from_rows(m, sm::Metric::kPearson);
+  sm::TopKStats stats;
+  const auto pruned = engine.top_k_neighbors(
+      200, pool, 0, sm::TopKStrategy::kPruned, &stats);
+  const auto exact =
+      engine.top_k_neighbors(200, pool, 0, sm::TopKStrategy::kExact);
+  expect_tables_identical(pruned, exact);
+  EXPECT_EQ(pruned.k, 99u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(pruned.neighbor_count(i), 99u);
+  }
+  expect_table_matches_reference(engine, 200, 0, pool);
+}
+
+TEST(TopKPrunedTest, EuclideanRejectsPrunedAndAutoFallsBackToExact) {
+  const auto m = block_module_matrix(70, 96, 35, 9);
+  fv::par::ThreadPool pool(2);
+  const auto engine =
+      sm::SimilarityEngine::from_rows(m, sm::Metric::kEuclidean);
+  EXPECT_THROW(
+      engine.top_k_neighbors(3, pool, 0, sm::TopKStrategy::kPruned),
+      fv::InvalidArgument);
+  // kAuto on Euclidean routes to the exact strategy and reports it.
+  sm::TopKStats stats;
+  const auto table = engine.top_k_neighbors(
+      3, pool, 0, sm::TopKStrategy::kAuto, &stats);
+  EXPECT_EQ(stats.tiles_pruned, 0u);
+  EXPECT_EQ(stats.bounds_checked, 0u);
+  EXPECT_EQ(stats.tiles_computed, stats.tiles_total);
+  expect_table_matches_reference(engine, 3, 0, pool);
+}
+
 TEST(ForEachTileTest, DeliversEveryPairOnceWithPairwiseValues) {
   for (const std::size_t rows : {5u, 70u, 130u}) {
     const auto m = random_matrix(rows, 9, 0.15, 700 + rows);
@@ -283,7 +462,7 @@ std::vector<float> dense_profiles(std::size_t count, std::size_t length,
   return flat;
 }
 
-TEST(FloatKernelTest, AutoEngagesShortRowsAndFallsBackPastBound) {
+TEST(FloatKernelTest, AutoEngagesAtAnyRowLength) {
   const auto probe = [](std::size_t length, sm::DenseKernel kernel) {
     const auto flat = dense_profiles(2, length, 1000 + length);
     return sm::SimilarityEngine::from_profiles(flat, 2, length,
@@ -292,16 +471,18 @@ TEST(FloatKernelTest, AutoEngagesShortRowsAndFallsBackPastBound) {
                                                kernel)
         .float_kernel_active();
   };
-  // Auto: proven lengths (stride <= 256) use float, longer rows fall back.
+  // Auto: the compensated block flush (double drain every 256 elements)
+  // holds the worst-case bound at (256/16) * 2^-24 regardless of stride,
+  // so the old stride-256 fallback ceiling is gone.
   EXPECT_TRUE(probe(96, sm::DenseKernel::kAuto));
   EXPECT_TRUE(probe(256, sm::DenseKernel::kAuto));
-  EXPECT_FALSE(probe(257, sm::DenseKernel::kAuto));
-  EXPECT_FALSE(probe(10000, sm::DenseKernel::kAuto));
-  // Forced kernels ignore the bound.
+  EXPECT_TRUE(probe(257, sm::DenseKernel::kAuto));
+  EXPECT_TRUE(probe(10000, sm::DenseKernel::kAuto));
+  // Forced kernels stay forced.
   EXPECT_FALSE(probe(96, sm::DenseKernel::kDouble));
   EXPECT_TRUE(probe(10000, sm::DenseKernel::kFloat));
-  // Euclidean rows are unnormalized — the bound does not apply, so the
-  // float kernel never engages there.
+  // Euclidean rows are unnormalized — the unit-norm bound does not apply,
+  // so the float kernel never engages there.
   const auto flat = dense_profiles(2, 96, 77);
   EXPECT_FALSE(sm::SimilarityEngine::from_profiles(flat, 2, 96,
                                                    sm::Metric::kEuclidean)
@@ -309,11 +490,14 @@ TEST(FloatKernelTest, AutoEngagesShortRowsAndFallsBackPastBound) {
 }
 
 TEST(FloatKernelTest, ErrorBoundAcrossRowLengths) {
-  // The study behind kFloatKernelMaxStride: forced-float vs the double
-  // reference on dense random profiles across row lengths 96 -> 10k. The
-  // worst-case bound is (stride / 16) * 2^-24; measured error must sit
-  // inside the 1e-6 contract wherever kAuto engages, and inside the
-  // worst-case bound everywhere.
+  // The study behind the kAuto policy: forced-float vs the double
+  // reference on dense random profiles across row lengths 96 -> 10k. With
+  // the compensated block flush each float lane sums at most 256/16
+  // products between double drains, so the worst-case bound is
+  // (min(stride, 256) / 16) * 2^-24 at every length — measured error must
+  // sit inside the 1e-6 contract everywhere (kAuto always engages now),
+  // and inside the worst-case bound everywhere. Strides 512/1024/4096/10k
+  // exercise 2/4/16/40 flush blocks.
   constexpr std::size_t kProfiles = 24;
   for (const std::size_t length :
        {96u, 160u, 256u, 512u, 1024u, 4096u, 10000u}) {
@@ -336,13 +520,12 @@ TEST(FloatKernelTest, ErrorBoundAcrossRowLengths) {
     }
     const std::size_t stride = engine_f.stride();
     const double worst_case =
-        static_cast<double>(stride / 16) * std::ldexp(1.0, -24);
+        static_cast<double>(std::min<std::size_t>(stride, 256) / 16) *
+        std::ldexp(1.0, -24);
     EXPECT_LE(max_error, worst_case)
         << "length " << length << " measured " << max_error;
-    if (stride <= 256) {
-      EXPECT_LT(max_error, 1e-6)
-          << "length " << length << " breaks the contract";
-    }
+    EXPECT_LT(max_error, 1e-6)
+        << "length " << length << " breaks the contract";
   }
 }
 
