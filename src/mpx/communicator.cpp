@@ -1,5 +1,6 @@
 #include "mpx/communicator.hpp"
 
+#include <sstream>
 #include <thread>
 
 namespace fv::mpx {
@@ -17,9 +18,21 @@ Mailbox& GroupState::mailbox(int rank) {
   return *mailboxes_[static_cast<std::size_t>(rank)];
 }
 
-void GroupState::barrier_wait() {
+void GroupState::install_faults(const FaultSpec& spec) {
+  if (!spec.any()) return;
+  FV_REQUIRE(spec.crash_rank < size_,
+             "crash_rank must name a rank of this group");
+  fault_plan_ = std::make_unique<FaultPlan>(spec);
+}
+
+void GroupState::barrier_wait(std::optional<Clock::time_point> deadline) {
   std::unique_lock lock(barrier_mutex_);
-  if (aborted_) throw Error("mpx group aborted during barrier");
+  if (aborted_) {
+    throw AbortError("mpx group aborted during barrier" +
+                         (abort_reason_.empty() ? std::string()
+                                                : ": " + abort_reason_),
+                     abort_rank_);
+  }
   const std::uint64_t generation = barrier_generation_;
   if (++barrier_waiting_ == size_) {
     barrier_waiting_ = 0;
@@ -27,21 +40,38 @@ void GroupState::barrier_wait() {
     barrier_cv_.notify_all();
     return;
   }
-  barrier_cv_.wait(lock, [&] {
+  const auto assembled = [&] {
     return barrier_generation_ != generation || aborted_;
-  });
+  };
+  if (deadline.has_value()) {
+    if (!barrier_cv_.wait_until(lock, *deadline, assembled)) {
+      // Withdraw this rank's arrival so the barrier's count stays honest
+      // for whoever is still waiting.
+      --barrier_waiting_;
+      throw TimeoutError("barrier deadline expired before every rank arrived");
+    }
+  } else {
+    barrier_cv_.wait(lock, assembled);
+  }
   if (aborted_ && barrier_generation_ == generation) {
-    throw Error("mpx group aborted during barrier");
+    throw AbortError("mpx group aborted during barrier" +
+                         (abort_reason_.empty() ? std::string()
+                                                : ": " + abort_reason_),
+                     abort_rank_);
   }
 }
 
-void GroupState::abort() {
+void GroupState::abort(int origin_rank, const std::string& reason) {
   {
     std::unique_lock lock(barrier_mutex_);
-    aborted_ = true;
+    if (!aborted_) {  // first abort wins the attribution
+      aborted_ = true;
+      abort_rank_ = origin_rank;
+      abort_reason_ = reason;
+    }
   }
   barrier_cv_.notify_all();
-  for (auto& mailbox : mailboxes_) mailbox->abort();
+  for (auto& mailbox : mailboxes_) mailbox->abort(origin_rank, reason);
 }
 
 bool GroupState::aborted() const {
@@ -54,6 +84,16 @@ Comm::Comm(GroupState* state, int rank) : state_(state), rank_(rank) {
   FV_REQUIRE(rank >= 0 && rank < state->size(), "rank out of range");
 }
 
+void Comm::fault_op() {
+  const FaultPlan* plan = state_->fault_plan();
+  if (plan == nullptr) return;
+  ++ops_;
+  if (plan->crash_now(rank_, ops_)) {
+    plan->stats().crashes.fetch_add(1, std::memory_order_relaxed);
+    throw RankCrashed{rank_};
+  }
+}
+
 void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
   FV_REQUIRE(tag >= 0, "user messages must use non-negative tags");
   deliver(dest, tag, std::move(payload));
@@ -61,26 +101,93 @@ void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
 
 void Comm::deliver(int dest, int tag, std::vector<std::byte> payload) {
   FV_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
+  fault_op();
   Message message;
   message.source = rank_;
   message.tag = tag;
+  const FaultPlan* plan = state_->fault_plan();
+  if (plan != nullptr) {
+    // Seal the envelope only under fault injection: the in-process
+    // transport cannot corrupt or duplicate on its own, so sealing a
+    // trusted group's messages would be pure per-byte overhead (the
+    // checksum is the one per-payload-byte cost in the whole layer).
+    message.sequence = ++next_sequence_[{dest, tag}];
+    message.checksum = payload_checksum(payload);
+  }
   message.payload = std::move(payload);
+
+  if (plan != nullptr) {
+    switch (plan->decide(rank_, dest, tag, message.sequence)) {
+      case FaultAction::kDrop:
+        plan->stats().dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case FaultAction::kDelay:
+        plan->stats().delayed.fetch_add(1, std::memory_order_relaxed);
+        // Sleeping on the sender's thread keeps per-(source, tag) FIFO
+        // order, which the mailbox's duplicate suppression relies on.
+        std::this_thread::sleep_for(plan->spec().delay);
+        break;
+      case FaultAction::kDuplicate:
+        plan->stats().duplicated.fetch_add(1, std::memory_order_relaxed);
+        state_->mailbox(dest).deliver(message);  // same sequence, twice
+        break;
+      case FaultAction::kCorrupt:
+        if (!message.payload.empty()) {
+          plan->stats().corrupted.fetch_add(1, std::memory_order_relaxed);
+          const std::size_t index =
+              plan->corrupt_index(message.sequence, message.payload.size());
+          message.payload[index] ^= std::byte{0x2a};
+          // checksum left stale: the receiver's verification must fire.
+        }
+        break;
+      case FaultAction::kNone:
+        break;
+    }
+  }
   state_->mailbox(dest).deliver(std::move(message));
 }
 
 Message Comm::recv(int source, int tag) {
+  fault_op();
   return state_->mailbox(rank_).receive(source, tag);
+}
+
+Message Comm::recv_for(std::chrono::milliseconds timeout, int source,
+                       int tag) {
+  fault_op();
+  return state_->mailbox(rank_).receive_until(Clock::now() + timeout, source,
+                                              tag);
 }
 
 std::optional<Message> Comm::try_recv(int source, int tag) {
+  fault_op();
   return state_->mailbox(rank_).try_receive(source, tag);
 }
 
-Message Comm::recv_reserved(int source, int tag) {
+std::optional<Message> Comm::try_recv_until(Clock::time_point deadline,
+                                            int source, int tag) {
+  fault_op();
+  return state_->mailbox(rank_).try_receive_until(deadline, source, tag);
+}
+
+Message Comm::recv_reserved(int source, int tag,
+                            std::optional<Clock::time_point> deadline) {
+  fault_op();
+  if (deadline.has_value()) {
+    return state_->mailbox(rank_).receive_until(*deadline, source, tag);
+  }
   return state_->mailbox(rank_).receive(source, tag);
 }
 
-void Comm::barrier() { state_->barrier_wait(); }
+void Comm::barrier() {
+  fault_op();
+  state_->barrier_wait();
+}
+
+void Comm::barrier(std::chrono::milliseconds timeout) {
+  fault_op();
+  state_->barrier_wait(Clock::now() + timeout);
+}
 
 void Comm::check_root(int root) const {
   FV_REQUIRE(root >= 0 && root < size(), "collective root out of range");
@@ -119,28 +226,85 @@ double Comm::all_reduce_sum(double value) {
   return total;
 }
 
-void run_group(int ranks, const std::function<void(Comm&)>& body) {
+namespace {
+
+/// What one rank's thread left behind.
+struct RankOutcome {
+  std::exception_ptr error;   ///< null = clean exit (or simulated crash)
+  bool abort_victim = false;  ///< failure was an AbortError (secondary)
+  std::string what;
+};
+
+void run_group_impl(int ranks, const std::function<void(Comm&)>& body,
+                    const FaultSpec* faults) {
   FV_REQUIRE(ranks >= 1, "group needs at least one rank");
   FV_REQUIRE(body != nullptr, "group body must be callable");
   GroupState state(ranks);
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
+  if (faults != nullptr) state.install_faults(*faults);
+  std::vector<RankOutcome> outcomes(static_cast<std::size_t>(ranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
     threads.emplace_back([&, r] {
+      auto& outcome = outcomes[static_cast<std::size_t>(r)];
       try {
         Comm comm(&state, r);
         body(comm);
+      } catch (const RankCrashed&) {
+        // Simulated node death: the thread exits silently, no abort — the
+        // rest of the group only notices through its own deadlines.
+      } catch (const AbortError& e) {
+        // Victim of someone else's failure: secondary, never aborts again.
+        outcome = {std::current_exception(), true, e.what()};
+      } catch (const std::exception& e) {
+        outcome = {std::current_exception(), false, e.what()};
+        state.abort(r, e.what());
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        state.abort();
+        outcome = {std::current_exception(), false, "non-standard exception"};
+        state.abort(r, "non-standard exception");
       }
     });
   }
   for (std::thread& thread : threads) thread.join();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
+
+  std::vector<GroupFailure::RankError> primaries;
+  for (int r = 0; r < ranks; ++r) {
+    const auto& outcome = outcomes[static_cast<std::size_t>(r)];
+    if (outcome.error && !outcome.abort_victim) {
+      primaries.push_back({r, outcome.what});
+    }
   }
+  if (primaries.size() == 1) {
+    for (const auto& outcome : outcomes) {
+      if (outcome.error && !outcome.abort_victim) {
+        std::rethrow_exception(outcome.error);
+      }
+    }
+  }
+  if (primaries.size() > 1) {
+    std::ostringstream os;
+    os << primaries.size() << " of " << ranks << " ranks failed";
+    for (const auto& failure : primaries) {
+      os << "; rank " << failure.rank << ": " << failure.what;
+    }
+    throw GroupFailure(os.str(), std::move(primaries));
+  }
+  // No primary failure: surface a stray abort victim if one exists (e.g.
+  // someone called GroupState::abort directly).
+  for (const auto& outcome : outcomes) {
+    if (outcome.error) std::rethrow_exception(outcome.error);
+  }
+}
+
+}  // namespace
+
+void run_group(int ranks, const std::function<void(Comm&)>& body) {
+  run_group_impl(ranks, body, nullptr);
+}
+
+void run_group(int ranks, const std::function<void(Comm&)>& body,
+               const FaultSpec& faults) {
+  run_group_impl(ranks, body, &faults);
 }
 
 }  // namespace fv::mpx

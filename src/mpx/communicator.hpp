@@ -1,45 +1,79 @@
 // Communicator: the per-rank handle for point-to-point messaging and
 // collective operations, mirroring the MPI subset the display-wall code
 // needs (send/recv, barrier, broadcast, scatter, gather, reduce).
+//
+// Robustness surface (see src/mpx/README.md for the full contracts):
+//  * under fault injection every send seals an envelope (per-(dest, tag)
+//    sequence + payload checksum) — corruption surfaces as
+//    fv::CorruptMessageError at the receiver, duplicates are suppressed by
+//    the mailbox; a trusted group skips sealing (the in-process transport
+//    cannot corrupt bytes on its own, so it would be pure overhead);
+//  * bounded waits: recv_for / try_recv_until, and deadline overloads of
+//    barrier / broadcast / gather that throw fv::TimeoutError;
+//  * aborts are attributed: victims of a group failure get fv::AbortError
+//    carrying the originating rank and reason;
+//  * a seeded FaultPlan can be installed per group to deterministically
+//    drop / delay / duplicate / corrupt messages or crash a rank mid-run
+//    (zero cost when absent).
 #pragma once
 
+#include <chrono>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "mpx/fault.hpp"
 #include "mpx/mailbox.hpp"
 #include "mpx/message.hpp"
 
 namespace fv::mpx {
 
-/// State shared by every rank of one group: mailboxes plus barrier bookkeeping.
+/// State shared by every rank of one group: mailboxes plus barrier
+/// bookkeeping plus the (optional) fault plan.
 class GroupState {
  public:
+  using Clock = std::chrono::steady_clock;
+
   explicit GroupState(int size);
 
   int size() const noexcept { return size_; }
   Mailbox& mailbox(int rank);
 
-  /// Sense-reversing central barrier; throws if the group aborts.
-  void barrier_wait();
+  /// Installs a deterministic fault plan. Call before any rank starts
+  /// communicating; no-op when the spec would change nothing.
+  void install_faults(const FaultSpec& spec);
+  const FaultPlan* fault_plan() const noexcept { return fault_plan_.get(); }
 
-  /// Marks the group failed and wakes every blocked rank.
-  void abort();
+  /// Sense-reversing central barrier; throws AbortError if the group aborts.
+  /// With a deadline, throws TimeoutError when not every rank arrives in
+  /// time — the timed-out rank withdraws its arrival, so the barrier state
+  /// stays consistent (the surviving ranks keep waiting; a typical caller
+  /// lets the TimeoutError abort the group, unblocking them).
+  void barrier_wait(std::optional<Clock::time_point> deadline = std::nullopt);
+
+  /// Marks the group failed and wakes every blocked rank. origin_rank/reason
+  /// are carried into the AbortError every victim sees (-1 = unattributed).
+  void abort(int origin_rank = -1, const std::string& reason = {});
   bool aborted() const;
 
  private:
   const int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::unique_ptr<const FaultPlan> fault_plan_;
 
   mutable std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_waiting_ = 0;
   std::uint64_t barrier_generation_ = 0;
   bool aborted_ = false;
+  int abort_rank_ = -1;
+  std::string abort_reason_;
 };
 
 /// Reserved (negative) tags used internally by collectives. User tags must
-/// be non-negative.
+/// be non-negative. Reserved traffic is never fault-injected.
 namespace reserved_tag {
 inline constexpr int kBroadcast = -2;
 inline constexpr int kGather = -3;
@@ -48,23 +82,65 @@ inline constexpr int kScatter = -5;
 inline constexpr int kAllGather = -6;
 }  // namespace reserved_tag
 
+/// More than one rank failed for an independent reason: every per-rank
+/// failure is aggregated here (rank id + what()) instead of silently
+/// discarding all but one, so multi-rank failures stay diagnosable.
+class GroupFailure : public Error {
+ public:
+  struct RankError {
+    int rank = -1;
+    std::string what;
+  };
+
+  GroupFailure(const std::string& message, std::vector<RankError> failures)
+      : Error(message), failures_(std::move(failures)) {}
+
+  const std::vector<RankError>& failures() const noexcept {
+    return failures_;
+  }
+
+ private:
+  std::vector<RankError> failures_;
+};
+
 class Comm {
  public:
+  using Clock = std::chrono::steady_clock;
+
   Comm(GroupState* state, int rank);
 
   int rank() const noexcept { return rank_; }
   int size() const noexcept { return state_->size(); }
 
+  /// Fault counters of the installed plan, or nullptr without one.
+  const FaultStats* fault_stats() const noexcept {
+    const FaultPlan* plan = state_->fault_plan();
+    return plan == nullptr ? nullptr : &plan->stats();
+  }
+
   // -- point to point ------------------------------------------------------
 
-  /// Sends a raw payload; tag must be >= 0 for user traffic.
+  /// Sends a raw payload; tag must be >= 0 for user traffic. Never blocks
+  /// (in-process delivery is an enqueue). When the group has a fault plan,
+  /// the envelope is sealed (sequence + checksum) before any fault
+  /// injection, so tampering is detectable.
   void send(int dest, int tag, std::vector<std::byte> payload);
 
   /// Blocking receive; wildcards allowed.
   Message recv(int source = kAnySource, int tag = kAnyTag);
 
+  /// Bounded-wait receive: throws fv::TimeoutError after `timeout`.
+  Message recv_for(std::chrono::milliseconds timeout,
+                   int source = kAnySource, int tag = kAnyTag);
+
   /// Non-blocking receive.
   std::optional<Message> try_recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Bounded-wait receive: nullopt once `deadline` passes (never throws
+  /// TimeoutError; AbortError / CorruptMessageError still propagate).
+  std::optional<Message> try_recv_until(Clock::time_point deadline,
+                                        int source = kAnySource,
+                                        int tag = kAnyTag);
 
   template <typename T>
   void send_value(int dest, int tag, const T& value) {
@@ -101,45 +177,33 @@ class Comm {
   // -- collectives (every rank of the group must participate) --------------
 
   void barrier();
+  /// Deadline barrier: throws fv::TimeoutError if the group does not
+  /// assemble within `timeout`.
+  void barrier(std::chrono::milliseconds timeout);
 
   /// Root's buffer is distributed to every rank (buffer is replaced on
-  /// non-root ranks; sizes may differ per call).
+  /// non-root ranks; sizes may differ per call). The deadline overload
+  /// bounds the non-root wait for the root's message.
   template <typename T>
   void broadcast(int root, std::vector<T>& data) {
-    check_root(root);
-    if (rank_ == root) {
-      for (int dest = 0; dest < size(); ++dest) {
-        if (dest == rank_) continue;
-        PayloadWriter writer;
-        writer.write_span(std::span<const T>(data));
-        deliver(dest, reserved_tag::kBroadcast, writer.take());
-      }
-    } else {
-      Message message = recv_reserved(root, reserved_tag::kBroadcast);
-      PayloadReader reader(message.payload);
-      data = reader.read_vector<T>();
-    }
+    broadcast_impl(root, data, std::nullopt);
+  }
+  template <typename T>
+  void broadcast(int root, std::vector<T>& data,
+                 std::chrono::milliseconds timeout) {
+    broadcast_impl(root, data, Clock::now() + timeout);
   }
 
   /// Root collects one vector per rank (ordered by rank); non-roots get {}.
+  /// The deadline overload bounds the root's wait for each contribution.
   template <typename T>
   std::vector<std::vector<T>> gather(int root, std::span<const T> mine) {
-    check_root(root);
-    if (rank_ != root) {
-      PayloadWriter writer;
-      writer.write_span(mine);
-      deliver(root, reserved_tag::kGather, writer.take());
-      return {};
-    }
-    std::vector<std::vector<T>> parts(static_cast<std::size_t>(size()));
-    parts[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
-    for (int source = 0; source < size(); ++source) {
-      if (source == rank_) continue;
-      Message message = recv_reserved(source, reserved_tag::kGather);
-      PayloadReader reader(message.payload);
-      parts[static_cast<std::size_t>(source)] = reader.read_vector<T>();
-    }
-    return parts;
+    return gather_impl(root, mine, std::nullopt);
+  }
+  template <typename T>
+  std::vector<std::vector<T>> gather(int root, std::span<const T> mine,
+                                     std::chrono::milliseconds timeout) {
+    return gather_impl(root, mine, Clock::now() + timeout);
   }
 
   /// Every rank receives every rank's value, ordered by rank.
@@ -193,17 +257,83 @@ class Comm {
 
  private:
   void check_root(int root) const;
-  /// Internal delivery used by collectives (reserved tags allowed).
+  /// Internal delivery used by collectives (reserved tags allowed); seals
+  /// the envelope and applies the fault plan (user tags only).
   void deliver(int dest, int tag, std::vector<std::byte> payload);
-  Message recv_reserved(int source, int tag);
+  Message recv_reserved(int source, int tag,
+                        std::optional<Clock::time_point> deadline =
+                            std::nullopt);
+  /// Per-rank op counter for the crash fault; throws RankCrashed at the
+  /// configured op. No-op without a fault plan.
+  void fault_op();
+
+  template <typename T>
+  void broadcast_impl(int root, std::vector<T>& data,
+                      std::optional<Clock::time_point> deadline) {
+    check_root(root);
+    if (rank_ == root) {
+      for (int dest = 0; dest < size(); ++dest) {
+        if (dest == rank_) continue;
+        PayloadWriter writer;
+        writer.write_span(std::span<const T>(data));
+        deliver(dest, reserved_tag::kBroadcast, writer.take());
+      }
+    } else {
+      Message message =
+          recv_reserved(root, reserved_tag::kBroadcast, deadline);
+      PayloadReader reader(message.payload);
+      data = reader.read_vector<T>();
+    }
+  }
+
+  template <typename T>
+  std::vector<std::vector<T>> gather_impl(
+      int root, std::span<const T> mine,
+      std::optional<Clock::time_point> deadline) {
+    check_root(root);
+    if (rank_ != root) {
+      PayloadWriter writer;
+      writer.write_span(mine);
+      deliver(root, reserved_tag::kGather, writer.take());
+      return {};
+    }
+    std::vector<std::vector<T>> parts(static_cast<std::size_t>(size()));
+    parts[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
+    for (int source = 0; source < size(); ++source) {
+      if (source == rank_) continue;
+      Message message =
+          recv_reserved(source, reserved_tag::kGather, deadline);
+      PayloadReader reader(message.payload);
+      parts[static_cast<std::size_t>(source)] = reader.read_vector<T>();
+    }
+    return parts;
+  }
 
   GroupState* state_;
   int rank_;
+  /// Next sequence number per (dest, tag); Comm lives on one rank's thread,
+  /// so no locking. Sequences start at 1 (0 = unsequenced sentinel).
+  std::map<std::pair<int, int>, std::uint64_t> next_sequence_;
+  /// Count of this rank's mpx operations (sends + receives), for the
+  /// crash-at-op fault. Only advanced when a fault plan is installed.
+  std::uint64_t ops_ = 0;
 };
 
 /// Runs `body` once per rank on dedicated threads and joins them.
-/// If any rank throws, the group is aborted (unblocking the others) and the
-/// lowest-rank exception is rethrown.
+///
+/// Failure semantics: a rank that throws aborts the group (unblocking every
+/// other rank with an attributed AbortError). After the join, failures are
+/// aggregated: ranks that merely died of the abort (AbortError victims) are
+/// secondary; if exactly one rank failed for its own reason, that original
+/// exception is rethrown; if several did, a GroupFailure listing every
+/// (rank, what()) is thrown. Ranks crashed by a fault plan exit silently —
+/// a simulated lost node is not an error here; survivors see it only
+/// through their own deadlines.
 void run_group(int ranks, const std::function<void(Comm&)>& body);
+
+/// As above, with a deterministic fault plan installed for the group's
+/// lifetime. `faults` with nothing enabled behaves exactly like run_group.
+void run_group(int ranks, const std::function<void(Comm&)>& body,
+               const FaultSpec& faults);
 
 }  // namespace fv::mpx

@@ -1,0 +1,76 @@
+#include "mpx/fault.hpp"
+
+#include <algorithm>
+
+namespace fv::mpx {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// One deterministic uniform draw in [0, 1) per message envelope.
+double uniform_draw(std::uint64_t seed, int source, int dest, int tag,
+                    std::uint64_t sequence, std::uint64_t stream) {
+  std::uint64_t h = mix64(seed ^ (stream * 0x9e3779b97f4a7c15ull));
+  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source))
+                 << 32) ^
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest)));
+  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag))
+                 << 32) ^
+            sequence);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultSpec spec) : spec_(std::move(spec)) {
+  const double rates[] = {spec_.drop_rate, spec_.delay_rate,
+                          spec_.duplicate_rate, spec_.corrupt_rate};
+  double sum = 0.0;
+  for (const double rate : rates) {
+    FV_REQUIRE(rate >= 0.0 && rate <= 1.0,
+               "fault rates must lie in [0, 1]");
+    sum += rate;
+  }
+  FV_REQUIRE(sum <= 1.0 + 1e-12,
+             "fault rates partition one draw; their sum must be <= 1");
+  FV_REQUIRE(spec_.delay.count() >= 0, "fault delay must be non-negative");
+  FV_REQUIRE(spec_.crash_rank < 0 || spec_.crash_at_op >= 1,
+             "crash_at_op is 1-based");
+}
+
+FaultAction FaultPlan::decide(int source, int dest, int tag,
+                              std::uint64_t sequence) const {
+  if (tag < 0) return FaultAction::kNone;  // reserved collective traffic
+  if (std::find(spec_.exempt_tags.begin(), spec_.exempt_tags.end(), tag) !=
+      spec_.exempt_tags.end()) {
+    return FaultAction::kNone;
+  }
+  const double u = uniform_draw(spec_.seed, source, dest, tag, sequence, 1);
+  double edge = spec_.drop_rate;
+  if (u < edge) return FaultAction::kDrop;
+  edge += spec_.delay_rate;
+  if (u < edge) return FaultAction::kDelay;
+  edge += spec_.duplicate_rate;
+  if (u < edge) return FaultAction::kDuplicate;
+  edge += spec_.corrupt_rate;
+  if (u < edge) return FaultAction::kCorrupt;
+  return FaultAction::kNone;
+}
+
+std::size_t FaultPlan::corrupt_index(std::uint64_t sequence,
+                                     std::size_t payload_size) const {
+  FV_REQUIRE(payload_size > 0, "cannot pick a corrupt index in empty payload");
+  return static_cast<std::size_t>(
+      mix64(spec_.seed ^ (sequence * 0xd1342543de82ef95ull)) % payload_size);
+}
+
+}  // namespace fv::mpx

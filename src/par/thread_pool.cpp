@@ -17,20 +17,26 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::unique_lock lock(mutex_);
+    if (stopping_) return;  // idempotent (destructor after explicit stop)
     stopping_ = true;
   }
   work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   FV_REQUIRE(task != nullptr, "cannot submit an empty task");
   {
     std::unique_lock lock(mutex_);
-    FV_REQUIRE(!stopping_, "cannot submit to a stopping pool");
+    // Submitting once stop() has begun would otherwise be a silent race:
+    // a task enqueued after the workers saw `stopping_` would never run.
+    FV_REQUIRE(!stopping_, "cannot submit to a stopped/stopping pool");
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
@@ -113,8 +119,11 @@ void submit_and_wait(ThreadPool& pool, std::size_t count,
       {
         std::unique_lock lock(done_mutex);
         --remaining;
+        // Notify under the lock: done_cv lives on the waiter's stack, and
+        // an unlocked notify could race its destruction once the waiter
+        // observes remaining == 0.
+        done_cv.notify_one();
       }
-      done_cv.notify_one();
     });
   }
   std::unique_lock lock(done_mutex);

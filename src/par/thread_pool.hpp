@@ -24,8 +24,13 @@ class ThreadPool {
   /// Spawns `threads` workers (defaults to hardware concurrency, minimum 1).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains outstanding work, then joins the workers.
+  /// Drains outstanding work, then joins the workers (via stop()).
   ~ThreadPool();
+
+  /// Drains outstanding work, joins the workers, and rejects all further
+  /// submits. Idempotent; safe to race with submit() from other threads —
+  /// a submit that loses the race throws instead of being silently dropped.
+  void stop();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;

@@ -52,6 +52,37 @@ class LogicError : public Error {
   using Error::Error;
 };
 
+/// A bounded-wait operation's deadline expired before it completed
+/// (mpx deadline receives and collectives, future serving-layer job waits).
+class TimeoutError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A message failed its envelope integrity check: the payload checksum no
+/// longer matches what the sender sealed, so the bytes were truncated or
+/// corrupted in transit. Surfaced *before* payload decoding, so consumers
+/// never see a garbage PayloadReader stream.
+class CorruptMessageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A cooperating group (mpx ranks) was aborted while this participant was
+/// blocked. Carries the rank whose failure originated the abort (-1 when the
+/// abort was not attributed to a rank) so victims see *why* they died.
+class AbortError : public Error {
+ public:
+  explicit AbortError(const std::string& message, int origin_rank = -1)
+      : Error(message), origin_rank_(origin_rank) {}
+
+  /// Rank whose failure triggered the abort, or -1 when unknown.
+  int origin_rank() const noexcept { return origin_rank_; }
+
+ private:
+  int origin_rank_ = -1;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_check_failure(std::string_view kind,

@@ -1,6 +1,7 @@
 #include "wall/wall_display.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "mpx/communicator.hpp"
 #include "util/error.hpp"
@@ -20,9 +21,17 @@ layout::Rect WallSpec::tile_rect(std::size_t index) const {
 
 namespace {
 
+// Wire tags. kTagCommands drives the trusting fast path (one stream per
+// node, node renders everything it owns, no recovery). kTagWork/kTagShutdown
+// drive the fault-tolerant work loop: a work message names explicit tiles so
+// the master can re-send or re-assign any subset; shutdown is control
+// traffic and is auto-exempted from fault injection so termination stays
+// bounded even under 100% message loss on data tags.
 constexpr int kTagCommands = 1;
 constexpr int kTagPixels = 2;
 constexpr int kTagStats = 3;
+constexpr int kTagWork = 4;
+constexpr int kTagShutdown = 5;
 
 /// Commands whose bounds intersect `region`, in stream order.
 CommandList cull_for_region(const CommandList& commands,
@@ -30,6 +39,26 @@ CommandList cull_for_region(const CommandList& commands,
   CommandList kept;
   for (const RenderCommand& command : commands) {
     if (layout::overlaps(command.bounds(), region)) kept.push_back(command);
+  }
+  return kept;
+}
+
+/// Commands needed by any tile of `tiles`, in stream order (the "command
+/// substream" a retry or reassignment ships).
+CommandList cull_for_tiles(const CommandList& commands, const WallSpec& spec,
+                           const std::vector<std::size_t>& tiles) {
+  std::vector<layout::Rect> rects;
+  rects.reserve(tiles.size());
+  for (const std::size_t tile : tiles) rects.push_back(spec.tile_rect(tile));
+  CommandList kept;
+  for (const RenderCommand& command : commands) {
+    const layout::Rect bounds = command.bounds();
+    for (const layout::Rect& rect : rects) {
+      if (layout::overlaps(bounds, rect)) {
+        kept.push_back(command);
+        break;
+      }
+    }
   }
   return kept;
 }
@@ -50,31 +79,40 @@ struct NodeReport {
   std::uint64_t executed = 0;
 };
 
-}  // namespace
-
-render::Framebuffer render_reference(const CommandList& commands,
-                                     std::size_t width, std::size_t height) {
-  render::Framebuffer fb(width, height);
-  replay_commands(fb, commands, 0, 0);
-  return fb;
+/// Rasterizes one tile of the command stream (deterministic — this is what
+/// makes every recovery rung pixel-identical: any node, or the master, can
+/// re-render any tile and produce the same bytes).
+render::Framebuffer raster_tile(const CommandList& commands,
+                                const layout::Rect& rect,
+                                std::uint64_t* executed) {
+  render::Framebuffer tile_fb(static_cast<std::size_t>(rect.width),
+                              static_cast<std::size_t>(rect.height));
+  const std::size_t count =
+      replay_commands(tile_fb, commands, rect.x, rect.y);
+  if (executed != nullptr) *executed += count;
+  return tile_fb;
 }
 
-FrameResult render_wall_frame(const CommandList& commands,
-                              const WallSpec& spec, Distribution distribution,
-                              std::size_t node_count) {
-  FV_REQUIRE(spec.tile_count() >= 1, "wall needs at least one tile");
-  if (node_count == 0) node_count = spec.tile_count();
-  node_count = std::min(node_count, spec.tile_count());
+/// Pixel payload: the tile index packed into the first Rgb8 (16-bit), then
+/// the tile's pixels row-major.
+std::vector<render::Rgb8> pack_tile_pixels(std::size_t tile,
+                                           const render::Framebuffer& fb) {
+  std::vector<render::Rgb8> pixels;
+  pixels.reserve(fb.pixel_count() + 1);
+  pixels.push_back(render::Rgb8{static_cast<std::uint8_t>(tile & 0xff),
+                                static_cast<std::uint8_t>((tile >> 8) & 0xff),
+                                0});
+  pixels.insert(pixels.end(), fb.pixels().begin(), fb.pixels().end());
+  return pixels;
+}
 
-  FrameResult result;
-  result.frame =
-      render::Framebuffer(spec.total_width(), spec.total_height());
-  result.stats.commands_total = commands.size();
-  result.stats.pixels = spec.total_pixels();
+// ---------------------------------------------------------------------------
+// Trusting fast path (tile_deadline == 0): the pre-robustness protocol,
+// byte-for-byte. No deadlines, no recovery — a lost node blocks the frame.
 
-  Timer frame_timer;
-  // Rank 0 = master (holds the command stream, composites); ranks 1..N are
-  // the per-tile cluster nodes.
+void run_trusting_frame(const CommandList& commands, const WallSpec& spec,
+                        Distribution distribution, std::size_t node_count,
+                        FrameResult& result) {
   const int ranks = static_cast<int>(node_count) + 1;
   mpx::run_group(ranks, [&](mpx::Comm& comm) {
     if (comm.rank() == 0) {
@@ -150,20 +188,10 @@ FrameResult render_wall_frame(const CommandList& commands,
            tiles_of_node(static_cast<std::size_t>(comm.rank() - 1),
                          node_count, spec.tile_count())) {
         const layout::Rect rect = spec.tile_rect(tile);
-        render::Framebuffer tile_fb(static_cast<std::size_t>(rect.width),
-                                    static_cast<std::size_t>(rect.height));
-        report.executed +=
-            replay_commands(tile_fb, node_commands, rect.x, rect.y);
-        // Prefix the pixel payload with the tile index (16-bit, packed into
-        // one Rgb8) so the master can composite out-of-order arrivals.
-        std::vector<render::Rgb8> pixels;
-        pixels.reserve(tile_fb.pixel_count() + 1);
-        pixels.push_back(render::Rgb8{
-            static_cast<std::uint8_t>(tile & 0xff),
-            static_cast<std::uint8_t>((tile >> 8) & 0xff), 0});
-        pixels.insert(pixels.end(), tile_fb.pixels().begin(),
-                      tile_fb.pixels().end());
-        comm.send_vector<render::Rgb8>(0, kTagPixels, pixels);
+        render::Framebuffer tile_fb =
+            raster_tile(node_commands, rect, &report.executed);
+        comm.send_vector<render::Rgb8>(0, kTagPixels,
+                                       pack_tile_pixels(tile, tile_fb));
       }
       report.render_seconds = render_timer.seconds();
       const std::vector<double> packed{
@@ -171,6 +199,298 @@ FrameResult render_wall_frame(const CommandList& commands,
       comm.send_vector<double>(0, kTagStats, packed);
     }
   });
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant path (tile_deadline > 0): explicit work messages, bounded
+// waits, and the degradation ladder.
+
+/// Work message: [tile count, tile ids..., command stream].
+std::vector<std::byte> pack_work(const std::vector<std::size_t>& tiles,
+                                 const CommandList& commands) {
+  mpx::PayloadWriter writer;
+  writer.write<std::uint64_t>(tiles.size());
+  for (const std::size_t tile : tiles) {
+    writer.write<std::uint64_t>(static_cast<std::uint64_t>(tile));
+  }
+  write_commands(writer, commands);
+  return writer.take();
+}
+
+void run_fault_tolerant_master(mpx::Comm& comm, const CommandList& commands,
+                               const WallSpec& spec,
+                               const WallOptions& options,
+                               std::size_t node_count, FrameResult& result) {
+  using Clock = mpx::Comm::Clock;
+  const std::size_t tile_count = spec.tile_count();
+  const int ranks = static_cast<int>(node_count) + 1;
+
+  const auto send_work = [&](int node, const std::vector<std::size_t>& tiles,
+                             bool full_stream) {
+    const CommandList subset =
+        full_stream ? CommandList{} : cull_for_tiles(commands, spec, tiles);
+    auto payload = pack_work(tiles, full_stream ? commands : subset);
+    result.stats.bytes_distributed += payload.size();
+    comm.send(node, kTagWork, std::move(payload));
+  };
+
+  // Initial distribution: the legacy round-robin ownership. Broadcast ships
+  // the full stream (nodes cull per tile); point-to-point ships each node
+  // only the substream its tiles need.
+  for (int node = 1; node < ranks; ++node) {
+    send_work(node,
+              tiles_of_node(static_cast<std::size_t>(node - 1), node_count,
+                            tile_count),
+              options.distribution == Distribution::kBroadcast);
+  }
+
+  std::vector<char> done(tile_count, 0);
+  std::vector<char> alive(static_cast<std::size_t>(ranks), 0);
+  std::size_t remaining = tile_count;
+
+  // Drains pixel messages until every tile landed or the window closes.
+  // Corrupt messages are dropped (their tiles stay pending — the ladder
+  // recovers them); duplicates are suppressed by the mailbox and late
+  // arrivals for already-done tiles are ignored here.
+  const auto collect_until = [&](Clock::time_point window) {
+    while (remaining > 0) {
+      std::optional<mpx::Message> message;
+      try {
+        message = comm.try_recv_until(window, mpx::kAnySource, kTagPixels);
+      } catch (const CorruptMessageError&) {
+        ++result.stats.corrupt_messages;
+        continue;
+      }
+      if (!message.has_value()) return;
+      alive[static_cast<std::size_t>(message->source)] = 1;
+      mpx::PayloadReader reader(message->payload);
+      const auto pixels = reader.read_vector<render::Rgb8>();
+      FV_ASSERT(!pixels.empty(), "tile pixel message is empty");
+      const auto tile_index =
+          static_cast<std::size_t>(pixels.front().r) +
+          (static_cast<std::size_t>(pixels.front().g) << 8);
+      FV_ASSERT(tile_index < tile_count, "tile index out of range");
+      if (done[tile_index]) continue;  // re-render of a recovered tile
+      const layout::Rect rect = spec.tile_rect(tile_index);
+      render::Framebuffer tile_fb(static_cast<std::size_t>(rect.width),
+                                  static_cast<std::size_t>(rect.height));
+      FV_ASSERT(pixels.size() == tile_fb.pixel_count() + 1,
+                "tile pixel payload has wrong size");
+      for (std::size_t i = 0; i < tile_fb.pixel_count(); ++i) {
+        tile_fb.set(i % tile_fb.width(), i / tile_fb.width(), pixels[i + 1]);
+      }
+      result.frame.blit(tile_fb, rect.x, rect.y);
+      done[tile_index] = 1;
+      --remaining;
+    }
+  };
+
+  const auto pending_tiles = [&] {
+    std::vector<std::size_t> pending;
+    for (std::size_t t = 0; t < tile_count; ++t) {
+      if (!done[t]) pending.push_back(t);
+    }
+    return pending;
+  };
+
+  // Rung 1: the healthy window.
+  collect_until(Clock::now() + options.tile_deadline);
+
+  // Rung 2: one bounded retry — resend each missing tile's command
+  // substream to its owner node after a backoff (a slow node gets a second
+  // chance; a dead one will miss this window too).
+  if (remaining > 0) {
+    result.stats.degraded = true;
+    result.stats.retries += remaining;
+    std::this_thread::sleep_for(options.retry_backoff);
+    std::vector<std::vector<std::size_t>> by_owner(
+        static_cast<std::size_t>(ranks));
+    for (const std::size_t tile : pending_tiles()) {
+      by_owner[1 + tile % node_count].push_back(tile);
+    }
+    for (int node = 1; node < ranks; ++node) {
+      const auto& tiles = by_owner[static_cast<std::size_t>(node)];
+      if (!tiles.empty()) send_work(node, tiles, false);
+    }
+    collect_until(Clock::now() + options.tile_deadline);
+  }
+
+  // Rung 3: reassign orphaned tiles to nodes that have proven alive (they
+  // delivered at least one pixel message this frame).
+  if (remaining > 0) {
+    std::vector<int> survivors;
+    for (int node = 1; node < ranks; ++node) {
+      if (alive[static_cast<std::size_t>(node)]) survivors.push_back(node);
+    }
+    if (!survivors.empty()) {
+      result.stats.degraded = true;
+      result.stats.reassigned_tiles += remaining;
+      std::vector<std::vector<std::size_t>> by_survivor(survivors.size());
+      std::size_t next = 0;
+      for (const std::size_t tile : pending_tiles()) {
+        by_survivor[next++ % survivors.size()].push_back(tile);
+      }
+      for (std::size_t s = 0; s < survivors.size(); ++s) {
+        if (!by_survivor[s].empty()) {
+          send_work(survivors[s], by_survivor[s], false);
+        }
+      }
+      collect_until(Clock::now() + options.tile_deadline);
+    }
+  }
+
+  // Rung 4: the master rasters whatever is still missing itself. Tile
+  // rasterization is deterministic, so this is pixel-identical to what the
+  // lost node would have produced — the frame completes, always.
+  if (remaining > 0) {
+    result.stats.degraded = true;
+    for (const std::size_t tile : pending_tiles()) {
+      const layout::Rect rect = spec.tile_rect(tile);
+      std::uint64_t executed = 0;
+      const render::Framebuffer tile_fb =
+          raster_tile(cull_for_region(commands, rect), rect, &executed);
+      result.frame.blit(tile_fb, rect.x, rect.y);
+      result.stats.commands_executed += static_cast<std::size_t>(executed);
+      ++result.stats.master_rastered_tiles;
+      done[tile] = 1;
+      --remaining;
+    }
+  }
+
+  // Orderly shutdown (the control tag is fault-exempt, so this always
+  // arrives; the node-side watchdog is only a backstop for a dead master).
+  for (int node = 1; node < ranks; ++node) {
+    comm.send(node, kTagShutdown, {});
+  }
+
+  // Best-effort node-report drain: reports ride the faulty data tags, so
+  // under injection these counters may undercount — they are diagnostics,
+  // never correctness.
+  for (;;) {
+    std::optional<mpx::Message> message;
+    try {
+      message = comm.try_recv(mpx::kAnySource, kTagStats);
+    } catch (const CorruptMessageError&) {
+      ++result.stats.corrupt_messages;
+      continue;
+    }
+    if (!message.has_value()) break;
+    mpx::PayloadReader reader(message->payload);
+    const auto report = reader.read_vector<double>();
+    if (report.size() != 2) continue;
+    result.stats.max_node_render_seconds =
+        std::max(result.stats.max_node_render_seconds, report[0]);
+    result.stats.commands_executed += static_cast<std::size_t>(report[1]);
+  }
+}
+
+void run_fault_tolerant_node(mpx::Comm& comm, const WallSpec& spec,
+                             const WallOptions& options) {
+  using Clock = mpx::Comm::Clock;
+  // Idle watchdog: if the master goes silent this long, assume the frame is
+  // over (e.g. the shutdown message itself was lost to fault injection) and
+  // exit — a node can never hang the group. Derived generously from the
+  // master's ladder span: 4 windows + backoff + slack.
+  const auto watchdog =
+      options.node_watchdog.count() > 0
+          ? options.node_watchdog
+          : options.tile_deadline * 8 + options.retry_backoff * 4 +
+                std::chrono::milliseconds(250);
+  for (;;) {
+    std::optional<mpx::Message> message;
+    try {
+      message = comm.try_recv_until(Clock::now() + watchdog, 0, mpx::kAnyTag);
+    } catch (const CorruptMessageError&) {
+      continue;  // a corrupt request is recovered by the master's ladder
+    }
+    if (!message.has_value() || message->tag == kTagShutdown) break;
+    if (message->tag != kTagWork) continue;
+
+    mpx::PayloadReader reader(message->payload);
+    const auto count = reader.read<std::uint64_t>();
+    std::vector<std::size_t> tiles(static_cast<std::size_t>(count));
+    for (auto& tile : tiles) {
+      tile = static_cast<std::size_t>(reader.read<std::uint64_t>());
+    }
+    const CommandList node_commands = read_commands(reader);
+
+    NodeReport report;
+    Timer render_timer;
+    for (const std::size_t tile : tiles) {
+      const layout::Rect rect = spec.tile_rect(tile);
+      const render::Framebuffer tile_fb =
+          raster_tile(node_commands, rect, &report.executed);
+      comm.send_vector<render::Rgb8>(0, kTagPixels,
+                                     pack_tile_pixels(tile, tile_fb));
+    }
+    report.render_seconds = render_timer.seconds();
+    const std::vector<double> packed{
+        report.render_seconds, static_cast<double>(report.executed)};
+    comm.send_vector<double>(0, kTagStats, packed);
+  }
+}
+
+}  // namespace
+
+render::Framebuffer render_reference(const CommandList& commands,
+                                     std::size_t width, std::size_t height) {
+  render::Framebuffer fb(width, height);
+  replay_commands(fb, commands, 0, 0);
+  return fb;
+}
+
+FrameResult render_wall_frame(const CommandList& commands,
+                              const WallSpec& spec, Distribution distribution,
+                              std::size_t node_count) {
+  WallOptions options;
+  options.distribution = distribution;
+  options.node_count = node_count;
+  return render_wall_frame(commands, spec, options);
+}
+
+FrameResult render_wall_frame(const CommandList& commands,
+                              const WallSpec& spec,
+                              const WallOptions& options) {
+  FV_REQUIRE(spec.tile_count() >= 1, "wall needs at least one tile");
+  std::size_t node_count = options.node_count;
+  if (node_count == 0) node_count = spec.tile_count();
+  node_count = std::min(node_count, spec.tile_count());
+
+  const bool fault_tolerant = options.tile_deadline.count() > 0;
+  FV_REQUIRE(!options.faults.any() || fault_tolerant,
+             "fault injection requires a tile deadline: the trusting path "
+             "cannot recover a lost message");
+  FV_REQUIRE(options.faults.crash_rank != 0,
+             "rank 0 is the wall master and must survive the frame");
+
+  FrameResult result;
+  result.frame =
+      render::Framebuffer(spec.total_width(), spec.total_height());
+  result.stats.commands_total = commands.size();
+  result.stats.pixels = spec.total_pixels();
+
+  Timer frame_timer;
+  // Rank 0 = master (holds the command stream, composites); ranks 1..N are
+  // the per-tile cluster nodes.
+  const int ranks = static_cast<int>(node_count) + 1;
+  if (!fault_tolerant) {
+    run_trusting_frame(commands, spec, options.distribution, node_count,
+                       result);
+  } else {
+    mpx::FaultSpec faults = options.faults;
+    faults.exempt_tags.push_back(kTagShutdown);
+    mpx::run_group(
+        ranks,
+        [&](mpx::Comm& comm) {
+          if (comm.rank() == 0) {
+            run_fault_tolerant_master(comm, commands, spec, options,
+                                      node_count, result);
+          } else {
+            run_fault_tolerant_node(comm, spec, options);
+          }
+        },
+        faults);
+  }
   result.stats.total_seconds = frame_timer.seconds();
   return result;
 }

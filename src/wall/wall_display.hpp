@@ -6,9 +6,11 @@
 // replaced by photons; everything before it is the same pipeline).
 #pragma once
 
+#include <chrono>
 #include <vector>
 
 #include "layout/geometry.hpp"
+#include "mpx/fault.hpp"
 #include "render/framebuffer.hpp"
 #include "wall/command.hpp"
 
@@ -45,6 +47,36 @@ enum class Distribution {
   kPointToPoint,  ///< per-node send of only the commands its tiles need
 };
 
+/// Knobs for one wall frame, including the fault-tolerance ladder.
+///
+/// With tile_deadline == 0 (the default) the frame runs the trusting fast
+/// path: every node is assumed alive and every message intact, and a node
+/// failure blocks forever — byte-for-byte the pre-robustness protocol, with
+/// zero added cost. With tile_deadline > 0 the master runs the degradation
+/// ladder instead (see src/wall/README.md): wait one deadline window for
+/// tile results, then resend the missing tiles' command substreams to their
+/// owner nodes (one bounded retry with backoff), then reassign still-missing
+/// tiles to nodes that have proven alive, and finally rasterize whatever
+/// remains master-side. Every rung re-renders the same deterministic
+/// commands, so a degraded frame stays pixel-identical to render_reference.
+struct WallOptions {
+  Distribution distribution = Distribution::kBroadcast;
+  /// Cluster nodes (mpx ranks beyond the master); 0 = one per tile.
+  std::size_t node_count = 0;
+  /// Master-side wait per ladder rung; 0 disables fault tolerance.
+  std::chrono::milliseconds tile_deadline{0};
+  /// Pause before the retry rung (gives a merely-slow node a chance).
+  std::chrono::milliseconds retry_backoff{5};
+  /// Node-side idle watchdog: a node that hears nothing from the master for
+  /// this long exits on its own, so a lost shutdown message can never hang
+  /// the frame. 0 = derived from tile_deadline (generous multiple).
+  std::chrono::milliseconds node_watchdog{0};
+  /// Deterministic fault injection for this frame's mpx group. Requires
+  /// tile_deadline > 0 when any fault is enabled; crash_rank 0 (the master)
+  /// is rejected. The wall's shutdown control tag is auto-exempted.
+  mpx::FaultSpec faults;
+};
+
 struct FrameStats {
   double total_seconds = 0.0;          ///< wall-clock for the whole frame
   double max_node_render_seconds = 0.0;///< slowest node's raster time
@@ -52,6 +84,16 @@ struct FrameStats {
   std::size_t commands_executed = 0;   ///< sum over tiles after culling
   std::size_t bytes_distributed = 0;   ///< payload bytes shipped to nodes
   std::size_t pixels = 0;              ///< pixels in the assembled frame
+
+  // Degradation accounting (fault-tolerant mode only; all zero on the
+  // trusting fast path and on a healthy deadline-mode frame).
+  std::size_t retries = 0;             ///< tiles resent to their owner node
+  std::size_t reassigned_tiles = 0;    ///< tiles moved to a surviving node
+  std::size_t master_rastered_tiles = 0;  ///< tiles rendered by the master
+  std::size_t corrupt_messages = 0;    ///< messages discarded by checksum
+  /// True when any recovery rung fired. The frame is still pixel-identical
+  /// to render_reference — degradation costs time, never correctness.
+  bool degraded = false;
 };
 
 struct FrameResult {
@@ -68,6 +110,13 @@ FrameResult render_wall_frame(const CommandList& commands,
                               Distribution distribution =
                                   Distribution::kBroadcast,
                               std::size_t node_count = 0);
+
+/// Full-options variant: deadlines, bounded retries, reassignment, and
+/// master-side fallback raster (plus deterministic fault injection for
+/// tests). The no-deadline default is exactly the legacy trusting path.
+FrameResult render_wall_frame(const CommandList& commands,
+                              const WallSpec& spec,
+                              const WallOptions& options);
 
 /// Single-pass reference rendering of the same command stream (desktop
 /// path); wall output must match it pixel for pixel.

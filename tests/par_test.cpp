@@ -38,6 +38,19 @@ TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturns) {
   SUCCEED();
 }
 
+TEST(ThreadPoolTest, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.stop();  // drains, joins, and closes the pool for good
+  EXPECT_EQ(counter.load(), 1);
+  // A task enqueued now would never run — it must throw, not vanish.
+  EXPECT_THROW(pool.submit([&] { counter.fetch_add(1); }),
+               fv::InvalidArgument);
+  pool.stop();  // idempotent; the destructor will call it again too
+  EXPECT_EQ(counter.load(), 1);
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);

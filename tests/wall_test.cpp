@@ -227,4 +227,57 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(1, 3),
                        ::testing::Values(0, 1, 2)));
 
+// -- fault-tolerant mode (the chaos matrix proper lives in chaos_test.cpp) ---
+
+TEST(WallFaultToleranceTest, HealthyDeadlineFrameStaysExactAndUndegraded) {
+  const wl::WallSpec spec{3, 2, 48, 36};
+  const auto commands = random_scene(19, static_cast<long>(spec.total_width()),
+                                     static_cast<long>(spec.total_height()));
+  const auto reference = wl::render_reference(commands, spec.total_width(),
+                                              spec.total_height());
+  wl::WallOptions options;
+  options.node_count = 3;
+  options.tile_deadline = std::chrono::milliseconds(2000);
+  const auto result = wl::render_wall_frame(commands, spec, options);
+  EXPECT_EQ(result.frame, reference);
+  EXPECT_FALSE(result.stats.degraded);
+  EXPECT_EQ(result.stats.retries, 0u);
+  EXPECT_EQ(result.stats.reassigned_tiles, 0u);
+  EXPECT_EQ(result.stats.master_rastered_tiles, 0u);
+}
+
+TEST(WallFaultToleranceTest, CrashedNodeTilesAreRecovered) {
+  const wl::WallSpec spec{3, 2, 48, 36};
+  const auto commands = random_scene(23, static_cast<long>(spec.total_width()),
+                                     static_cast<long>(spec.total_height()));
+  const auto reference = wl::render_reference(commands, spec.total_width(),
+                                              spec.total_height());
+  wl::WallOptions options;
+  options.node_count = 3;
+  options.tile_deadline = std::chrono::milliseconds(150);
+  options.faults.seed = 31;
+  options.faults.crash_rank = 2;  // dies before rendering anything
+  options.faults.crash_at_op = 1;
+  const auto result = wl::render_wall_frame(commands, spec, options);
+  EXPECT_EQ(result.frame, reference)
+      << "degradation must never cost correctness";
+  EXPECT_TRUE(result.stats.degraded);
+  // The dead node's tiles were recovered somewhere: by a surviving node or
+  // by the master itself.
+  EXPECT_GT(result.stats.reassigned_tiles + result.stats.master_rastered_tiles,
+            0u);
+}
+
+TEST(WallFaultToleranceTest, FaultsWithoutDeadlineAreRejected) {
+  const wl::WallSpec spec{1, 1, 32, 32};
+  wl::WallOptions options;
+  options.faults.drop_rate = 0.5;  // but tile_deadline stays 0
+  EXPECT_THROW(wl::render_wall_frame({}, spec, options), fv::InvalidArgument);
+
+  options.faults = {};
+  options.tile_deadline = std::chrono::milliseconds(100);
+  options.faults.crash_rank = 0;  // the master must survive
+  EXPECT_THROW(wl::render_wall_frame({}, spec, options), fv::InvalidArgument);
+}
+
 }  // namespace
