@@ -1,0 +1,295 @@
+// ISSUE 7 benchmarks: the LSH signature layer behind TopKStrategy::kApprox.
+//
+// What this bench reports:
+//  * BM_LshTopK               — full kApprox top-k (signature build +
+//                               candidate generation + exact rescoring)
+//                               vs n at the default 256-bit params
+//  * BM_LshTopKBits           — the recall/speed curve at n = 4000 over
+//                               signature widths 64..512 (tables scale as
+//                               bits/16 so slices stay 16 bits); each run
+//                               exports recall, candidates_rescored and
+//                               exact_dot_fraction as JSON counters, so
+//                               the snapshot archive carries the curve
+//  * BM_LshTopKExactBaseline  — kExact on the same data (the ground truth
+//                               and the denominator of the dot-fraction)
+//  * BM_LshSignatureBuild     — the one-pass signature + table build alone
+//  * BM_HammingKernel{Popcount,Portable} — packed-signature Hamming
+//                               throughput, std::popcount vs explicit SWAR
+//  * An ISSUE 7 epilogue at n = 4000 genes x 96 conditions, k = 10:
+//    measured recall (target >= 0.95), exact dots as a fraction of
+//    kExact's n(n-1)/2 (target <= 20%), per-pair bit-identity of every
+//    returned distance (asserted), and the wall-time three-way against
+//    kExact and kPruned.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "expr/expression_matrix.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/lsh.hpp"
+#include "sim/similarity_engine.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "util/triangular.hpp"
+
+namespace {
+
+namespace ex = fv::expr;
+namespace sm = fv::sim;
+
+constexpr std::size_t kConditions = 96;
+constexpr std::size_t kNeighbors = 10;
+
+/// Same dataset-block module compendium as bench_knn_topk's pruned-vs-
+/// exact contrast: contiguous 250-gene modules, each varying inside its
+/// own pair of 16-condition dataset blocks — within-module correlation
+/// ~0.98, cross-module near zero, the shape the recall target is
+/// specified on.
+const ex::ExpressionMatrix& module_block_matrix(std::size_t genes) {
+  static std::map<std::size_t, ex::ExpressionMatrix> cache;
+  const auto it = cache.find(genes);
+  if (it != cache.end()) return it->second;
+  constexpr std::size_t kModuleSize = 250;
+  constexpr std::size_t kDatasetCols = 16;
+  const std::size_t datasets = kConditions / kDatasetCols;
+  fv::Rng rng(91000 + genes);
+  ex::ExpressionMatrix m(genes, kConditions);
+  for (std::size_t g = 0; g < genes; ++g) {
+    const std::size_t module = g / kModuleSize;
+    const std::size_t d0 = module % datasets;
+    const std::size_t d1 = (module + 1 + module / datasets) % datasets;
+    const double freq = 0.25 + 0.05 * static_cast<double>(module % 7);
+    const double phase = 0.61 * static_cast<double>(module);
+    for (std::size_t c = 0; c < kConditions; ++c) {
+      const std::size_t dataset = c / kDatasetCols;
+      double value = rng.normal(0.0, 0.05);
+      if (dataset == d0 || dataset == d1) {
+        value += std::sin(freq * static_cast<double>(c + 1) + phase);
+      }
+      m.set(g, c, static_cast<float>(value));
+    }
+  }
+  return cache.emplace(genes, std::move(m)).first->second;
+}
+
+const sm::SimilarityEngine& engine_for(std::size_t genes) {
+  static std::map<std::size_t, sm::SimilarityEngine> cache;
+  const auto it = cache.find(genes);
+  if (it != cache.end()) return it->second;
+  return cache
+      .emplace(genes, sm::SimilarityEngine::from_rows(
+                          module_block_matrix(genes), sm::Metric::kPearson))
+      .first->second;
+}
+
+/// kExact ground truth per size, computed once — both the recall
+/// reference and the wall-time/dot-count baseline.
+const sm::NeighborTable& exact_table_for(std::size_t genes,
+                                         fv::par::ThreadPool& pool) {
+  static std::map<std::size_t, sm::NeighborTable> cache;
+  const auto it = cache.find(genes);
+  if (it != cache.end()) return it->second;
+  const auto& engine = engine_for(genes);
+  return cache
+      .emplace(genes, engine.top_k_neighbors(kNeighbors, pool, 0,
+                                             sm::TopKStrategy::kExact))
+      .first->second;
+}
+
+double recall_vs(const sm::NeighborTable& approx,
+                 const sm::NeighborTable& exact) {
+  std::size_t hits = 0, wanted = 0;
+  for (std::size_t i = 0; i < exact.count; ++i) {
+    const auto want = exact.neighbors(i);
+    const auto got = approx.neighbors(i);
+    const std::set<std::uint32_t> got_set(got.begin(), got.end());
+    wanted += want.size();
+    for (const auto j : want) hits += got_set.count(j);
+  }
+  return wanted == 0 ? 1.0
+                     : static_cast<double>(hits) / static_cast<double>(wanted);
+}
+
+/// The curve's parameterization: slices stay 16 bits wide, so wider
+/// signatures buy more tables (more OR-chances) instead of stricter keys.
+sm::LshParams params_for_bits(std::size_t bits) {
+  sm::LshParams p;
+  p.bits = bits;
+  p.tables = bits / 16;
+  p.probes = 2;
+  return p;
+}
+
+// --- kApprox end to end ---------------------------------------------------
+
+void lsh_topk_phase(benchmark::State& state, std::size_t genes,
+                    std::size_t bits) {
+  const auto& engine = engine_for(genes);
+  fv::par::ThreadPool pool(1);
+  const auto params = params_for_bits(bits);
+  sm::TopKStats stats;
+  sm::NeighborTable table;
+  for (auto _ : state) {
+    table = engine.top_k_neighbors(kNeighbors, pool, 0,
+                                   sm::TopKStrategy::kApprox, &stats, params);
+    benchmark::DoNotOptimize(table.indices.data());
+  }
+  state.counters["recall"] = recall_vs(table, exact_table_for(genes, pool));
+  state.counters["candidates_rescored"] =
+      static_cast<double>(stats.candidates_rescored);
+  state.counters["exact_dot_fraction"] = stats.exact_dot_fraction;
+}
+
+void BM_LshTopK(benchmark::State& state) {
+  lsh_topk_phase(state, static_cast<std::size_t>(state.range(0)), 256);
+}
+BENCHMARK(BM_LshTopK)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_LshTopKBits(benchmark::State& state) {
+  lsh_topk_phase(state, 4000, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_LshTopKBits)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_LshTopKExactBaseline(benchmark::State& state) {
+  const auto& engine = engine_for(static_cast<std::size_t>(state.range(0)));
+  fv::par::ThreadPool pool(1);
+  for (auto _ : state) {
+    const auto table = engine.top_k_neighbors(kNeighbors, pool, 0,
+                                              sm::TopKStrategy::kExact);
+    benchmark::DoNotOptimize(table.indices.data());
+  }
+}
+BENCHMARK(BM_LshTopKExactBaseline)->Arg(4000)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_LshSignatureBuild(benchmark::State& state) {
+  const auto& engine = engine_for(4000);
+  fv::par::ThreadPool pool(1);
+  const auto params = params_for_bits(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const sm::LshIndex index(engine, params, pool);
+    benchmark::DoNotOptimize(index.signature(0).data());
+  }
+}
+BENCHMARK(BM_LshSignatureBuild)->Arg(64)->Arg(256)->Arg(1024)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// --- Hamming kernel microbench --------------------------------------------
+
+constexpr std::size_t kHammingRows = 4096;
+constexpr std::size_t kHammingWords = 4;  // 256-bit signatures
+
+const std::vector<std::uint64_t>& hamming_corpus() {
+  static std::vector<std::uint64_t> rows = [] {
+    fv::Rng rng(4242);
+    std::vector<std::uint64_t> r(kHammingRows * kHammingWords);
+    for (auto& w : r) w = rng.next_u64();
+    return r;
+  }();
+  return rows;
+}
+
+template <std::size_t (*Kernel)(const std::uint64_t*, const std::uint64_t*,
+                                std::size_t)>
+void hamming_phase(benchmark::State& state) {
+  const auto& rows = hamming_corpus();
+  std::size_t sum = 0;
+  for (auto _ : state) {
+    // Row 0 against all rows: kHammingRows kernel calls per iteration.
+    const std::uint64_t* base = rows.data();
+    for (std::size_t i = 0; i < kHammingRows; ++i) {
+      sum += Kernel(base, rows.data() + i * kHammingWords, kHammingWords);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kHammingRows));
+}
+
+void BM_HammingKernelPopcount(benchmark::State& state) {
+  hamming_phase<sm::hamming_words>(state);
+}
+void BM_HammingKernelPortable(benchmark::State& state) {
+  hamming_phase<sm::hamming_words_portable>(state);
+}
+BENCHMARK(BM_HammingKernelPopcount)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HammingKernelPortable)->Unit(benchmark::kMicrosecond);
+
+// --- Epilogue: the issue-7 acceptance numbers -----------------------------
+
+void report_issue7_targets() {
+  constexpr std::size_t kGenes = 4000;
+  const auto& engine = engine_for(kGenes);
+  fv::par::ThreadPool pool(1);
+
+  fv::Timer timer;
+  const auto exact =
+      engine.top_k_neighbors(kNeighbors, pool, 0, sm::TopKStrategy::kExact);
+  const double exact_seconds = timer.seconds();
+  timer.reset();
+  const auto pruned =
+      engine.top_k_neighbors(kNeighbors, pool, 0, sm::TopKStrategy::kPruned);
+  const double pruned_seconds = timer.seconds();
+  timer.reset();
+  sm::TopKStats stats;
+  const auto approx = engine.top_k_neighbors(
+      kNeighbors, pool, 0, sm::TopKStrategy::kApprox, &stats);
+  const double approx_seconds = timer.seconds();
+
+  const double recall = recall_vs(approx, exact);
+  // kExact's dot-product count is every pair, once: n(n-1)/2.
+  const double exact_dots = static_cast<double>(fv::condensed_size(kGenes));
+  const double dot_fraction =
+      static_cast<double>(stats.candidates_rescored) / exact_dots;
+
+  // Per-pair honesty: every distance kApprox returned must be the exact
+  // engine distance, bit for bit.
+  bool bit_identical = true;
+  for (std::size_t i = 0; i < approx.count && bit_identical; ++i) {
+    const auto idx = approx.neighbors(i);
+    const auto dist = approx.neighbor_distances(i);
+    for (std::size_t s = 0; s < idx.size(); ++s) {
+      const std::size_t a = std::min<std::size_t>(i, idx[s]);
+      const std::size_t b = std::max<std::size_t>(i, idx[s]);
+      if (dist[s] != engine.distance(a, b)) {
+        bit_identical = false;
+        break;
+      }
+    }
+  }
+
+  std::printf(
+      "\n[ISSUE 7 targets @ %zu genes x %zu conditions (dataset-block "
+      "modules), k = %zu, 256-bit/16-table/2-probe signatures, 1 thread]\n"
+      "  measured recall vs kExact: %.4f (target >= 0.95: %s)\n"
+      "  exact dot products: %zu of %.0f pairs = %.1f%% (target <= 20%%: "
+      "%s)\n"
+      "  every returned distance bit-identical to exact: %s\n"
+      "  wall time: exact %.3f s, pruned %.3f s, approx %.3f s (approx "
+      "rescoring is sub-quadratic; the signature build is the O(n·bits) "
+      "term that amortizes at larger n)\n",
+      kGenes, kConditions, kNeighbors, recall,
+      recall >= 0.95 ? "PASS" : "FAIL", stats.candidates_rescored,
+      exact_dots, 100.0 * dot_fraction,
+      dot_fraction <= 0.20 ? "PASS" : "FAIL",
+      bit_identical ? "PASS" : "FAIL", exact_seconds, pruned_seconds,
+      approx_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_issue7_targets();
+  return 0;
+}

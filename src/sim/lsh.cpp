@@ -1,0 +1,299 @@
+#include "sim/lsh.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fv::sim {
+
+namespace {
+
+constexpr std::size_t kNoFlip = std::numeric_limits<std::size_t>::max();
+
+/// Same 16-lane double accumulator shape as the engine's dense kernel:
+/// fixed lane array, so the compiler vectorizes at any SIMD width without
+/// reassociation and the projection signs are identical on every ISA.
+constexpr std::size_t kLanes = 16;
+
+double dot_lanes(const float* a, const float* b, std::size_t stride) {
+  double acc[kLanes] = {};
+  for (std::size_t k = 0; k < stride; k += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      acc[l] += static_cast<double>(a[k + l]) * static_cast<double>(b[k + l]);
+    }
+  }
+  double total = 0.0;
+  for (std::size_t l = 0; l < kLanes; ++l) total += acc[l];
+  return total;
+}
+
+/// splitmix64 finalizer — the slice-word mixer. Hash collisions between
+/// distinct slices only add candidates (rescored exactly); equal slices
+/// always hash equal, so no true collision is ever lost.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Bits [begin, begin + count) of a packed signature, count <= 64. The
+/// second word read exists whenever the range crosses a word boundary
+/// (begin + count never exceeds the signature width).
+std::uint64_t extract_bits(const std::uint64_t* sig, std::size_t begin,
+                           std::size_t count) {
+  const std::size_t w = begin / 64;
+  const std::size_t off = begin % 64;
+  std::uint64_t v = sig[w] >> off;
+  if (off + count > 64) v |= sig[w + 1] << (64 - off);
+  if (count < 64) v &= (std::uint64_t{1} << count) - 1;
+  return v;
+}
+
+std::uint64_t pack_pair(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+std::size_t hamming_words(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words) {
+  std::size_t distance = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    distance += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return distance;
+}
+
+std::size_t hamming_words_portable(const std::uint64_t* a,
+                                   const std::uint64_t* b,
+                                   std::size_t words) {
+  std::size_t distance = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    // Classic SWAR population count: pairwise, then nibble, then byte
+    // sums, folded with one multiply.
+    std::uint64_t x = a[w] ^ b[w];
+    x = x - ((x >> 1) & 0x5555555555555555ULL);
+    x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+    x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    distance += static_cast<std::size_t>((x * 0x0101010101010101ULL) >> 56);
+  }
+  return distance;
+}
+
+LshIndex::LshIndex(const SimilarityEngine& engine, const LshParams& params,
+                   par::ThreadPool& pool) {
+  FV_REQUIRE(engine.metric() != Metric::kEuclidean,
+             "LshIndex needs a correlation metric — Euclidean rows are "
+             "unnormalized, so Hamming ≈ angle does not estimate the metric");
+  FV_REQUIRE(params.bits >= 64 && params.bits <= 1024 &&
+                 params.bits % 64 == 0,
+             "LshParams::bits must be a multiple of 64 in [64, 1024]");
+  FV_REQUIRE(params.tables >= 1 && params.tables <= params.bits,
+             "LshParams::tables must be in [1, bits]");
+  slice_bits_ = params.bits / params.tables;
+  FV_REQUIRE(params.probes >= 1 && params.probes <= slice_bits_ + 1,
+             "LshParams::probes must be in [1, bits/tables + 1]");
+
+  count_ = engine.size();
+  bits_ = params.bits;
+  words_ = bits_ / 64;
+  tables_ = params.tables;
+  probes_ = params.probes;
+
+  // Hyperplane bank: bits x stride floats, Gaussian over the engine's
+  // length() real coordinates and zero over the padding tail, drawn from
+  // one fv::Rng stream in a fixed order — same seed, same bank, on every
+  // platform.
+  const std::size_t stride = engine.stride();
+  const std::size_t length = engine.length();
+  std::vector<float> planes(bits_ * stride, 0.0f);
+  Rng rng(params.seed);
+  for (std::size_t b = 0; b < bits_; ++b) {
+    float* plane = planes.data() + b * stride;
+    for (std::size_t k = 0; k < length; ++k) {
+      plane[k] = static_cast<float>(rng.normal());
+    }
+  }
+
+  signatures_.assign(count_ * words_, 0);
+  probe_bits_.assign(
+      probes_ > 1 ? count_ * tables_ * (probes_ - 1) : 0, 0);
+
+  // One pass per profile: bits projections, packed signs, and — when
+  // probing — each table slice's lowest-margin bits. Rows are independent
+  // and write disjoint ranges, so the pooled loop is deterministic under
+  // any schedule.
+  par::parallel_for(pool, 0, count_, 16, [&](std::size_t i) {
+    const std::span<const float> row = engine.normalized_row(i);
+    std::vector<double> proj(bits_, 0.0);
+    if (!row.empty()) {
+      for (std::size_t b = 0; b < bits_; ++b) {
+        proj[b] = dot_lanes(row.data(), planes.data() + b * stride, stride);
+      }
+    }
+    std::uint64_t* sig = signatures_.data() + i * words_;
+    for (std::size_t b = 0; b < bits_; ++b) {
+      // Ties at exactly 0 (all-zero normalized rows: degenerate profiles,
+      // Spearman rows with missing cells) deterministically set the bit.
+      if (proj[b] >= 0.0) sig[b / 64] |= std::uint64_t{1} << (b % 64);
+    }
+    if (probes_ > 1) {
+      const std::size_t per = probes_ - 1;
+      for (std::size_t t = 0; t < tables_; ++t) {
+        // Smallest-|projection| slice bits, ties by bit index: a small
+        // insertion pass — `per` is 1 in the default configuration.
+        std::uint16_t* out = probe_bits_.data() + (i * tables_ + t) * per;
+        std::vector<std::pair<double, std::uint16_t>> best;
+        best.reserve(per);
+        for (std::size_t s = 0; s < slice_bits_; ++s) {
+          const std::pair<double, std::uint16_t> cand{
+              std::abs(proj[t * slice_bits_ + s]),
+              static_cast<std::uint16_t>(s)};
+          if (best.size() < per) {
+            best.insert(std::upper_bound(best.begin(), best.end(), cand),
+                        cand);
+          } else if (cand < best.back()) {
+            best.pop_back();
+            best.insert(std::upper_bound(best.begin(), best.end(), cand),
+                        cand);
+          }
+        }
+        for (std::size_t p = 0; p < per; ++p) out[p] = best[p].second;
+      }
+    }
+  });
+
+  // Bucket tables: ids sorted by (slice key, id). Sorting (not hashing
+  // into an unordered container) keeps bucket enumeration order — and so
+  // candidate generation — deterministic.
+  tables_storage_.resize(tables_);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> kv(count_);
+  for (std::size_t t = 0; t < tables_; ++t) {
+    for (std::size_t i = 0; i < count_; ++i) {
+      kv[i] = {slice_key(i, t, kNoFlip), static_cast<std::uint32_t>(i)};
+    }
+    std::sort(kv.begin(), kv.end());
+    Table& table = tables_storage_[t];
+    table.keys.resize(count_);
+    table.rows.resize(count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+      table.keys[i] = kv[i].first;
+      table.rows[i] = kv[i].second;
+    }
+  }
+}
+
+std::span<const std::uint64_t> LshIndex::signature(std::size_t i) const {
+  FV_REQUIRE(i < count_, "profile index out of range");
+  return {signatures_.data() + i * words_, words_};
+}
+
+std::size_t LshIndex::hamming(std::size_t i, std::size_t j) const {
+  FV_REQUIRE(i < count_ && j < count_, "profile index out of range");
+  return hamming_words(signatures_.data() + i * words_,
+                       signatures_.data() + j * words_, words_);
+}
+
+double LshIndex::estimated_distance(std::size_t i, std::size_t j) const {
+  const double theta = std::numbers::pi * static_cast<double>(hamming(i, j)) /
+                       static_cast<double>(bits_);
+  return 1.0 - std::cos(theta);
+}
+
+std::uint64_t LshIndex::slice_key(std::size_t row, std::size_t table,
+                                  std::size_t flip_bit) const {
+  const std::uint64_t* sig = signatures_.data() + row * words_;
+  const std::size_t begin = table * slice_bits_;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t off = 0; off < slice_bits_; off += 64) {
+    const std::size_t chunk = std::min<std::size_t>(64, slice_bits_ - off);
+    std::uint64_t v = extract_bits(sig, begin + off, chunk);
+    if (flip_bit != kNoFlip && flip_bit >= off && flip_bit < off + chunk) {
+      v ^= std::uint64_t{1} << (flip_bit - off);
+    }
+    h = mix64(h ^ v);
+  }
+  return h;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> LshIndex::candidate_pairs(
+    CandidateStats* stats) const {
+  CandidateStats local;
+  std::vector<std::uint64_t> packed;
+  // Dedup floor for incremental compaction: once the collision buffer
+  // outgrows 4x the last deduped size, sort + unique in place — peak
+  // memory tracks the deduped candidate set, not tables x collisions
+  // (near-duplicate profiles collide in every table).
+  std::size_t unique_floor = 0;
+  const auto compact = [&] {
+    std::sort(packed.begin(), packed.end());
+    packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+    unique_floor = packed.size();
+  };
+
+  for (std::size_t t = 0; t < tables_; ++t) {
+    const Table& table = tables_storage_[t];
+    // Buckets are runs of equal keys; ids inside a run are ascending, so
+    // emitted pairs are already (i < j)-ordered.
+    std::size_t b = 0;
+    while (b < count_) {
+      std::size_t e = b + 1;
+      while (e < count_ && table.keys[e] == table.keys[b]) ++e;
+      ++local.buckets_probed;
+      for (std::size_t x = b; x < e; ++x) {
+        for (std::size_t y = x + 1; y < e; ++y) {
+          packed.push_back(pack_pair(table.rows[x], table.rows[y]));
+        }
+      }
+      local.candidates_generated += (e - b) * (e - b - 1) / 2;
+      b = e;
+    }
+    // Multi-probe: each profile also looks up the buckets reached by
+    // flipping its lowest-margin slice bits, one at a time.
+    if (probes_ > 1) {
+      const std::size_t per = probes_ - 1;
+      for (std::size_t i = 0; i < count_; ++i) {
+        const std::uint16_t* pb =
+            probe_bits_.data() + (i * tables_ + t) * per;
+        for (std::size_t p = 0; p < per; ++p) {
+          const std::uint64_t key = slice_key(i, t, pb[p]);
+          ++local.buckets_probed;
+          const auto lo = std::lower_bound(table.keys.begin(),
+                                           table.keys.end(), key);
+          const auto hi = std::upper_bound(lo, table.keys.end(), key);
+          for (auto it = lo; it != hi; ++it) {
+            const std::uint32_t j =
+                table.rows[static_cast<std::size_t>(it - table.keys.begin())];
+            if (j == i) continue;
+            packed.push_back(j < i
+                                 ? pack_pair(j, static_cast<std::uint32_t>(i))
+                                 : pack_pair(static_cast<std::uint32_t>(i), j));
+            ++local.candidates_generated;
+          }
+        }
+      }
+    }
+    if (packed.size() > std::max<std::size_t>(4096, 4 * unique_floor)) {
+      compact();
+    }
+  }
+  compact();
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(packed.size());
+  for (const std::uint64_t p : packed) {
+    pairs.emplace_back(static_cast<std::uint32_t>(p >> 32),
+                       static_cast<std::uint32_t>(p & 0xffffffffULL));
+  }
+  local.pairs = pairs.size();
+  if (stats != nullptr) *stats = local;
+  return pairs;
+}
+
+}  // namespace fv::sim

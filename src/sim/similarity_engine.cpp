@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 
+#include "sim/lsh.hpp"
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/ranking.hpp"
@@ -694,7 +695,8 @@ NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
                                                 par::ThreadPool& pool,
                                                 std::size_t min_common,
                                                 TopKStrategy strategy,
-                                                TopKStats* stats) const {
+                                                TopKStats* stats,
+                                                const LshParams& lsh) const {
   FV_REQUIRE(precompute_ == Precompute::kAllPairs,
              "top_k_neighbors() requires Precompute::kAllPairs");
   FV_REQUIRE(k >= 1, "top_k_neighbors() needs k >= 1");
@@ -702,6 +704,11 @@ NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
       strategy != TopKStrategy::kPruned || metric_ != Metric::kEuclidean,
       "TopKStrategy::kPruned needs a correlation metric — Euclidean rows "
       "are unnormalized, so the Cauchy–Schwarz norm bound does not exist; "
+      "use kAuto (which falls back to kExact) instead");
+  FV_REQUIRE(
+      strategy != TopKStrategy::kApprox || metric_ != Metric::kEuclidean,
+      "TopKStrategy::kApprox needs a correlation metric — hyperplane "
+      "signatures estimate the angle, which is not the Euclidean metric; "
       "use kAuto (which falls back to kExact) instead");
   if (strategy == TopKStrategy::kAuto) {
     strategy = metric_ == Metric::kEuclidean ? TopKStrategy::kExact
@@ -714,6 +721,12 @@ NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
   table.valid.assign(n, 0);
   if (stats != nullptr) *stats = TopKStats{};
   if (n < 2 || table.k == 0) return table;
+  // k >= n-1 asks for EVERY neighbor of every row — a candidate stage can
+  // only lose recall there, never work. Fall back honestly to the exact
+  // path (stats report it: signatures_built stays 0).
+  if (strategy == TopKStrategy::kApprox && table.k == n - 1) {
+    strategy = TopKStrategy::kExact;
+  }
   const std::size_t kk = table.k;
   table.indices.assign(n * kk, 0);
   table.distances.assign(n * kk, 0.0f);
@@ -766,10 +779,60 @@ NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
     }
   };
 
-  if (strategy == TopKStrategy::kExact) {
+  if (strategy == TopKStrategy::kApprox) {
+    // --- LSH candidates + exact rescoring ---------------------------
+    // The signature layer proposes pairs; everything REPORTED still goes
+    // through distance_unchecked — the same call, in the same (i < j)
+    // orientation, the tile path makes — so returned distances are
+    // bit-identical to kExact and only recall is approximate. min_common
+    // is enforced here, at rescoring, never in the candidate stage:
+    // signatures know nothing about masks, so filtering there would
+    // silently change which pairs even get considered.
+    const LshIndex index(*this, lsh, pool);
+    LshIndex::CandidateStats cstats;
+    const auto pairs = index.candidate_pairs(&cstats);
+    std::atomic<std::size_t> rescored{0};
+    // Chunked dynamic schedule over the deduped pair list: each chunk
+    // checks out a slot, so the heap state stays O(threads * n * k).
+    constexpr std::size_t kPairChunk = 2048;
+    const std::size_t chunks = (pairs.size() + kPairChunk - 1) / kPairChunk;
+    par::parallel_dynamic(pool, 0, chunks, [&](std::size_t c) {
+      TopKSlot* slot = acquire();
+      std::size_t local = 0;
+      const std::size_t begin = c * kPairChunk;
+      const std::size_t end = std::min(pairs.size(), begin + kPairChunk);
+      for (std::size_t p = begin; p < end; ++p) {
+        const std::size_t i = pairs[p].first;
+        const std::size_t j = pairs[p].second;
+        if (min_common > 0) {
+          const std::size_t common =
+              has_missing_[i] != 0 || has_missing_[j] != 0
+                  ? common_present(i, j)
+                  : length_;
+          if (common < min_common) continue;
+        }
+        const float dist = distance_unchecked(i, j);
+        ++local;
+        slot->push(i, kk, {dist, static_cast<std::uint32_t>(j)});
+        slot->push(j, kk, {dist, static_cast<std::uint32_t>(i)});
+      }
+      rescored.fetch_add(local, std::memory_order_relaxed);
+      release(slot);
+    });
+    if (stats != nullptr) {
+      stats->signatures_built = n;
+      stats->buckets_probed = cstats.buckets_probed;
+      stats->candidates_generated = cstats.candidates_generated;
+      stats->candidates_rescored = rescored.load();
+      stats->exact_dot_fraction =
+          static_cast<double>(rescored.load()) /
+          static_cast<double>(condensed_size(n));
+    }
+  } else if (strategy == TopKStrategy::kExact) {
     if (stats != nullptr) {
       stats->tiles_total = tile_count();
       stats->tiles_computed = tile_count();
+      stats->exact_dot_fraction = 1.0;
     }
     for_each_tile(
         [&](const DistanceTile& tile) {
@@ -907,6 +970,9 @@ NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
       stats->tiles_pruned = pruned_tiles.load();
       stats->tiles_computed = order.size() - stats->tiles_pruned;
       stats->bounds_checked = checked_bounds.load();
+      stats->exact_dot_fraction =
+          static_cast<double>(stats->tiles_computed) /
+          static_cast<double>(stats->tiles_total);
     }
   }
 

@@ -62,6 +62,7 @@ enum class TopKStrategy {
   /// whose normalized rows carry the Cauchy–Schwarz norm structure),
   /// kExact otherwise (Euclidean). The returned table is identical either
   /// way — pruning skips only pairs *proven* unable to enter any heap.
+  /// kAuto never routes to kApprox: approximation is strictly opt-in.
   kAuto,
   /// Stream every tile through the heaps (the unconditional path).
   kExact,
@@ -72,18 +73,66 @@ enum class TopKStrategy {
   /// pairs are skipped). Correlation metrics only — Euclidean rows are
   /// unnormalized, so the unit-norm bound does not exist for them.
   kPruned,
+  /// Random-hyperplane LSH candidate generation (sim::LshIndex) + exact
+  /// rescoring: the schedule is sub-quadratic — O(n) signatures, bucket
+  /// collisions instead of all pairs — and every pair that IS returned
+  /// carries the bit-identical exact distance (candidates go through the
+  /// same kernels as kExact). Rows may MISS true neighbors (measured
+  /// recall ≥ 0.95 on module-structured data at the defaults; see
+  /// src/sim/README.md §approximate top-k for the failure modes).
+  /// Correlation metrics only, rejected on Euclidean like kPruned; k ≥
+  /// n−1 falls back to kExact (every pair is needed anyway, and exact is
+  /// strictly better when it costs the same).
+  kApprox,
+};
+
+/// Parameters of the kApprox strategy's LSH layer (sim::LshIndex).
+/// Defaults target the compendium module shape: 256 signature bits split
+/// into 16 disjoint 16-bit bucket keys, one extra probe per table.
+struct LshParams {
+  /// Signature width. 64–1024, multiple of 64 (signatures pack into
+  /// uint64_t words). More bits = better Hamming ≈ angle fidelity and
+  /// sharper buckets, at O(bits) build cost per profile.
+  std::size_t bits = 256;
+  /// Bucket tables; table t keys on signature bits
+  /// [t·bits/tables, (t+1)·bits/tables). More tables = higher recall
+  /// (OR-construction) and more candidates. Must divide into bits at ≥ 1
+  /// bit per slice (tables ≤ bits).
+  std::size_t tables = 16;
+  /// Bucket lookups per profile per table: 1 = the exact slice key only;
+  /// p > 1 additionally probes the p−1 keys obtained by flipping, one at
+  /// a time, the slice bits whose hyperplane projection had the smallest
+  /// margin |dot| (the bits most likely to have landed on the wrong side
+  /// — classic query-directed multi-probe). At most slice_bits + 1.
+  std::size_t probes = 2;
+  /// Seeds the Gaussian hyperplane bank (util/rng.hpp xoshiro, so
+  /// signatures are reproducible across platforms). Same seed + params ⇒
+  /// same signatures, same candidates, same table, under any pool.
+  std::uint64_t seed = 0x15bf00d5eedULL;
 };
 
 /// Per-call statistics of a top_k_neighbors distance phase, for
-/// benchmarking the pruned strategy. The *table* is deterministic and
-/// schedule-independent; these counters are not under a multi-threaded
-/// pool (how many tiles prune depends on how tight the shared thresholds
-/// were when each tile was checked) — they are exact under a 1-thread pool.
+/// benchmarking the pruned and approximate strategies. The *table* is
+/// deterministic and schedule-independent; the tile counters are exact
+/// only under a 1-thread pool (how many tiles prune depends on how tight
+/// the shared thresholds were when each tile was checked). The kApprox
+/// counters are exact under any pool — candidate generation is
+/// deterministic and rescoring counts actual exact-distance evaluations.
 struct TopKStats {
   std::size_t tiles_total = 0;     ///< tiles in the schedule
   std::size_t tiles_computed = 0;  ///< tiles whose pairs were computed
   std::size_t tiles_pruned = 0;    ///< tiles skipped on a bound proof
   std::size_t bounds_checked = 0;  ///< tiles whose bound was evaluated
+  // --- kApprox (zero unless the LSH path actually ran) ---
+  std::size_t signatures_built = 0;  ///< profiles signed (n, or 0 on fallback)
+  std::size_t buckets_probed = 0;  ///< bucket enumerations + probe lookups
+  std::size_t candidates_generated = 0;  ///< collision pairs, pre-dedup
+  std::size_t candidates_rescored = 0;   ///< deduped pairs given exact dots
+  /// Fraction of the n(n−1)/2 pair distances evaluated exactly: 1.0 for
+  /// kExact, tiles_computed/tiles_total (tile granularity) for kPruned,
+  /// candidates_rescored / (n(n−1)/2) for kApprox — the sub-quadratic
+  /// headline number.
+  double exact_dot_fraction = 0.0;
 };
 
 /// One computed tile of the pairwise-distance upper triangle, handed to a
@@ -242,12 +291,18 @@ class SimilarityEngine {
   /// norms — provably cannot beat the current per-row heap thresholds are
   /// skipped whole, without computing a single pair. The table is
   /// bit-identical to kExact (prune on proof only; see src/sim/README.md
-  /// for the derivation). `stats`, when non-null, receives the per-call
-  /// prune counters.
+  /// for the derivation). Under TopKStrategy::kApprox the quadratic tile
+  /// schedule is replaced by LSH candidate generation (`lsh` parameters;
+  /// sim::LshIndex) with exact rescoring: every returned pair's distance
+  /// is bit-identical to the exact path's, but true neighbors can be
+  /// missed — opt-in only, never chosen by kAuto. min_common is enforced
+  /// at rescoring (the candidate stage sees signatures only). `stats`,
+  /// when non-null, receives the per-call prune/LSH counters.
   NeighborTable top_k_neighbors(std::size_t k, par::ThreadPool& pool,
                                 std::size_t min_common = 0,
                                 TopKStrategy strategy = TopKStrategy::kAuto,
-                                TopKStats* stats = nullptr) const;
+                                TopKStats* stats = nullptr,
+                                const LshParams& lsh = LshParams{}) const;
 
   /// Mean of all n(n-1)/2 pairwise distances, streamed tile by tile (no
   /// matrix materialized; per-tile partials reduced in schedule order, so
