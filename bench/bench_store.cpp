@@ -1,0 +1,389 @@
+// ISSUE 8 benchmarks: the crash-consistent artifact store's warm-reopen
+// story — the second process start should pay milliseconds of mmap, not
+// the seconds of parse + normalize + O(n²) distance work the first one
+// paid.
+//
+// What this bench reports:
+//  * BM_ColdCompendiumOpen — parse the 4000 x 96 PCL compendium from disk
+//                            and build the Pearson engine (the cold
+//                            session's spine entry cost)
+//  * BM_WarmCompendiumOpen — key the compendium by file bytes (no parse)
+//                            and restore the engine from its artifact
+//  * BM_ColdCondensed      — compute the condensed n(n-1)/2 distance
+//                            triangle through the engine's tile kernels
+//  * BM_WarmCondensedOpen  — restore the triangle from its artifact
+//  * BM_ColdLshBuild       — build the 256-bit LSH signature bank (the
+//                            term that dominates approximate top-k)
+//  * BM_WarmLshOpen        — restore the bank from its artifact
+//  * BM_ArtifactCommit     — one full commit (write-tmp -> sync ->
+//                            atomic-rename -> sync-dir) of a 32 MiB
+//                            payload: the durability cost warm sessions
+//                            amortize away
+//  * An ISSUE 8 epilogue at n = 4000: cold vs warm wall time for the
+//    compendium engine, condensed distances and LSH signatures, the
+//    combined >= 20x speedup gate, bit-identity of every warm product
+//    against its cold original (asserted), and an fsck pass over the
+//    store directory (must scan clean).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cluster/distance.hpp"
+#include "expr/dataset.hpp"
+#include "expr/gene.hpp"
+#include "expr/pcl_io.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/lsh.hpp"
+#include "sim/similarity_engine.hpp"
+#include "store/artifact_store.hpp"
+#include "store/cached.hpp"
+#include "store/fsck.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "util/triangular.hpp"
+
+namespace {
+
+namespace ex = fv::expr;
+namespace sm = fv::sim;
+namespace st = fv::store;
+namespace fs = std::filesystem;
+
+constexpr std::size_t kGenes = 4000;
+constexpr std::size_t kConditions = 96;
+
+/// Same dataset-block module compendium shape as bench_lsh_topk: 250-gene
+/// modules varying inside their own pairs of 16-condition dataset blocks.
+ex::ExpressionMatrix module_block_matrix() {
+  constexpr std::size_t kModuleSize = 250;
+  constexpr std::size_t kDatasetCols = 16;
+  const std::size_t datasets = kConditions / kDatasetCols;
+  fv::Rng rng(92000);
+  ex::ExpressionMatrix m(kGenes, kConditions);
+  for (std::size_t g = 0; g < kGenes; ++g) {
+    const std::size_t module = g / kModuleSize;
+    const std::size_t d0 = module % datasets;
+    const std::size_t d1 = (module + 1 + module / datasets) % datasets;
+    const double freq = 0.25 + 0.05 * static_cast<double>(module % 7);
+    const double phase = 0.61 * static_cast<double>(module);
+    for (std::size_t c = 0; c < kConditions; ++c) {
+      const std::size_t dataset = c / kDatasetCols;
+      double value = rng.normal(0.0, 0.05);
+      if (dataset == d0 || dataset == d1) {
+        value += std::sin(freq * static_cast<double>(c + 1) + phase);
+      }
+      m.set(g, c, static_cast<float>(value));
+    }
+  }
+  return m;
+}
+
+/// The on-disk world the bench runs in: a compendium directory holding one
+/// PCL file (what a cold session parses) and a store directory (what a
+/// warm session maps). Built once, shared by every benchmark.
+struct BenchWorld {
+  std::string compendium_dir;
+  std::string store_dir;
+  std::string pcl_path;
+
+  BenchWorld() {
+    const auto root = fs::temp_directory_path() / "fv_bench_store";
+    fs::remove_all(root);
+    compendium_dir = (root / "compendium").string();
+    store_dir = (root / "store").string();
+    fs::create_directories(compendium_dir);
+    fs::create_directories(store_dir);
+    pcl_path = compendium_dir + "/compendium.pcl";
+
+    auto matrix = module_block_matrix();
+    std::vector<ex::GeneInfo> genes(kGenes);
+    for (std::size_t g = 0; g < kGenes; ++g) {
+      genes[g].systematic_name = "G" + std::to_string(g);
+    }
+    std::vector<std::string> conditions(kConditions);
+    for (std::size_t c = 0; c < kConditions; ++c) {
+      conditions[c] = "cond" + std::to_string(c);
+    }
+    ex::write_pcl(ex::Dataset("compendium", std::move(genes),
+                              std::move(conditions), std::move(matrix)),
+                  pcl_path);
+  }
+};
+
+BenchWorld& world() {
+  static BenchWorld w;
+  return w;
+}
+
+sm::LshParams lsh_params() {
+  sm::LshParams p;  // the 256-bit / 16-table defaults the LSH layer ships
+  return p;
+}
+
+/// The cold session's compendium open: parse the PCL, build the engine.
+sm::SimilarityEngine cold_engine() {
+  const auto dataset = ex::read_pcl(world().pcl_path);
+  return sm::SimilarityEngine::from_rows(dataset.values(),
+                                         sm::Metric::kPearson);
+}
+
+/// The warm session's compendium open: byte-hash the compendium files
+/// (no parsing), then restore the engine artifact. The parse fallback
+/// exists but must not run once the store is populated.
+sm::SimilarityEngine warm_engine(st::ArtifactStore& store,
+                                 st::OpenStats* stats = nullptr) {
+  const auto input_key = st::compendium_files_key(world().compendium_dir);
+  return st::open_or_build_engine(
+      store, input_key,
+      []() { return ex::read_pcl(world().pcl_path).values(); },
+      sm::Metric::kPearson, sm::Precompute::kAllPairs,
+      sm::DenseKernel::kAuto, stats);
+}
+
+/// Populates the store once so every warm benchmark measures reopen, not
+/// first-compute; returns the engine the warm products are keyed under.
+const sm::SimilarityEngine& populated_engine(fv::par::ThreadPool& pool) {
+  static sm::SimilarityEngine engine = [&pool]() {
+    st::ArtifactStore store(world().store_dir);
+    auto built = warm_engine(store);
+    (void)st::open_or_compute_condensed(store, built, pool);
+    (void)st::open_or_build_lsh(store, built, lsh_params(), pool);
+    return built;
+  }();
+  return engine;
+}
+
+// --- cold vs warm, per product --------------------------------------------
+
+void BM_ColdCompendiumOpen(benchmark::State& state) {
+  for (auto _ : state) {
+    auto engine = cold_engine();
+    benchmark::DoNotOptimize(engine.size());
+  }
+}
+BENCHMARK(BM_ColdCompendiumOpen)->Unit(benchmark::kMillisecond);
+
+void BM_WarmCompendiumOpen(benchmark::State& state) {
+  fv::par::ThreadPool pool(4);
+  (void)populated_engine(pool);
+  for (auto _ : state) {
+    st::ArtifactStore store(world().store_dir);
+    st::OpenStats stats;
+    auto engine = warm_engine(store, &stats);
+    if (!stats.warm) state.SkipWithError("warm open fell back to compute");
+    benchmark::DoNotOptimize(engine.size());
+  }
+}
+BENCHMARK(BM_WarmCompendiumOpen)->Unit(benchmark::kMillisecond);
+
+void BM_ColdCondensed(benchmark::State& state) {
+  fv::par::ThreadPool pool(4);
+  const auto& engine = populated_engine(pool);
+  fv::cluster::DistanceMatrix distances(engine.size());
+  for (auto _ : state) {
+    engine.condensed_distances(distances.condensed(), pool);
+    benchmark::DoNotOptimize(distances.condensed().data());
+  }
+}
+BENCHMARK(BM_ColdCondensed)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_WarmCondensedOpen(benchmark::State& state) {
+  fv::par::ThreadPool pool(4);
+  const auto& engine = populated_engine(pool);
+  for (auto _ : state) {
+    st::ArtifactStore store(world().store_dir);
+    st::OpenStats stats;
+    auto distances =
+        st::open_or_compute_condensed(store, engine, pool, &stats);
+    if (!stats.warm) state.SkipWithError("warm open fell back to compute");
+    benchmark::DoNotOptimize(distances.condensed().data());
+  }
+}
+BENCHMARK(BM_WarmCondensedOpen)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ColdLshBuild(benchmark::State& state) {
+  fv::par::ThreadPool pool(4);
+  const auto& engine = populated_engine(pool);
+  for (auto _ : state) {
+    sm::LshIndex index(engine, lsh_params(), pool);
+    benchmark::DoNotOptimize(index.size());
+  }
+}
+BENCHMARK(BM_ColdLshBuild)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_WarmLshOpen(benchmark::State& state) {
+  fv::par::ThreadPool pool(4);
+  const auto& engine = populated_engine(pool);
+  for (auto _ : state) {
+    st::ArtifactStore store(world().store_dir);
+    st::OpenStats stats;
+    auto index =
+        st::open_or_build_lsh(store, engine, lsh_params(), pool, &stats);
+    if (!stats.warm) state.SkipWithError("warm open fell back to compute");
+    benchmark::DoNotOptimize(index.size());
+  }
+}
+BENCHMARK(BM_WarmLshOpen)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ArtifactCommit(benchmark::State& state) {
+  // One sealed 32 MiB commit, fsyncs and all — what a cold session pays
+  // once per product so every later session can skip the compute.
+  const std::vector<float> payload(8u << 20, 1.5f);
+  st::ArtifactStore store(world().store_dir);
+  std::uint64_t key = 0x9000;
+  for (auto _ : state) {
+    store.put(st::ArtifactKind::kBlob, key,
+              [&](st::ArtifactWriter& w) { w.section(payload); });
+    benchmark::DoNotOptimize(key);
+    store.remove(st::ArtifactKind::kBlob, key);
+    ++key;
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(payload.size() * sizeof(float)));
+}
+BENCHMARK(BM_ArtifactCommit)->Unit(benchmark::kMillisecond);
+
+// --- Epilogue: the issue-8 acceptance numbers -----------------------------
+
+/// Best-of-N wall time of `fn` — the steady-state number the per-product
+/// benchmark loops above report, without google-benchmark's adaptive
+/// iteration count.
+template <typename Fn>
+double best_of(int runs, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < runs; ++r) {
+    fv::Timer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+void report_issue8_targets() {
+  fv::par::ThreadPool pool(4);
+  fs::remove_all(world().store_dir);
+  fs::create_directories(world().store_dir);
+
+  // Cold session: parse + build + compute everything — the honest "what a
+  // storeless session pays every start" numbers (persists excluded).
+  const auto engine = cold_engine();
+  const double cold_engine_s = best_of(3, []() {
+    auto built = cold_engine();
+    if (built.size() != kGenes) std::abort();
+  });
+
+  fv::cluster::DistanceMatrix cold_distances(engine.size());
+  const double cold_condensed_s = best_of(3, [&]() {
+    engine.condensed_distances(cold_distances.condensed(), pool);
+  });
+
+  const sm::LshIndex cold_lsh(engine, lsh_params(), pool);
+  const double cold_lsh_s = best_of(3, [&]() {
+    const sm::LshIndex built(engine, lsh_params(), pool);
+    if (built.size() != kGenes) std::abort();
+  });
+
+  {
+    st::ArtifactStore store(world().store_dir);
+    (void)warm_engine(store);
+    (void)st::open_or_compute_condensed(store, engine, pool);
+    (void)st::open_or_build_lsh(store, engine, lsh_params(), pool);
+  }
+
+  // Warm session: fresh store handles over the same directory, everything
+  // served from artifacts. Steady state (best of 5) is the scenario: a
+  // warm session's artifacts sit in the OS page cache, exactly like any
+  // recently-written file.
+  st::ArtifactStore store(world().store_dir);
+  st::OpenStats engine_stats, condensed_stats, lsh_stats;
+  const auto warm = warm_engine(store, &engine_stats);
+  const double warm_engine_s = best_of(5, [&]() {
+    st::OpenStats stats;
+    auto opened = warm_engine(store, &stats);
+    if (!stats.warm || opened.size() != kGenes) std::abort();
+  });
+
+  const auto warm_distances =
+      st::open_or_compute_condensed(store, warm, pool, &condensed_stats);
+  const double warm_condensed_s = best_of(5, [&]() {
+    st::OpenStats stats;
+    auto opened = st::open_or_compute_condensed(store, warm, pool, &stats);
+    if (!stats.warm) std::abort();
+  });
+
+  const auto warm_lsh =
+      st::open_or_build_lsh(store, warm, lsh_params(), pool, &lsh_stats);
+  const double warm_lsh_s = best_of(5, [&]() {
+    st::OpenStats stats;
+    auto opened =
+        st::open_or_build_lsh(store, warm, lsh_params(), pool, &stats);
+    if (!stats.warm) std::abort();
+  });
+
+  const bool all_warm =
+      engine_stats.warm && condensed_stats.warm && lsh_stats.warm;
+
+  // Bit-identity of every warm product against its cold original.
+  bool identical = warm.size() == engine.size();
+  for (std::size_t i = 0; identical && i + 1 < engine.size(); i += 97) {
+    identical = warm.distance(i, i + 1) == engine.distance(i, i + 1);
+  }
+  const auto cold_span = cold_distances.condensed();
+  const auto warm_span = warm_distances.condensed();
+  identical = identical && warm_span.size() == cold_span.size() &&
+              std::memcmp(warm_span.data(), cold_span.data(),
+                          cold_span.size() * sizeof(float)) == 0;
+  for (std::size_t i = 0; identical && i < kGenes; i += 131) {
+    const auto a = cold_lsh.signature(i);
+    const auto b = warm_lsh.signature(i);
+    identical = a.size() == b.size() &&
+                std::memcmp(a.data(), b.data(),
+                            a.size() * sizeof(std::uint64_t)) == 0;
+  }
+
+  const double cold_total = cold_engine_s + cold_condensed_s + cold_lsh_s;
+  const double warm_total = warm_engine_s + warm_condensed_s + warm_lsh_s;
+  const double speedup = warm_total > 0.0 ? cold_total / warm_total : 0.0;
+  const auto fsck = st::fsck_scan(world().store_dir);
+
+  std::printf(
+      "\n[ISSUE 8 targets @ %zu genes x %zu conditions, 4 threads]\n"
+      "  compendium engine: cold (parse + normalize) %.4f s, warm (mmap "
+      "artifact) %.4f s (%.0fx)\n"
+      "  condensed distances (%zu pairs): cold %.4f s, warm %.4f s "
+      "(%.0fx)\n"
+      "  lsh signatures (256-bit x 16 tables): cold %.4f s, warm %.4f s "
+      "(%.0fx)\n"
+      "  combined warm speedup: %.1fx (target >= 20x: %s)\n"
+      "  every warm open served from artifacts: %s\n"
+      "  warm products bit-identical to cold: %s\n"
+      "  store directory fsck: %zu artifacts, %s\n",
+      kGenes, kConditions, cold_engine_s, warm_engine_s,
+      warm_engine_s > 0.0 ? cold_engine_s / warm_engine_s : 0.0,
+      fv::condensed_size(kGenes), cold_condensed_s, warm_condensed_s,
+      warm_condensed_s > 0.0 ? cold_condensed_s / warm_condensed_s : 0.0,
+      cold_lsh_s, warm_lsh_s,
+      warm_lsh_s > 0.0 ? cold_lsh_s / warm_lsh_s : 0.0, speedup,
+      speedup >= 20.0 ? "PASS" : "FAIL", all_warm ? "PASS" : "FAIL",
+      identical ? "PASS" : "FAIL", fsck.valid,
+      fsck.clean() ? "clean (PASS)" : "DAMAGED (FAIL)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_issue8_targets();
+  fs::remove_all(fs::temp_directory_path() / "fv_bench_store");
+  return 0;
+}

@@ -2,31 +2,26 @@
 
 #include <algorithm>
 
+#include "util/fault_hash.hpp"
+
 namespace fv::mpx {
 
 namespace {
 
-/// splitmix64 finalizer: full-avalanche 64-bit mix.
-std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ull;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebull;
-  x ^= x >> 31;
-  return x;
-}
-
-/// One deterministic uniform draw in [0, 1) per message envelope.
+/// One deterministic uniform draw in [0, 1) per message envelope: the
+/// shared fault_hash chain over the envelope packed into two words. The
+/// packing (and therefore every decision any historical seed produced) is
+/// pinned by the FaultHash equivalence test in tests/util_test.cpp.
 double uniform_draw(std::uint64_t seed, int source, int dest, int tag,
                     std::uint64_t sequence, std::uint64_t stream) {
-  std::uint64_t h = mix64(seed ^ (stream * 0x9e3779b97f4a7c15ull));
-  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source))
-                 << 32) ^
-            static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest)));
-  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag))
-                 << 32) ^
-            sequence);
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
+  const std::uint64_t h = fault_hash(
+      seed, stream,
+      {(static_cast<std::uint64_t>(static_cast<std::uint32_t>(source))
+        << 32) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest)),
+       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) << 32) ^
+           sequence});
+  return fault_uniform(h);
 }
 
 }  // namespace
@@ -70,7 +65,8 @@ std::size_t FaultPlan::corrupt_index(std::uint64_t sequence,
                                      std::size_t payload_size) const {
   FV_REQUIRE(payload_size > 0, "cannot pick a corrupt index in empty payload");
   return static_cast<std::size_t>(
-      mix64(spec_.seed ^ (sequence * 0xd1342543de82ef95ull)) % payload_size);
+      fault_mix64(spec_.seed ^ (sequence * 0xd1342543de82ef95ull)) %
+      payload_size);
 }
 
 }  // namespace fv::mpx

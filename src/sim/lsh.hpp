@@ -25,6 +25,10 @@
 #include "par/thread_pool.hpp"
 #include "sim/similarity_engine.hpp"
 
+namespace fv::store {
+class LshCodec;  // store/cached.hpp — persists signature banks verbatim
+}  // namespace fv::store
+
 namespace fv::sim {
 
 /// Hamming distance between two packed bit rows of `words` uint64_t each.
@@ -107,6 +111,13 @@ class LshIndex {
       CandidateStats* stats = nullptr) const;
 
  private:
+  /// The artifact store's codec restores a persisted index through the
+  /// default constructor + direct field access; a warm reopen must never
+  /// re-project n × bits hyperplanes (that build cost is what it saves).
+  friend class fv::store::LshCodec;
+
+  LshIndex() = default;
+
   /// One bucket table: profile ids sorted by (slice key, id); a bucket is
   /// a run of equal keys, looked up by binary search. Sorted vectors keep
   /// iteration order deterministic (no unordered_map iteration order).

@@ -7,6 +7,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "sim/lsh.hpp"
 #include "stats/correlation.hpp"
@@ -696,7 +697,9 @@ NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
                                                 std::size_t min_common,
                                                 TopKStrategy strategy,
                                                 TopKStats* stats,
-                                                const LshParams& lsh) const {
+                                                const LshParams& lsh,
+                                                const LshIndex* lsh_index)
+    const {
   FV_REQUIRE(precompute_ == Precompute::kAllPairs,
              "top_k_neighbors() requires Precompute::kAllPairs");
   FV_REQUIRE(k >= 1, "top_k_neighbors() needs k >= 1");
@@ -788,7 +791,14 @@ NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
     // is enforced here, at rescoring, never in the candidate stage:
     // signatures know nothing about masks, so filtering there would
     // silently change which pairs even get considered.
-    const LshIndex index(*this, lsh, pool);
+    // A caller-supplied prebuilt index (warm-reopened from the artifact
+    // store) skips the signature build — the dominant cost of this path.
+    FV_REQUIRE(lsh_index == nullptr || lsh_index->size() == n,
+               "prebuilt LSH index covers a different profile count than "
+               "this engine");
+    std::optional<LshIndex> built;
+    if (lsh_index == nullptr) built.emplace(*this, lsh, pool);
+    const LshIndex& index = lsh_index != nullptr ? *lsh_index : *built;
     LshIndex::CandidateStats cstats;
     const auto pairs = index.candidate_pairs(&cstats);
     std::atomic<std::size_t> rescored{0};
@@ -820,7 +830,9 @@ NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
       release(slot);
     });
     if (stats != nullptr) {
-      stats->signatures_built = n;
+      // 0 under a prebuilt index: no signatures were built THIS call —
+      // how tests observe that a warm-reopened index was actually reused.
+      stats->signatures_built = lsh_index == nullptr ? n : 0;
       stats->buckets_probed = cstats.buckets_probed;
       stats->candidates_generated = cstats.candidates_generated;
       stats->candidates_rescored = rescored.load();

@@ -22,7 +22,13 @@
 #include "expr/expression_matrix.hpp"
 #include "par/thread_pool.hpp"
 
+namespace fv::store {
+class EngineCodec;  // store/cached.hpp — persists engine state verbatim
+}  // namespace fv::store
+
 namespace fv::sim {
+
+class LshIndex;  // sim/lsh.hpp — kApprox candidate generator
 
 enum class Metric {
   kPearson,            ///< 1 - Pearson correlation (pairwise complete)
@@ -298,11 +304,18 @@ class SimilarityEngine {
   /// missed — opt-in only, never chosen by kAuto. min_common is enforced
   /// at rescoring (the candidate stage sees signatures only). `stats`,
   /// when non-null, receives the per-call prune/LSH counters.
+  ///
+  /// `lsh_index`, when non-null, is a prebuilt signature index over THIS
+  /// engine (it must have size() == size()) that the kApprox path reuses
+  /// instead of building one — the artifact store hands warm-reopened
+  /// indexes in through here, skipping the O(n·bits) signature build that
+  /// dominates approximate top-k. Ignored by the exact strategies.
   NeighborTable top_k_neighbors(std::size_t k, par::ThreadPool& pool,
                                 std::size_t min_common = 0,
                                 TopKStrategy strategy = TopKStrategy::kAuto,
                                 TopKStats* stats = nullptr,
-                                const LshParams& lsh = LshParams{}) const;
+                                const LshParams& lsh = LshParams{},
+                                const LshIndex* lsh_index = nullptr) const;
 
   /// Mean of all n(n-1)/2 pairwise distances, streamed tile by tile (no
   /// matrix materialized; per-tile partials reduced in schedule order, so
@@ -345,6 +358,11 @@ class SimilarityEngine {
   void dot_all(std::span<const float> query, std::span<double> out) const;
 
  private:
+  /// The artifact store's codec (store/cached.hpp) persists and restores
+  /// every private field verbatim — serialization stays out of this class,
+  /// state stays out of the public API.
+  friend class fv::store::EngineCodec;
+
   Metric metric_ = Metric::kPearson;
   Precompute precompute_ = Precompute::kAllPairs;
   bool float_kernel_ = false;

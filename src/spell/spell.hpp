@@ -21,6 +21,10 @@
 #include "par/thread_pool.hpp"
 #include "sim/similarity_engine.hpp"
 
+namespace fv::store {
+class SpellCodec;  // store/cached.hpp — persists the dot-bank collection
+}  // namespace fv::store
+
 namespace fv::spell {
 
 struct SpellOptions {
@@ -72,6 +76,14 @@ class SpellSearch {
                      par::ThreadPool& pool) const;
 
  private:
+  /// The artifact store's codec rebuilds a search from persisted engine
+  /// banks — same datasets reference, zero re-normalization.
+  friend class fv::store::SpellCodec;
+
+  SpellSearch(const std::vector<expr::Dataset>* datasets,
+              std::vector<sim::SimilarityEngine> engines)
+      : datasets_(datasets), engines_(std::move(engines)) {}
+
   const std::vector<expr::Dataset>* datasets_;
   /// One Pearson bank per dataset: unit-norm z-rows + present counts,
   /// built once so searches never re-normalize profiles.

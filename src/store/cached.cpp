@@ -1,0 +1,549 @@
+#include "store/cached.hpp"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "store/mapped_file.hpp"
+#include "util/xxhash.hpp"
+
+namespace fv::store {
+
+namespace {
+
+/// Fixed-size engine metadata, one scalar section. Everything else in the
+/// engine is one of its 13 state vectors.
+struct EngineMeta {
+  std::uint32_t metric;
+  std::uint32_t precompute;
+  std::uint32_t float_kernel;
+  float prune_slack;
+  std::uint64_t count;
+  std::uint64_t length;
+  std::uint64_t stride;
+  std::uint64_t mask_words;
+  std::uint64_t seg_count;
+};
+static_assert(std::is_trivially_copyable_v<EngineMeta>);
+
+struct LshMeta {
+  std::uint64_t count;
+  std::uint64_t bits;
+  std::uint64_t words;
+  std::uint64_t slice_bits;
+  std::uint64_t tables;
+  std::uint64_t probes;
+};
+static_assert(std::is_trivially_copyable_v<LshMeta>);
+
+struct NeighborMeta {
+  std::uint64_t count;
+  std::uint64_t k;
+};
+static_assert(std::is_trivially_copyable_v<NeighborMeta>);
+
+void check_section_size(const ArtifactReader& reader, std::size_t section,
+                        std::size_t actual, std::size_t expected,
+                        const char* what) {
+  if (actual != expected) {
+    throw CorruptArtifactError(
+        "artifact '" + reader.path() + "' section " +
+        std::to_string(section) + " (" + what + ") holds " +
+        std::to_string(actual) + " elements, expected " +
+        std::to_string(expected));
+  }
+}
+
+}  // namespace
+
+// ---- keys --------------------------------------------------------------
+
+ArtifactKey matrix_key(const expr::ExpressionMatrix& matrix) {
+  return KeyBuilder{}
+      .string("matrix")
+      .value(static_cast<std::uint64_t>(matrix.rows()))
+      .value(static_cast<std::uint64_t>(matrix.cols()))
+      .span(matrix.data())
+      .key();
+}
+
+ArtifactKey compendium_files_key(const std::string& directory) {
+  DIR* dir = ::opendir(directory.c_str());
+  if (dir == nullptr) {
+    throw IoError("cannot open compendium directory '" + directory + "'");
+  }
+  std::vector<std::string> names;
+  while (const dirent* ent = ::readdir(dir)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  KeyBuilder builder;
+  builder.string("compendium-files");
+  for (const auto& name : names) {
+    MappedFile file;
+    try {
+      file = MappedFile::open_read_only(directory + "/" + name);
+    } catch (const IoError&) {
+      continue;  // subdirectories and unreadable entries are not content
+    }
+    builder.string(name);
+    builder.value(static_cast<std::uint64_t>(file.size()));
+    if (file.size() > 0) builder.bytes({file.data(), file.size()});
+  }
+  return builder.key();
+}
+
+ArtifactKey engine_key(ArtifactKey input_key, sim::Metric metric,
+                       sim::Precompute precompute,
+                       sim::DenseKernel kernel) {
+  return KeyBuilder{}
+      .string("engine")
+      .value(input_key)
+      .value(static_cast<std::uint32_t>(metric))
+      .value(static_cast<std::uint32_t>(precompute))
+      .value(static_cast<std::uint32_t>(kernel))
+      .key();
+}
+
+ArtifactKey distances_key(const cluster::DistanceMatrix& distances) {
+  return KeyBuilder{}
+      .string("distances")
+      .value(static_cast<std::uint64_t>(distances.size()))
+      .span(distances.condensed())
+      .key();
+}
+
+ArtifactKey lsh_key(ArtifactKey engine_content,
+                    const sim::LshParams& params) {
+  return KeyBuilder{}
+      .string("lsh")
+      .value(engine_content)
+      .value(static_cast<std::uint64_t>(params.bits))
+      .value(static_cast<std::uint64_t>(params.tables))
+      .value(static_cast<std::uint64_t>(params.probes))
+      .value(params.seed)
+      .key();
+}
+
+ArtifactKey neighbors_key(ArtifactKey engine_content, std::size_t k,
+                          std::size_t min_common,
+                          sim::TopKStrategy strategy,
+                          const sim::LshParams& lsh) {
+  KeyBuilder builder;
+  builder.string("neighbors")
+      .value(engine_content)
+      .value(static_cast<std::uint64_t>(k))
+      .value(static_cast<std::uint64_t>(min_common))
+      .value(static_cast<std::uint32_t>(strategy));
+  if (strategy == sim::TopKStrategy::kApprox) {
+    // LSH parameters change the (approximate) result, so they are key
+    // material — but only under the strategy that uses them, so exact
+    // callers share artifacts regardless of the defaulted lsh argument.
+    builder.value(static_cast<std::uint64_t>(lsh.bits))
+        .value(static_cast<std::uint64_t>(lsh.tables))
+        .value(static_cast<std::uint64_t>(lsh.probes))
+        .value(lsh.seed);
+  }
+  return builder.key();
+}
+
+ArtifactKey merges_key(ArtifactKey distances_content,
+                       cluster::Linkage linkage,
+                       cluster::Agglomerator algorithm) {
+  return KeyBuilder{}
+      .string("merges")
+      .value(distances_content)
+      .value(static_cast<std::uint32_t>(linkage))
+      .value(static_cast<std::uint32_t>(algorithm))
+      .key();
+}
+
+// ---- EngineCodec -------------------------------------------------------
+
+ArtifactKey EngineCodec::content_key(const sim::SimilarityEngine& engine) {
+  // Input content + the params that shape derived state; derived vectors
+  // are NOT hashed — they are a function of these. kAllPairs engines carry
+  // their input verbatim (filled rows + masks); kDotBank engines keep only
+  // derived state, so their content is keyed by normalized rows + present
+  // counts instead (filled_/mask_ are legitimately empty there, and
+  // hashing empty spans would collide distinct compendia).
+  KeyBuilder builder;
+  builder.string("engine-content")
+      .value(static_cast<std::uint32_t>(engine.metric_))
+      .value(static_cast<std::uint32_t>(engine.precompute_))
+      .value(static_cast<std::uint32_t>(engine.float_kernel_ ? 1 : 0))
+      .value(static_cast<std::uint64_t>(engine.count_))
+      .value(static_cast<std::uint64_t>(engine.length_));
+  if (engine.precompute_ == sim::Precompute::kAllPairs) {
+    builder.span(std::span<const float>(engine.filled_))
+        .span(std::span<const std::uint64_t>(engine.mask_));
+  } else {
+    builder.span(std::span<const float>(engine.normalized_))
+        .span(std::span<const std::uint32_t>(engine.present_));
+  }
+  return builder.key();
+}
+
+void EngineCodec::save(ArtifactWriter& writer,
+                       const sim::SimilarityEngine& engine) {
+  EngineMeta meta{};
+  meta.metric = static_cast<std::uint32_t>(engine.metric_);
+  meta.precompute = static_cast<std::uint32_t>(engine.precompute_);
+  meta.float_kernel = engine.float_kernel_ ? 1 : 0;
+  meta.prune_slack = engine.prune_slack_;
+  meta.count = engine.count_;
+  meta.length = engine.length_;
+  meta.stride = engine.stride_;
+  meta.mask_words = engine.mask_words_;
+  meta.seg_count = engine.seg_count_;
+  writer.scalar(meta);
+  writer.section(engine.raw_);
+  writer.section(engine.filled_);
+  writer.section(engine.normalized_);
+  writer.section(engine.mask_);
+  writer.section(engine.present_);
+  writer.section(engine.has_missing_);
+  writer.section(engine.degenerate_);
+  writer.section(engine.zscale_);
+  writer.section(engine.missing_idx_);
+  writer.section(engine.missing_begin_);
+  writer.section(engine.own_sum_);
+  writer.section(engine.own_sumsq_);
+  writer.section(engine.seg_norms_);
+}
+
+sim::SimilarityEngine EngineCodec::load(const ArtifactReader& reader,
+                                        std::size_t& section) {
+  const auto meta = reader.scalar<EngineMeta>(section++);
+  sim::SimilarityEngine engine;
+  engine.metric_ = static_cast<sim::Metric>(meta.metric);
+  engine.precompute_ = static_cast<sim::Precompute>(meta.precompute);
+  engine.float_kernel_ = meta.float_kernel != 0;
+  engine.prune_slack_ = meta.prune_slack;
+  engine.count_ = static_cast<std::size_t>(meta.count);
+  engine.length_ = static_cast<std::size_t>(meta.length);
+  engine.stride_ = static_cast<std::size_t>(meta.stride);
+  engine.mask_words_ = static_cast<std::size_t>(meta.mask_words);
+  engine.seg_count_ = static_cast<std::size_t>(meta.seg_count);
+  engine.raw_ = reader.vector<float>(section++);
+  engine.filled_ = reader.vector<float>(section++);
+  engine.normalized_ = reader.vector<float>(section++);
+  engine.mask_ = reader.vector<std::uint64_t>(section++);
+  engine.present_ = reader.vector<std::uint32_t>(section++);
+  engine.has_missing_ = reader.vector<std::uint8_t>(section++);
+  engine.degenerate_ = reader.vector<std::uint8_t>(section++);
+  engine.zscale_ = reader.vector<float>(section++);
+  engine.missing_idx_ = reader.vector<std::uint32_t>(section++);
+  engine.missing_begin_ = reader.vector<std::uint32_t>(section++);
+  engine.own_sum_ = reader.vector<double>(section++);
+  engine.own_sumsq_ = reader.vector<double>(section++);
+  engine.seg_norms_ = reader.vector<float>(section++);
+  // The vectors whose sizes are fully determined by the meta are checked
+  // here; checksums catch bit damage, this catches a codec/meta mismatch.
+  // kDotBank engines legitimately persist empty pairwise-only state
+  // (filled rows, masks) — see SimilarityEngine::build.
+  const bool all_pairs =
+      engine.precompute_ == sim::Precompute::kAllPairs;
+  check_section_size(reader, section - 12, engine.filled_.size(),
+                     all_pairs ? engine.count_ * engine.stride_ : 0,
+                     "filled rows");
+  check_section_size(reader, section - 10, engine.mask_.size(),
+                     all_pairs ? engine.count_ * engine.mask_words_ : 0,
+                     "missing masks");
+  check_section_size(reader, section - 9, engine.present_.size(),
+                     engine.count_, "present counts");
+  return engine;
+}
+
+// ---- LshCodec ----------------------------------------------------------
+
+void LshCodec::save(ArtifactWriter& writer, const sim::LshIndex& index) {
+  LshMeta meta{};
+  meta.count = index.count_;
+  meta.bits = index.bits_;
+  meta.words = index.words_;
+  meta.slice_bits = index.slice_bits_;
+  meta.tables = index.tables_;
+  meta.probes = index.probes_;
+  writer.scalar(meta);
+  writer.section(index.signatures_);
+  // Each bucket table holds exactly count_ (key, row) entries; flatten
+  // them table-major so the whole bank is two sections.
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint32_t> rows;
+  keys.reserve(index.tables_ * index.count_);
+  rows.reserve(index.tables_ * index.count_);
+  for (const auto& table : index.tables_storage_) {
+    keys.insert(keys.end(), table.keys.begin(), table.keys.end());
+    rows.insert(rows.end(), table.rows.begin(), table.rows.end());
+  }
+  writer.section(keys);
+  writer.section(rows);
+  writer.section(index.probe_bits_);
+}
+
+sim::LshIndex LshCodec::load(const ArtifactReader& reader,
+                             std::size_t& section) {
+  const auto meta = reader.scalar<LshMeta>(section++);
+  sim::LshIndex index;
+  index.count_ = static_cast<std::size_t>(meta.count);
+  index.bits_ = static_cast<std::size_t>(meta.bits);
+  index.words_ = static_cast<std::size_t>(meta.words);
+  index.slice_bits_ = static_cast<std::size_t>(meta.slice_bits);
+  index.tables_ = static_cast<std::size_t>(meta.tables);
+  index.probes_ = static_cast<std::size_t>(meta.probes);
+  index.signatures_ = reader.vector<std::uint64_t>(section++);
+  const auto keys = reader.section<std::uint64_t>(section++);
+  const auto rows = reader.section<std::uint32_t>(section++);
+  index.probe_bits_ = reader.vector<std::uint16_t>(section++);
+  check_section_size(reader, section - 4, index.signatures_.size(),
+                     index.count_ * index.words_, "signatures");
+  check_section_size(reader, section - 3, keys.size(),
+                     index.tables_ * index.count_, "bucket keys");
+  check_section_size(reader, section - 2, rows.size(),
+                     index.tables_ * index.count_, "bucket rows");
+  index.tables_storage_.resize(index.tables_);
+  for (std::size_t t = 0; t < index.tables_; ++t) {
+    auto& table = index.tables_storage_[t];
+    const std::size_t begin = t * index.count_;
+    table.keys.assign(keys.begin() + begin,
+                      keys.begin() + begin + index.count_);
+    table.rows.assign(rows.begin() + begin,
+                      rows.begin() + begin + index.count_);
+  }
+  return index;
+}
+
+// ---- SpellCodec --------------------------------------------------------
+
+ArtifactKey SpellCodec::content_key(
+    const std::vector<expr::Dataset>& datasets) {
+  KeyBuilder builder;
+  builder.string("spell-banks");
+  builder.value(static_cast<std::uint64_t>(datasets.size()));
+  for (const auto& dataset : datasets) {
+    builder.string(dataset.name());
+    builder.value(matrix_key(dataset.values()));
+  }
+  return builder.key();
+}
+
+void SpellCodec::save(ArtifactWriter& writer,
+                      const spell::SpellSearch& search) {
+  writer.scalar(static_cast<std::uint64_t>(search.engines_.size()));
+  for (const auto& engine : search.engines_) {
+    EngineCodec::save(writer, engine);
+  }
+}
+
+spell::SpellSearch SpellCodec::load(
+    const ArtifactReader& reader,
+    const std::vector<expr::Dataset>& datasets) {
+  std::size_t section = 0;
+  const auto bank_count = reader.scalar<std::uint64_t>(section++);
+  if (bank_count != datasets.size()) {
+    throw CorruptArtifactError(
+        "spell artifact '" + reader.path() + "' holds " +
+        std::to_string(bank_count) + " dot banks for " +
+        std::to_string(datasets.size()) + " datasets");
+  }
+  std::vector<sim::SimilarityEngine> engines;
+  engines.reserve(datasets.size());
+  for (std::size_t d = 0; d < bank_count; ++d) {
+    engines.push_back(EngineCodec::load(reader, section));
+  }
+  return spell::SpellSearch(&datasets, std::move(engines));
+}
+
+// ---- NeighborCodec / DistanceCodec -------------------------------------
+
+void NeighborCodec::save(ArtifactWriter& writer,
+                         const sim::NeighborTable& table) {
+  NeighborMeta meta{};
+  meta.count = table.count;
+  meta.k = table.k;
+  writer.scalar(meta);
+  writer.section(table.indices);
+  writer.section(table.distances);
+  writer.section(table.valid);
+}
+
+sim::NeighborTable NeighborCodec::load(const ArtifactReader& reader,
+                                       std::size_t& section) {
+  const auto meta = reader.scalar<NeighborMeta>(section++);
+  sim::NeighborTable table;
+  table.count = static_cast<std::size_t>(meta.count);
+  table.k = static_cast<std::size_t>(meta.k);
+  table.indices = reader.vector<std::uint32_t>(section++);
+  table.distances = reader.vector<float>(section++);
+  table.valid = reader.vector<std::uint32_t>(section++);
+  check_section_size(reader, section - 3, table.indices.size(),
+                     table.count * table.k, "neighbor indices");
+  check_section_size(reader, section - 2, table.distances.size(),
+                     table.count * table.k, "neighbor distances");
+  check_section_size(reader, section - 1, table.valid.size(), table.count,
+                     "neighbor valid counts");
+  return table;
+}
+
+void DistanceCodec::save(ArtifactWriter& writer,
+                         const cluster::DistanceMatrix& distances) {
+  writer.scalar(static_cast<std::uint64_t>(distances.size()));
+  writer.section(distances.condensed());
+}
+
+cluster::DistanceMatrix DistanceCodec::load(const ArtifactReader& reader,
+                                            std::size_t& section) {
+  const auto n =
+      static_cast<std::size_t>(reader.scalar<std::uint64_t>(section++));
+  const auto values = reader.section<float>(section++);
+  cluster::DistanceMatrix distances(n);
+  check_section_size(reader, section - 1, values.size(),
+                     distances.condensed().size(), "condensed distances");
+  std::memcpy(distances.condensed().data(), values.data(),
+              values.size() * sizeof(float));
+  return distances;
+}
+
+// ---- cached consumers --------------------------------------------------
+
+sim::SimilarityEngine open_or_build_engine(
+    ArtifactStore& store, ArtifactKey input_key,
+    const std::function<expr::ExpressionMatrix()>& load_matrix,
+    sim::Metric metric, sim::Precompute precompute, sim::DenseKernel kernel,
+    OpenStats* stats) {
+  const ArtifactKey key = engine_key(input_key, metric, precompute, kernel);
+  return load_or_compute<sim::SimilarityEngine>(
+      store, ArtifactKind::kEngine, key,
+      [](const ArtifactReader& reader) {
+        std::size_t section = 0;
+        return EngineCodec::load(reader, section);
+      },
+      [&]() {
+        const expr::ExpressionMatrix matrix = load_matrix();
+        return sim::SimilarityEngine::from_rows(matrix, metric, precompute,
+                                                kernel);
+      },
+      [](ArtifactWriter& writer, const sim::SimilarityEngine& engine) {
+        EngineCodec::save(writer, engine);
+      },
+      stats);
+}
+
+cluster::DistanceMatrix open_or_compute_condensed(
+    ArtifactStore& store, const sim::SimilarityEngine& engine,
+    par::ThreadPool& pool, OpenStats* stats) {
+  const ArtifactKey key = KeyBuilder{}
+                              .string("condensed")
+                              .value(EngineCodec::content_key(engine))
+                              .key();
+  return load_or_compute<cluster::DistanceMatrix>(
+      store, ArtifactKind::kCondensedDistances, key,
+      [](const ArtifactReader& reader) {
+        std::size_t section = 0;
+        return DistanceCodec::load(reader, section);
+      },
+      [&]() {
+        cluster::DistanceMatrix distances(engine.size());
+        engine.condensed_distances(distances.condensed(), pool);
+        return distances;
+      },
+      [](ArtifactWriter& writer, const cluster::DistanceMatrix& distances) {
+        DistanceCodec::save(writer, distances);
+      },
+      stats);
+}
+
+sim::LshIndex open_or_build_lsh(ArtifactStore& store,
+                                const sim::SimilarityEngine& engine,
+                                const sim::LshParams& params,
+                                par::ThreadPool& pool, OpenStats* stats) {
+  const ArtifactKey key = lsh_key(EngineCodec::content_key(engine), params);
+  return load_or_compute<sim::LshIndex>(
+      store, ArtifactKind::kLshIndex, key,
+      [](const ArtifactReader& reader) {
+        std::size_t section = 0;
+        return LshCodec::load(reader, section);
+      },
+      [&]() { return sim::LshIndex(engine, params, pool); },
+      [](ArtifactWriter& writer, const sim::LshIndex& index) {
+        LshCodec::save(writer, index);
+      },
+      stats);
+}
+
+sim::NeighborTable open_or_compute_top_k(
+    ArtifactStore& store, const sim::SimilarityEngine& engine, std::size_t k,
+    par::ThreadPool& pool, std::size_t min_common,
+    sim::TopKStrategy strategy, const sim::LshParams& lsh,
+    OpenStats* stats) {
+  const ArtifactKey key = neighbors_key(EngineCodec::content_key(engine), k,
+                                        min_common, strategy, lsh);
+  return load_or_compute<sim::NeighborTable>(
+      store, ArtifactKind::kNeighborTable, key,
+      [](const ArtifactReader& reader) {
+        std::size_t section = 0;
+        return NeighborCodec::load(reader, section);
+      },
+      [&]() {
+        if (strategy == sim::TopKStrategy::kApprox && engine.size() > 1 &&
+            k < engine.size() - 1) {
+          // Even the cold path reuses warm signatures: the index is its
+          // own cached artifact, so recomputing a lost neighbor table
+          // costs rescoring only, not the signature build.
+          const sim::LshIndex index =
+              open_or_build_lsh(store, engine, lsh, pool);
+          return engine.top_k_neighbors(k, pool, min_common, strategy,
+                                        nullptr, lsh, &index);
+        }
+        return engine.top_k_neighbors(k, pool, min_common, strategy,
+                                      nullptr, lsh);
+      },
+      [](ArtifactWriter& writer, const sim::NeighborTable& table) {
+        NeighborCodec::save(writer, table);
+      },
+      stats);
+}
+
+std::vector<cluster::Merge> open_or_compute_merges(
+    ArtifactStore& store, const cluster::DistanceMatrix& distances,
+    cluster::Linkage linkage, cluster::Agglomerator algorithm,
+    OpenStats* stats) {
+  const ArtifactKey key =
+      merges_key(distances_key(distances), linkage, algorithm);
+  return load_or_compute<std::vector<cluster::Merge>>(
+      store, ArtifactKind::kMerges, key,
+      [](const ArtifactReader& reader) {
+        return reader.vector<cluster::Merge>(0);
+      },
+      [&]() {
+        return cluster::agglomerate(distances, linkage, algorithm);
+      },
+      [](ArtifactWriter& writer,
+         const std::vector<cluster::Merge>& merges) {
+        writer.section(merges);
+      },
+      stats);
+}
+
+spell::SpellSearch open_or_build_spell(
+    ArtifactStore& store, const std::vector<expr::Dataset>& datasets,
+    par::ThreadPool& pool, OpenStats* stats) {
+  const ArtifactKey key = SpellCodec::content_key(datasets);
+  return load_or_compute<spell::SpellSearch>(
+      store, ArtifactKind::kEngine, key,
+      [&](const ArtifactReader& reader) {
+        return SpellCodec::load(reader, datasets);
+      },
+      [&]() { return spell::SpellSearch(datasets, pool); },
+      [](ArtifactWriter& writer, const spell::SpellSearch& search) {
+        SpellCodec::save(writer, search);
+      },
+      stats);
+}
+
+}  // namespace fv::store

@@ -1,0 +1,180 @@
+// Cached spine products: the artifact store wired into the consumers.
+//
+// Everything expensive on the ForestView spine is a pure function of
+// (inputs, params): the normalized compendium rows + missing bitmasks live
+// in a SimilarityEngine, condensed distance triangles feed agglomeration,
+// neighbor tables feed kNN imputation, LSH signature banks feed
+// approximate top-k, SPELL dot banks feed query scoring. This header gives
+// each of them a content-hash key, a codec (byte-exact save/load of the
+// computed state), and an open_or_* entry point built on
+// store::load_or_compute — warm when a valid artifact exists, recompute +
+// self-heal otherwise, never wrong data.
+//
+// Warm opens restore BIT-IDENTICAL state: the codecs copy the computed
+// float/double arrays verbatim (no re-derivation, no text round-trip), so
+// a warm consumer is indistinguishable from a cold one — tests assert
+// exact equality, not tolerance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/distance.hpp"
+#include "cluster/hclust.hpp"
+#include "expr/dataset.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/lsh.hpp"
+#include "sim/similarity_engine.hpp"
+#include "spell/spell.hpp"
+#include "store/artifact_store.hpp"
+
+namespace fv::store {
+
+// ---- content-hash keys -------------------------------------------------
+
+/// Key of a matrix's raw content: dimensions + every cell byte (NaN
+/// patterns included — a missing cell is content).
+ArtifactKey matrix_key(const expr::ExpressionMatrix& matrix);
+
+/// Key of an on-disk compendium: every regular file in `directory`, sorted
+/// by name, hashed as (name, bytes). This is how a warm session keys the
+/// engine artifact WITHOUT parsing a single PCL line — byte-hashing the
+/// files is I/O-bound, parsing them is not.
+ArtifactKey compendium_files_key(const std::string& directory);
+
+/// Engine key: input content + the build parameters that change the state.
+ArtifactKey engine_key(ArtifactKey input_key, sim::Metric metric,
+                       sim::Precompute precompute, sim::DenseKernel kernel);
+
+/// Key of a condensed distance matrix's content (n + every cell).
+ArtifactKey distances_key(const cluster::DistanceMatrix& distances);
+
+ArtifactKey lsh_key(ArtifactKey engine_content, const sim::LshParams& params);
+
+ArtifactKey neighbors_key(ArtifactKey engine_content, std::size_t k,
+                          std::size_t min_common, sim::TopKStrategy strategy,
+                          const sim::LshParams& lsh);
+
+ArtifactKey merges_key(ArtifactKey distances_content,
+                       cluster::Linkage linkage,
+                       cluster::Agglomerator algorithm);
+
+// ---- codecs ------------------------------------------------------------
+//
+// Each codec appends a fixed number of sections to an ArtifactWriter and
+// reads them back from an ArtifactReader at a caller-tracked section
+// cursor (so codecs nest: SpellCodec stores one engine bank after
+// another). The friend declarations in sim/ and spell/ let them move
+// private state without widening any public API.
+
+class EngineCodec {
+ public:
+  static constexpr std::size_t kSections = 14;
+
+  /// Self-contained content key of a BUILT engine: input content (filled
+  /// rows + missing masks + dims) and build params, independent of where
+  /// the input came from. Derived artifacts (distances, neighbors, LSH)
+  /// chain from this, so they never need the original files.
+  static ArtifactKey content_key(const sim::SimilarityEngine& engine);
+
+  static void save(ArtifactWriter& writer,
+                   const sim::SimilarityEngine& engine);
+  static sim::SimilarityEngine load(const ArtifactReader& reader,
+                                    std::size_t& section);
+};
+
+class LshCodec {
+ public:
+  static constexpr std::size_t kSections = 5;
+  static void save(ArtifactWriter& writer, const sim::LshIndex& index);
+  static sim::LshIndex load(const ArtifactReader& reader,
+                            std::size_t& section);
+};
+
+class SpellCodec {
+ public:
+  static ArtifactKey content_key(const std::vector<expr::Dataset>& datasets);
+  static void save(ArtifactWriter& writer, const spell::SpellSearch& search);
+  /// `datasets` must be the same compendium the persisted search was built
+  /// over (the key guarantees it when the caller goes through
+  /// open_or_build_spell); the restored search references it.
+  static spell::SpellSearch load(const ArtifactReader& reader,
+                                 const std::vector<expr::Dataset>& datasets);
+};
+
+/// NeighborTable and DistanceMatrix are public-state types; their codecs
+/// need no friends but follow the same section discipline.
+class NeighborCodec {
+ public:
+  static constexpr std::size_t kSections = 4;
+  static void save(ArtifactWriter& writer, const sim::NeighborTable& table);
+  static sim::NeighborTable load(const ArtifactReader& reader,
+                                 std::size_t& section);
+};
+
+class DistanceCodec {
+ public:
+  static constexpr std::size_t kSections = 2;
+  static void save(ArtifactWriter& writer,
+                   const cluster::DistanceMatrix& distances);
+  static cluster::DistanceMatrix load(const ArtifactReader& reader,
+                                      std::size_t& section);
+};
+
+// ---- cached consumers --------------------------------------------------
+//
+// Every open_or_* call lands in exactly one of two states:
+//  * warm — a valid artifact was mapped and copied out (milliseconds);
+//  * cold — computed from inputs (bit-identical to a storeless build),
+//    then persisted best-effort.
+// Damaged artifacts are quarantined/removed on the way (see
+// load_or_compute); `stats` reports which path ran.
+
+/// The engine over a compendium/matrix, keyed by `input_key` (use
+/// matrix_key or compendium_files_key). `load_matrix` is only invoked on
+/// the cold path — a warm open never parses input files.
+sim::SimilarityEngine open_or_build_engine(
+    ArtifactStore& store, ArtifactKey input_key,
+    const std::function<expr::ExpressionMatrix()>& load_matrix,
+    sim::Metric metric,
+    sim::Precompute precompute = sim::Precompute::kAllPairs,
+    sim::DenseKernel kernel = sim::DenseKernel::kAuto,
+    OpenStats* stats = nullptr);
+
+/// The condensed pairwise distance triangle of `engine`'s profiles.
+cluster::DistanceMatrix open_or_compute_condensed(
+    ArtifactStore& store, const sim::SimilarityEngine& engine,
+    par::ThreadPool& pool, OpenStats* stats = nullptr);
+
+/// The LSH signature index over `engine` under `params`. A warm open
+/// skips the O(n·bits) hyperplane projection pass entirely.
+sim::LshIndex open_or_build_lsh(ArtifactStore& store,
+                                const sim::SimilarityEngine& engine,
+                                const sim::LshParams& params,
+                                par::ThreadPool& pool,
+                                OpenStats* stats = nullptr);
+
+/// The top-k neighbor table of `engine`. Under TopKStrategy::kApprox the
+/// LSH index itself is ALSO cached (open_or_build_lsh) and handed to
+/// top_k_neighbors prebuilt — so even a cold neighbor table reuses warm
+/// signatures.
+sim::NeighborTable open_or_compute_top_k(
+    ArtifactStore& store, const sim::SimilarityEngine& engine, std::size_t k,
+    par::ThreadPool& pool, std::size_t min_common = 0,
+    sim::TopKStrategy strategy = sim::TopKStrategy::kAuto,
+    const sim::LshParams& lsh = sim::LshParams{}, OpenStats* stats = nullptr);
+
+/// The agglomeration merge list of a condensed distance matrix.
+std::vector<cluster::Merge> open_or_compute_merges(
+    ArtifactStore& store, const cluster::DistanceMatrix& distances,
+    cluster::Linkage linkage,
+    cluster::Agglomerator algorithm = cluster::Agglomerator::kAuto,
+    OpenStats* stats = nullptr);
+
+/// The SPELL search (per-dataset dot banks) over a compendium.
+spell::SpellSearch open_or_build_spell(
+    ArtifactStore& store, const std::vector<expr::Dataset>& datasets,
+    par::ThreadPool& pool, OpenStats* stats = nullptr);
+
+}  // namespace fv::store

@@ -1,0 +1,108 @@
+#include "store/fault.hpp"
+
+#include <cstring>
+
+#include "util/fault_hash.hpp"
+#include "util/xxhash.hpp"
+
+namespace fv::store {
+
+namespace {
+
+// Decision streams: each fault family draws from an independent hash
+// stream so e.g. raising the torn rate never changes which ops get bit
+// flips. Streams 1 (action) mirrors mpx's convention; the mpx layer uses
+// only stream 1, so the higher streams are free here.
+constexpr std::uint64_t kStreamCopy = 11;      ///< torn/bitflip action draw
+constexpr std::uint64_t kStreamTearLen = 12;   ///< torn prefix length
+constexpr std::uint64_t kStreamFlipIdx = 13;   ///< flipped byte index
+constexpr std::uint64_t kStreamSync = 14;      ///< truncate-instead-of-sync
+constexpr std::uint64_t kStreamTruncLen = 15;  ///< truncated length
+constexpr std::uint64_t kStreamAlloc = 16;     ///< ENOSPC draw
+
+std::uint64_t path_hash(const std::string& path) {
+  return xxhash64(std::as_bytes(std::span<const char>(path.data(),
+                                                      path.size())));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec) {
+  const double copy_sum = spec_.torn_write_rate + spec_.bitflip_rate;
+  FV_REQUIRE(spec_.torn_write_rate >= 0.0 && spec_.bitflip_rate >= 0.0 &&
+                 copy_sum <= 1.0 + 1e-12,
+             "torn + bitflip rates partition one copy draw; each must be "
+             ">= 0 and their sum <= 1");
+  FV_REQUIRE(spec_.truncate_rate >= 0.0 && spec_.truncate_rate <= 1.0,
+             "truncate_rate must lie in [0, 1]");
+  FV_REQUIRE(spec_.enospc_rate >= 0.0 && spec_.enospc_rate <= 1.0,
+             "enospc_rate must lie in [0, 1]");
+}
+
+std::uint64_t FaultInjector::begin_op(const std::string& path) {
+  const std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (spec_.crash_at_op > 0 &&
+      op == static_cast<std::uint64_t>(spec_.crash_at_op)) {
+    stats_.crashes.fetch_add(1, std::memory_order_relaxed);
+    throw StoreCrashed{path, op};
+  }
+  return op;
+}
+
+std::uint64_t FaultInjector::derive(const std::string& path, std::uint64_t op,
+                                    std::uint64_t stream) const {
+  return fault_hash(spec_.seed, stream, {path_hash(path), op});
+}
+
+double FaultInjector::draw(const std::string& path, std::uint64_t op,
+                           std::uint64_t stream) const {
+  return fault_uniform(derive(path, op, stream));
+}
+
+void FaultInjector::on_allocate(const std::string& path, std::size_t bytes) {
+  const std::uint64_t op = begin_op(path);
+  if (spec_.enospc_rate > 0.0 &&
+      draw(path, op, kStreamAlloc) < spec_.enospc_rate) {
+    stats_.enospc.fetch_add(1, std::memory_order_relaxed);
+    throw IoError("injected ENOSPC: cannot allocate " +
+                  std::to_string(bytes) + " bytes for " + path);
+  }
+}
+
+void FaultInjector::copy(const std::string& path, std::byte* dst,
+                         const std::byte* src, std::size_t n) {
+  const std::uint64_t op = begin_op(path);
+  if (n == 0) return;
+  const double u = draw(path, op, kStreamCopy);
+  if (u < spec_.torn_write_rate) {
+    // Torn write: only a prefix of the bytes reach the medium. The commit
+    // carries on believing it wrote everything — exactly the failure a
+    // lost sector write produces — so detection is entirely on the
+    // reader's checksum.
+    const std::size_t kept = derive(path, op, kStreamTearLen) % n;
+    std::memcpy(dst, src, kept);
+    stats_.torn_writes.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::memcpy(dst, src, n);
+  if (u < spec_.torn_write_rate + spec_.bitflip_rate) {
+    dst[derive(path, op, kStreamFlipIdx) % n] ^= std::byte{0x20};
+    stats_.bitflips.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<std::size_t> FaultInjector::on_sync(const std::string& path,
+                                                  std::size_t bytes) {
+  const std::uint64_t op = begin_op(path);
+  if (spec_.truncate_rate > 0.0 &&
+      draw(path, op, kStreamSync) < spec_.truncate_rate && bytes > 0) {
+    stats_.truncations.fetch_add(1, std::memory_order_relaxed);
+    // Lose at least one byte of tail; metadata (the file) survives.
+    return derive(path, op, kStreamTruncLen) % bytes;
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::on_op(const std::string& path) { begin_op(path); }
+
+}  // namespace fv::store

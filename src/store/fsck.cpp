@@ -1,0 +1,130 @@
+#include "store/fsck.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "store/artifact_store.hpp"
+#include "store/mapped_file.hpp"
+#include "util/error.hpp"
+
+namespace fv::store {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::uint64_t file_bytes(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+FsckEntry classify(const std::string& path) {
+  FsckEntry entry{path, FsckVerdict::kValid, "", file_bytes(path)};
+  if (ends_with(path, std::string(kArtifactExtension) + ".tmp")) {
+    entry.verdict = FsckVerdict::kOrphanTmp;
+    entry.detail = "temporary left by an interrupted commit";
+    return entry;
+  }
+  try {
+    (void)open_artifact_file(path);
+  } catch (const CorruptArtifactError& error) {
+    entry.verdict = FsckVerdict::kCorrupt;
+    entry.detail = error.what();
+  } catch (const StaleArtifactError& error) {
+    entry.verdict = FsckVerdict::kStale;
+    entry.detail = error.what();
+  } catch (const IoError& error) {
+    entry.verdict = FsckVerdict::kUnreadable;
+    entry.detail = error.what();
+  }
+  return entry;
+}
+
+FsckReport run(const std::string& directory, bool repair) {
+  DIR* dir = ::opendir(directory.c_str());
+  if (dir == nullptr) {
+    throw IoError("cannot open store directory '" + directory +
+                  "': " + std::strerror(errno));
+  }
+  std::vector<std::string> names;
+  while (const dirent* ent = ::readdir(dir)) {
+    const std::string name = ent->d_name;
+    // Own only commit-protocol products; quarantine/ and foreign files
+    // are out of scope.
+    if (ends_with(name, kArtifactExtension) ||
+        ends_with(name, std::string(kArtifactExtension) + ".tmp")) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());  // deterministic report order
+
+  FsckReport report;
+  for (const auto& name : names) {
+    FsckEntry entry = classify(directory + "/" + name);
+    switch (entry.verdict) {
+      case FsckVerdict::kValid: ++report.valid; break;
+      case FsckVerdict::kCorrupt: ++report.corrupt; break;
+      case FsckVerdict::kStale: ++report.stale; break;
+      case FsckVerdict::kOrphanTmp: ++report.orphan_tmp; break;
+      case FsckVerdict::kUnreadable: ++report.unreadable; break;
+    }
+    if (repair) {
+      switch (entry.verdict) {
+        case FsckVerdict::kCorrupt: {
+          // Same policy as the runtime degradation path: evidence moves
+          // to quarantine/, it is never destroyed.
+          const std::string qdir = directory + "/quarantine";
+          ::mkdir(qdir.c_str(), 0755);
+          const std::string dst = qdir + "/" + name;
+          if (::rename(entry.path.c_str(), dst.c_str()) != 0) {
+            MappedFile::remove_quiet(entry.path);
+          }
+          ++report.repaired;
+          break;
+        }
+        case FsckVerdict::kStale:
+        case FsckVerdict::kOrphanTmp:
+          MappedFile::remove_quiet(entry.path);
+          ++report.repaired;
+          break;
+        case FsckVerdict::kValid:
+        case FsckVerdict::kUnreadable:
+          break;
+      }
+    }
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace
+
+const char* fsck_verdict_name(FsckVerdict verdict) {
+  switch (verdict) {
+    case FsckVerdict::kValid: return "valid";
+    case FsckVerdict::kCorrupt: return "corrupt";
+    case FsckVerdict::kStale: return "stale";
+    case FsckVerdict::kOrphanTmp: return "orphan-tmp";
+    case FsckVerdict::kUnreadable: return "unreadable";
+  }
+  return "unknown";
+}
+
+FsckReport fsck_scan(const std::string& directory) {
+  return run(directory, /*repair=*/false);
+}
+
+FsckReport fsck_repair(const std::string& directory) {
+  return run(directory, /*repair=*/true);
+}
+
+}  // namespace fv::store

@@ -1,0 +1,55 @@
+// Store consistency checker — the library behind tools/fv_store_fsck.
+//
+// Scans an artifact store directory, classifies every file the store owns
+// (committed *.fva artifacts and orphaned *.fva.tmp temporaries), and —
+// in repair mode — quarantines what is damaged and sweeps what is dead
+// weight. Repair never deletes a corrupt artifact's bytes (evidence goes
+// to quarantine/) and never touches files the store does not own.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fv::store {
+
+enum class FsckVerdict {
+  kValid,      ///< opens clean, checksums hold
+  kCorrupt,    ///< integrity failure (magic/checksum/truncation)
+  kStale,      ///< foreign format version — unreadable by this build
+  kOrphanTmp,  ///< *.fva.tmp left by an interrupted commit
+  kUnreadable, ///< I/O error before validation could run
+};
+
+const char* fsck_verdict_name(FsckVerdict verdict);
+
+struct FsckEntry {
+  std::string path;
+  FsckVerdict verdict;
+  std::string detail;        ///< error text for non-valid entries
+  std::uint64_t bytes = 0;   ///< file size (0 when stat failed)
+};
+
+struct FsckReport {
+  std::vector<FsckEntry> entries;
+  std::size_t valid = 0;
+  std::size_t corrupt = 0;
+  std::size_t stale = 0;
+  std::size_t orphan_tmp = 0;
+  std::size_t unreadable = 0;
+  std::size_t repaired = 0;  ///< files quarantined or swept (repair mode)
+
+  bool clean() const noexcept {
+    return corrupt == 0 && stale == 0 && orphan_tmp == 0 && unreadable == 0;
+  }
+};
+
+/// Read-only scan: validates every owned file, touches nothing.
+FsckReport fsck_scan(const std::string& directory);
+
+/// Scan + repair: corrupt artifacts move to <dir>/quarantine/, stale
+/// artifacts and orphaned temporaries are removed (both are safe — the
+/// consumers recompute). Valid artifacts are untouched.
+FsckReport fsck_repair(const std::string& directory);
+
+}  // namespace fv::store

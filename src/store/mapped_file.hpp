@@ -1,0 +1,100 @@
+// Memory-mapped file primitive (the ExpressionMatrix2 MemoryMappedVector
+// lineage): file-backed storage that opens in milliseconds because opening
+// IS the mmap — no parse, no copy, and a read-only reopen shares pages
+// with every other process mapping the same file.
+//
+// MappedFile owns one fd + one mapping. Writable mappings grow in place
+// (ftruncate + mremap); read-only mappings are immutable views. All fault
+// injection happens ABOVE this class through store::FaultInjector hooks in
+// the callers that copy bytes into mappings — except sync(), whose
+// truncate-instead-of-flush fault has to act on the file itself, so sync
+// takes the injector directly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "store/fault.hpp"
+#include "util/error.hpp"
+
+namespace fv::store {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Creates (truncating any existing file) a read-write file of `bytes`
+  /// bytes, zero-filled, and maps it shared. `bytes` must be >= 1. The
+  /// injector, when given, gates the allocation (ENOSPC / crash).
+  static MappedFile create(const std::string& path, std::size_t bytes,
+                           FaultInjector* faults = nullptr);
+
+  /// Maps an existing file read-only. A zero-length file yields a valid
+  /// object with size() == 0 and no mapping (callers decide what an empty
+  /// file means). Throws fv::IoError when the file cannot be opened.
+  static MappedFile open_read_only(const std::string& path);
+
+  /// Maps an existing file read-write at its current size.
+  static MappedFile open_read_write(const std::string& path,
+                                    FaultInjector* faults = nullptr);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  bool read_only() const noexcept { return read_only_; }
+  std::size_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+
+  std::byte* data() noexcept { return data_; }
+  const std::byte* data() const noexcept { return data_; }
+
+  /// Grows (or shrinks) the file and remaps in place (mremap on Linux —
+  /// the mapping address may move, so callers must not hold raw pointers
+  /// across a resize). Writable mappings only. The injector, when given,
+  /// gates the allocation.
+  void resize(std::size_t bytes, FaultInjector* faults = nullptr);
+
+  /// Flushes the mapping (msync) and the file (fsync) to the medium.
+  /// Under an injected truncation fault the file is chopped instead —
+  /// the caller believes its data is durable, the tail is gone.
+  void sync(FaultInjector* faults = nullptr);
+
+  /// Unmaps and closes. Idempotent; the destructor calls it. Does NOT
+  /// sync — writable callers that need durability sync first (the commit
+  /// protocol does), which keeps "crash before sync" states reachable.
+  void close() noexcept;
+
+  /// Atomically replaces `to` with `from` (POSIX rename: readers of `to`
+  /// see the old bytes or the new bytes, never a mix). The injector op
+  /// gates the crash point.
+  static void atomic_rename(const std::string& from, const std::string& to,
+                            FaultInjector* faults = nullptr);
+
+  /// fsyncs a directory so a preceding rename survives power loss.
+  static void sync_directory(const std::string& directory,
+                             FaultInjector* faults = nullptr);
+
+  /// Removes a file if it exists (best effort, never throws) — commit
+  /// abort cleanup.
+  static void remove_quiet(const std::string& path) noexcept;
+
+ private:
+  MappedFile(std::string path, int fd, std::byte* data, std::size_t size,
+             bool read_only)
+      : path_(std::move(path)), fd_(fd), data_(data), size_(size),
+        read_only_(read_only) {}
+
+  void map(std::size_t bytes);
+
+  std::string path_;
+  int fd_ = -1;
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool read_only_ = true;
+};
+
+}  // namespace fv::store

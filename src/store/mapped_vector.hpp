@@ -1,0 +1,193 @@
+// MappedVector<T> — a typed, growable array living in a memory-mapped file
+// (the ExpressionMatrix2 MemoryMappedVector shape): append on the write
+// side grows the file in place (geometric ftruncate + mremap), reopen on
+// the read side is one mmap — milliseconds regardless of element count —
+// and any number of processes can share the same read-only pages.
+//
+// Crash-consistency contract: the element count lives in the header and is
+// published only by sync(). A crash between appends leaves the previously
+// synced count intact — readers see a consistent prefix, never a torn
+// tail. (The artifact store layers checksummed, atomically-renamed
+// artifacts on top for the stronger sealed-or-absent guarantee; a bare
+// MappedVector is the mutable primitive underneath.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+
+#include "store/mapped_file.hpp"
+#include "util/error.hpp"
+
+namespace fv::store {
+
+/// On-disk MappedVector header, 64 bytes, followed directly by the
+/// elements. `count` is the sync-published element count; bytes past
+/// header + count * elem_size are unpublished garbage by contract.
+struct MappedVectorHeader {
+  char magic[8];                ///< "FVMMVEC1"
+  std::uint32_t version;        ///< kMappedVectorVersion
+  std::uint32_t elem_size;      ///< sizeof(T) sealed at create time
+  std::uint64_t count;          ///< published element count
+  std::uint64_t reserved[5];    ///< zero; pads the header to 64 bytes
+};
+static_assert(sizeof(MappedVectorHeader) == 64);
+static_assert(std::is_trivially_copyable_v<MappedVectorHeader>);
+
+inline constexpr char kMappedVectorMagic[8] = {'F', 'V', 'M', 'M',
+                                               'V', 'E', 'C', '1'};
+inline constexpr std::uint32_t kMappedVectorVersion = 1;
+
+template <typename T>
+class MappedVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "MappedVector stores raw bytes; T must be trivially "
+                "copyable");
+  static_assert(alignof(T) <= 64,
+                "elements start 64 bytes into the mapping");
+
+ public:
+  MappedVector() = default;
+
+  /// Creates (truncating any existing file) an empty writable vector.
+  /// The injector, when given, is consulted on every allocation and
+  /// append copy — the chaos suite drives torn/short writes through it.
+  static MappedVector create(const std::string& path,
+                             FaultInjector* faults = nullptr) {
+    MappedVector v;
+    v.faults_ = faults;
+    v.capacity_ = kInitialCapacity;
+    v.file_ = MappedFile::create(path, byte_size(v.capacity_), faults);
+    MappedVectorHeader header{};
+    std::memcpy(header.magic, kMappedVectorMagic, 8);
+    header.version = kMappedVectorVersion;
+    header.elem_size = sizeof(T);
+    header.count = 0;
+    std::memcpy(v.file_.data(), &header, sizeof(header));
+    v.count_ = 0;
+    return v;
+  }
+
+  /// Maps an existing vector read-only, validating the header: bad magic,
+  /// a wrong element size, or a published count that does not fit the
+  /// file raise fv::CorruptArtifactError; a newer format version raises
+  /// fv::StaleArtifactError. Reopen cost is one mmap + 64 header bytes.
+  static MappedVector open_read_only(const std::string& path) {
+    MappedVector v;
+    v.file_ = MappedFile::open_read_only(path);
+    if (v.file_.size() < sizeof(MappedVectorHeader)) {
+      throw CorruptArtifactError("mapped vector '" + path +
+                                 "' is shorter than its header");
+    }
+    MappedVectorHeader header;
+    std::memcpy(&header, v.file_.data(), sizeof(header));
+    if (std::memcmp(header.magic, kMappedVectorMagic, 8) != 0) {
+      throw CorruptArtifactError("mapped vector '" + path +
+                                 "' has a foreign or damaged magic");
+    }
+    if (header.version != kMappedVectorVersion) {
+      throw StaleArtifactError(
+          "mapped vector '" + path + "' has format version " +
+          std::to_string(header.version) + ", reader expects " +
+          std::to_string(kMappedVectorVersion));
+    }
+    if (header.elem_size != sizeof(T)) {
+      throw CorruptArtifactError(
+          "mapped vector '" + path + "' holds " +
+          std::to_string(header.elem_size) + "-byte elements, reader "
+          "expects " + std::to_string(sizeof(T)) + "-byte elements");
+    }
+    if (byte_size(header.count) > v.file_.size()) {
+      throw CorruptArtifactError(
+          "mapped vector '" + path + "' publishes " +
+          std::to_string(header.count) + " elements but the file holds "
+          "fewer bytes (truncated)");
+    }
+    v.count_ = static_cast<std::size_t>(header.count);
+    v.capacity_ = v.count_;
+    return v;
+  }
+
+  bool is_open() const noexcept { return file_.is_open(); }
+  bool read_only() const noexcept { return file_.read_only(); }
+  const std::string& path() const noexcept { return file_.path(); }
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  const T* data() const noexcept {
+    return reinterpret_cast<const T*>(file_.data() +
+                                      sizeof(MappedVectorHeader));
+  }
+
+  const T& operator[](std::size_t i) const {
+    FV_REQUIRE(i < count_, "mapped vector index out of range");
+    return data()[i];
+  }
+
+  /// The published elements, directly over the mapping — zero copies.
+  std::span<const T> span() const noexcept { return {data(), count_}; }
+
+  /// Appends `values`, growing the file geometrically as needed. The
+  /// count is NOT published until sync().
+  void append(std::span<const T> values) {
+    FV_REQUIRE(is_open() && !read_only(),
+               "append needs a writable mapped vector");
+    if (values.empty()) return;
+    reserve(count_ + values.size());
+    std::byte* dst = file_.data() + byte_size(count_);
+    const auto src = std::as_bytes(values);
+    if (faults_ != nullptr) {
+      faults_->copy(file_.path(), dst, src.data(), src.size());
+    } else {
+      std::memcpy(dst, src.data(), src.size());
+    }
+    count_ += values.size();
+  }
+
+  void push_back(const T& value) { append(std::span<const T>(&value, 1)); }
+
+  /// Ensures capacity for `n` elements (grow-in-place; the mapping may
+  /// move, so spans obtained earlier are invalidated).
+  void reserve(std::size_t n) {
+    FV_REQUIRE(is_open() && !read_only(),
+               "reserve needs a writable mapped vector");
+    if (n <= capacity_) return;
+    std::size_t grown = capacity_ < kInitialCapacity ? kInitialCapacity
+                                                     : capacity_;
+    while (grown < n) grown += grown / 2 + kInitialCapacity;
+    file_.resize(byte_size(grown), faults_);
+    capacity_ = grown;
+  }
+
+  /// Publishes the current count into the header and flushes everything
+  /// to the medium. After sync() returns, a crash loses nothing.
+  void sync() {
+    FV_REQUIRE(is_open() && !read_only(),
+               "sync needs a writable mapped vector");
+    std::uint64_t published = count_;
+    std::memcpy(file_.data() + offsetof(MappedVectorHeader, count),
+                &published, sizeof(published));
+    file_.sync(faults_);
+  }
+
+  void close() noexcept { file_.close(); }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  static std::size_t byte_size(std::uint64_t elements) noexcept {
+    return sizeof(MappedVectorHeader) +
+           static_cast<std::size_t>(elements) * sizeof(T);
+  }
+
+  MappedFile file_;
+  std::size_t count_ = 0;
+  std::size_t capacity_ = 0;
+  FaultInjector* faults_ = nullptr;
+};
+
+}  // namespace fv::store

@@ -68,6 +68,25 @@ class CorruptMessageError : public Error {
   using Error::Error;
 };
 
+/// A persisted artifact failed an integrity check at open: bad magic, a
+/// header or payload checksum mismatch, a payload shorter than its header
+/// claims, or a section layout that does not decode. The bytes on disk are
+/// not trustworthy — consumers must quarantine the file and recompute from
+/// inputs (the artifact store's load_or_compute helpers do exactly that).
+class CorruptArtifactError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A persisted artifact is internally consistent but no longer usable: its
+/// format version predates the current reader, or its sealed kind/key does
+/// not match what the caller asked for (a renamed or collided file).
+/// Recoverable by recomputing; the stale file is safe to delete.
+class StaleArtifactError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// A cooperating group (mpx ranks) was aborted while this participant was
 /// blocked. Carries the rank whose failure originated the abort (-1 when the
 /// abort was not attributed to a rank) so victims see *why* they died.

@@ -1,0 +1,55 @@
+// Shared deterministic fault-decision hash.
+//
+// Both fault-injection layers — mpx (the in-process message transport) and
+// store (the on-disk artifact store) — need the same primitive: a pure
+// function from an injection coordinate (message envelope, I/O operation)
+// to a uniform draw in [0, 1), so a given seed reproduces exactly the same
+// set of injected faults regardless of thread interleaving or replay
+// order. The coordinate differs per layer (mpx hashes (source, dest, tag,
+// sequence); store hashes (path, op index)); the mixing chain is shared
+// here so the two layers cannot drift and so tests can pin the mpx
+// behavior while store reuses it.
+//
+// The chain is the splitmix64 finalizer folded over the coordinate words:
+//
+//   h = mix64(seed ^ stream * 0x9e3779b97f4a7c15)
+//   for each word w:  h = mix64(h ^ w)
+//
+// which is exactly the sequence mpx::FaultPlan has always computed (its
+// envelope packs into two words); tests/util_test.cpp pins this bit for
+// bit against an independent re-derivation.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace fv {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+constexpr std::uint64_t fault_mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The shared mixing chain: seed and stream select an independent decision
+/// family (mpx uses stream 1 for action draws; store uses its own streams),
+/// then each coordinate word is folded through one full mix.
+constexpr std::uint64_t fault_hash(std::uint64_t seed, std::uint64_t stream,
+                                   std::initializer_list<std::uint64_t> words)
+    noexcept {
+  std::uint64_t h = fault_mix64(seed ^ (stream * 0x9e3779b97f4a7c15ull));
+  for (const std::uint64_t w : words) h = fault_mix64(h ^ w);
+  return h;
+}
+
+/// Maps a fault_hash value onto a uniform draw in [0, 1) (53 mantissa bits,
+/// the standard 2⁻⁵³ ladder).
+constexpr double fault_uniform(std::uint64_t hash) noexcept {
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+}  // namespace fv

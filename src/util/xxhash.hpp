@@ -1,0 +1,123 @@
+// XXH64 — the 64-bit xxHash checksum (Collet's construction).
+//
+// The artifact store seals every header and payload with this: fast enough
+// to validate a multi-megabyte mapped artifact at open time (the 4-lane
+// stripe loop runs at memory bandwidth), strong enough that torn writes,
+// truncation and bit rot surface as a mismatch rather than as silently
+// wrong analysis results. Implemented from the published algorithm; the
+// test suite pins reference vectors so the on-disk format cannot drift.
+//
+// Not a cryptographic hash — it defends against storage faults, not
+// adversaries. (mpx's per-message payload_checksum stays separate: it is
+// tuned for many tiny buffers, this for few large ones.)
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace fv {
+
+namespace detail {
+
+inline constexpr std::uint64_t kXxPrime1 = 0x9e3779b185ebca87ull;
+inline constexpr std::uint64_t kXxPrime2 = 0xc2b2ae3d27d4eb4full;
+inline constexpr std::uint64_t kXxPrime3 = 0x165667b19e3779f9ull;
+inline constexpr std::uint64_t kXxPrime4 = 0x85ebca77c2b2ae63ull;
+inline constexpr std::uint64_t kXxPrime5 = 0x27d4eb2f165667c5ull;
+
+inline std::uint64_t xx_read64(const std::byte* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline std::uint32_t xx_read32(const std::byte* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint64_t xx_round(std::uint64_t acc, std::uint64_t input)
+    noexcept {
+  acc += input * kXxPrime2;
+  acc = std::rotl(acc, 31);
+  acc *= kXxPrime1;
+  return acc;
+}
+
+inline std::uint64_t xx_merge_round(std::uint64_t acc, std::uint64_t val)
+    noexcept {
+  acc ^= xx_round(0, val);
+  return acc * kXxPrime1 + kXxPrime4;
+}
+
+}  // namespace detail
+
+/// XXH64 of `data` under `seed`.
+inline std::uint64_t xxhash64(std::span<const std::byte> data,
+                              std::uint64_t seed = 0) noexcept {
+  using namespace detail;
+  const std::byte* p = data.data();
+  const std::byte* const end = p + data.size();
+  std::uint64_t h;
+
+  if (data.size() >= 32) {
+    std::uint64_t v1 = seed + kXxPrime1 + kXxPrime2;
+    std::uint64_t v2 = seed + kXxPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kXxPrime1;
+    do {
+      v1 = xx_round(v1, xx_read64(p));
+      v2 = xx_round(v2, xx_read64(p + 8));
+      v3 = xx_round(v3, xx_read64(p + 16));
+      v4 = xx_round(v4, xx_read64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = std::rotl(v1, 1) + std::rotl(v2, 7) + std::rotl(v3, 12) +
+        std::rotl(v4, 18);
+    h = xx_merge_round(h, v1);
+    h = xx_merge_round(h, v2);
+    h = xx_merge_round(h, v3);
+    h = xx_merge_round(h, v4);
+  } else {
+    h = seed + kXxPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(data.size());
+
+  while (p + 8 <= end) {
+    h ^= xx_round(0, xx_read64(p));
+    h = std::rotl(h, 27) * kXxPrime1 + kXxPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(xx_read32(p)) * kXxPrime1;
+    h = std::rotl(h, 23) * kXxPrime2 + kXxPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(*p)) *
+         kXxPrime5;
+    h = std::rotl(h, 11) * kXxPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kXxPrime2;
+  h ^= h >> 29;
+  h *= kXxPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+/// Convenience overload over any trivially-copyable element span.
+template <typename T>
+std::uint64_t xxhash64_of(std::span<const T> values,
+                          std::uint64_t seed = 0) noexcept {
+  return xxhash64(std::as_bytes(values), seed);
+}
+
+}  // namespace fv

@@ -1,0 +1,690 @@
+// Functional tests of the artifact store: mapped primitives, the sealed
+// artifact format, cached spine products (warm reopen must be
+// BIT-IDENTICAL to cold compute), cross-"process" read-only sharing at
+// n = 4000, in-process concurrency, and fsck. Storage-fault scenarios
+// live in store_chaos_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "cluster/hclust.hpp"
+#include "expr/dataset.hpp"
+#include "expr/gene.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/lsh.hpp"
+#include "sim/similarity_engine.hpp"
+#include "spell/spell.hpp"
+#include "stats/descriptive.hpp"
+#include "store/artifact_store.hpp"
+#include "store/cached.hpp"
+#include "store/fsck.hpp"
+#include "store/mapped_vector.hpp"
+#include "util/rng.hpp"
+#include "util/xxhash.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh store directory per test, removed afterwards.
+class StoreDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("fv_store_test_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()
+                     ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+using MappedVectorTest = StoreDirTest;
+using StoreArtifactTest = StoreDirTest;
+using StoreCachedTest = StoreDirTest;
+using StoreSharingTest = StoreDirTest;
+using StoreConcurrencyTest = StoreDirTest;
+using FsckTest = StoreDirTest;
+
+/// Deterministic matrix with structure (correlated blocks) and some
+/// missing cells — the shape every cached product is exercised on.
+fv::expr::ExpressionMatrix make_matrix(std::size_t rows, std::size_t cols,
+                                       std::uint64_t seed = 42) {
+  fv::Rng rng(seed);
+  fv::expr::ExpressionMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double base = static_cast<double>(r % 7);
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.uniform() < 0.03) continue;  // leave missing
+      m.set(r, c,
+            static_cast<float>(std::sin(base + 0.3 * c) +
+                               0.2 * rng.normal()));
+    }
+  }
+  return m;
+}
+
+void flip_byte(const std::string& path, std::size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x01);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&b, 1);
+}
+
+// ---- MappedVector ------------------------------------------------------
+
+TEST_F(MappedVectorTest, RoundTripAfterSync) {
+  const std::string path = dir_ + "/vec.bin";
+  std::vector<float> values;
+  {
+    auto v = fv::store::MappedVector<float>::create(path);
+    for (int i = 0; i < 1000; ++i) {
+      values.push_back(static_cast<float>(i) * 0.5f);
+    }
+    v.append(values);
+    v.sync();
+  }
+  const auto r = fv::store::MappedVector<float>::open_read_only(path);
+  ASSERT_EQ(r.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(r[i], values[i]);
+  }
+}
+
+TEST_F(MappedVectorTest, CountIsPublishedOnlyBySync) {
+  const std::string path = dir_ + "/vec.bin";
+  {
+    auto v = fv::store::MappedVector<std::uint32_t>::create(path);
+    v.push_back(1);
+    v.push_back(2);
+    v.sync();
+    v.push_back(3);  // appended but never published
+    // close() without sync — a crash between appends.
+  }
+  const auto r = fv::store::MappedVector<std::uint32_t>::open_read_only(path);
+  ASSERT_EQ(r.size(), 2u);  // the synced prefix, nothing torn
+  EXPECT_EQ(r[0], 1u);
+  EXPECT_EQ(r[1], 2u);
+}
+
+TEST_F(MappedVectorTest, GrowthPreservesEarlierElements) {
+  const std::string path = dir_ + "/vec.bin";
+  auto v = fv::store::MappedVector<std::uint64_t>::create(path);
+  for (std::uint64_t i = 0; i < 10000; ++i) v.push_back(i * i);
+  v.sync();
+  EXPECT_GE(v.capacity(), 10000u);
+  for (std::uint64_t i = 0; i < 10000; ++i) EXPECT_EQ(v[i], i * i);
+}
+
+TEST_F(MappedVectorTest, OpenValidationRaisesTypedErrors) {
+  const std::string path = dir_ + "/vec.bin";
+  {  // shorter than the header
+    std::ofstream f(path, std::ios::binary);
+    f.write("tiny", 4);
+  }
+  EXPECT_THROW(fv::store::MappedVector<float>::open_read_only(path),
+               fv::CorruptArtifactError);
+
+  {
+    auto v = fv::store::MappedVector<float>::create(path);
+    v.push_back(1.0f);
+    v.sync();
+  }
+  // wrong element type
+  EXPECT_THROW(fv::store::MappedVector<double>::open_read_only(path),
+               fv::CorruptArtifactError);
+  // damaged magic
+  flip_byte(path, 0);
+  EXPECT_THROW(fv::store::MappedVector<float>::open_read_only(path),
+               fv::CorruptArtifactError);
+  flip_byte(path, 0);  // restore
+  // foreign format version
+  flip_byte(path, 8);
+  EXPECT_THROW(fv::store::MappedVector<float>::open_read_only(path),
+               fv::StaleArtifactError);
+  flip_byte(path, 8);
+  // published count beyond the file
+  fs::resize_file(path, sizeof(fv::store::MappedVectorHeader));
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    const std::uint64_t huge = 1000;
+    f.seekp(16);  // offsetof(MappedVectorHeader, count)
+    f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  EXPECT_THROW(fv::store::MappedVector<float>::open_read_only(path),
+               fv::CorruptArtifactError);
+}
+
+// ---- artifact format ---------------------------------------------------
+
+TEST_F(StoreArtifactTest, PutOpenRoundTrip) {
+  fv::store::ArtifactStore store(dir_);
+  const std::vector<float> floats{1.5f, -2.0f, 3.25f};
+  const std::vector<std::uint32_t> ints{7, 8, 9, 10};
+  store.put(fv::store::ArtifactKind::kBlob, 0xabcdef, [&](auto& w) {
+    w.section(floats);
+    w.scalar(std::uint64_t{42});
+    w.section(ints);
+  });
+  const auto reader = store.open(fv::store::ArtifactKind::kBlob, 0xabcdef);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->kind(), fv::store::ArtifactKind::kBlob);
+  EXPECT_EQ(reader->key(), 0xabcdefull);
+  ASSERT_EQ(reader->section_count(), 3u);
+  EXPECT_EQ(reader->vector<float>(0), floats);
+  EXPECT_EQ(reader->scalar<std::uint64_t>(1), 42u);
+  EXPECT_EQ(reader->vector<std::uint32_t>(2), ints);
+  // misreading a section's element type is a typed error, not garbage
+  EXPECT_THROW((void)reader->section<double>(0), fv::CorruptArtifactError);
+}
+
+TEST_F(StoreArtifactTest, MissingArtifactIsNullopt) {
+  fv::store::ArtifactStore store(dir_);
+  EXPECT_FALSE(store.open(fv::store::ArtifactKind::kBlob, 1).has_value());
+  EXPECT_FALSE(store.contains(fv::store::ArtifactKind::kBlob, 1));
+}
+
+TEST_F(StoreArtifactTest, WrongNameForContentIsStale) {
+  fv::store::ArtifactStore store(dir_);
+  store.put(fv::store::ArtifactKind::kBlob, 1,
+            [](auto& w) { w.scalar(std::uint64_t{1}); });
+  // A valid artifact renamed to a different key's slot: checksums hold,
+  // but the file is not what its name claims.
+  fs::copy_file(store.artifact_path(fv::store::ArtifactKind::kBlob, 1),
+                store.artifact_path(fv::store::ArtifactKind::kBlob, 2));
+  EXPECT_THROW((void)store.open(fv::store::ArtifactKind::kBlob, 2),
+               fv::StaleArtifactError);
+}
+
+TEST_F(StoreArtifactTest, DamageIsDetectedWhereverItLands) {
+  fv::store::ArtifactStore store(dir_);
+  const std::vector<double> payload(64, 3.14159);
+  store.put(fv::store::ArtifactKind::kBlob, 5,
+            [&](auto& w) { w.section(payload); });
+  const std::string path =
+      store.artifact_path(fv::store::ArtifactKind::kBlob, 5);
+  const auto file_size = fs::file_size(path);
+
+  flip_byte(path, 20);  // header
+  EXPECT_THROW((void)store.open(fv::store::ArtifactKind::kBlob, 5),
+               fv::CorruptArtifactError);
+  flip_byte(path, 20);
+
+  flip_byte(path, 100);  // payload
+  EXPECT_THROW((void)store.open(fv::store::ArtifactKind::kBlob, 5),
+               fv::CorruptArtifactError);
+  flip_byte(path, 100);
+
+  ASSERT_TRUE(store.open(fv::store::ArtifactKind::kBlob, 5).has_value());
+
+  fs::resize_file(path, file_size - 8);  // lost tail
+  EXPECT_THROW((void)store.open(fv::store::ArtifactKind::kBlob, 5),
+               fv::CorruptArtifactError);
+}
+
+TEST_F(StoreArtifactTest, QuarantineMovesDamagedFileAside) {
+  fv::store::ArtifactStore store(dir_);
+  store.put(fv::store::ArtifactKind::kBlob, 9,
+            [](auto& w) { w.scalar(std::uint64_t{9}); });
+  store.quarantine(fv::store::ArtifactKind::kBlob, 9);
+  EXPECT_FALSE(store.contains(fv::store::ArtifactKind::kBlob, 9));
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "quarantine"));
+  EXPECT_EQ(store.stats().quarantined.load(), 1u);
+}
+
+TEST_F(StoreArtifactTest, KeyBuilderIsOrderAndLengthSensitive) {
+  using fv::store::KeyBuilder;
+  const auto k1 = KeyBuilder{}.string("ab").string("c").key();
+  const auto k2 = KeyBuilder{}.string("a").string("bc").key();
+  const auto k3 = KeyBuilder{}.string("c").string("ab").key();
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k1, k3);
+  EXPECT_EQ(k1, KeyBuilder{}.string("ab").string("c").key());
+}
+
+// ---- cached spine products --------------------------------------------
+
+TEST_F(StoreCachedTest, EngineWarmReopenIsBitIdentical) {
+  const auto matrix = make_matrix(64, 12);
+  const auto input_key = fv::store::matrix_key(matrix);
+  std::size_t parses = 0;
+  const auto load_matrix = [&]() {
+    ++parses;
+    return matrix;
+  };
+
+  fv::store::ArtifactStore cold_store(dir_);
+  fv::store::OpenStats cold_stats;
+  const auto cold = fv::store::open_or_build_engine(
+      cold_store, input_key, load_matrix, fv::sim::Metric::kPearson,
+      fv::sim::Precompute::kAllPairs, fv::sim::DenseKernel::kAuto,
+      &cold_stats);
+  EXPECT_FALSE(cold_stats.warm);
+  EXPECT_TRUE(cold_stats.persisted);
+  EXPECT_EQ(parses, 1u);
+
+  // A second "session": new store object over the same directory.
+  fv::store::ArtifactStore warm_store(dir_);
+  fv::store::OpenStats warm_stats;
+  const auto warm = fv::store::open_or_build_engine(
+      warm_store, input_key, load_matrix, fv::sim::Metric::kPearson,
+      fv::sim::Precompute::kAllPairs, fv::sim::DenseKernel::kAuto,
+      &warm_stats);
+  EXPECT_TRUE(warm_stats.warm);
+  EXPECT_EQ(parses, 1u);  // the warm path never parses input
+
+  ASSERT_EQ(warm.size(), cold.size());
+  ASSERT_EQ(warm.length(), cold.length());
+  ASSERT_EQ(warm.stride(), cold.stride());
+  EXPECT_EQ(warm.metric(), cold.metric());
+  EXPECT_EQ(warm.float_kernel_active(), cold.float_kernel_active());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(warm.present(i), cold.present(i));
+    EXPECT_EQ(warm.row_has_missing(i), cold.row_has_missing(i));
+    EXPECT_EQ(warm.zscale(i), cold.zscale(i));
+    const auto a = cold.normalized_row(i);
+    const auto b = warm.normalized_row(i);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+  }
+  for (std::size_t i = 0; i < cold.size(); i += 7) {
+    for (std::size_t j = i + 1; j < cold.size(); j += 5) {
+      EXPECT_EQ(warm.distance(i, j), cold.distance(i, j));
+      EXPECT_EQ(warm.similarity(i, j), cold.similarity(i, j));
+    }
+  }
+}
+
+TEST_F(StoreCachedTest, CondensedDistancesWarmReopenIsBitIdentical) {
+  const auto matrix = make_matrix(48, 10);
+  const auto engine = fv::sim::SimilarityEngine::from_rows(
+      matrix, fv::sim::Metric::kPearson);
+  fv::par::ThreadPool pool(2);
+
+  fv::store::ArtifactStore store(dir_);
+  fv::store::OpenStats s1, s2;
+  const auto cold = fv::store::open_or_compute_condensed(store, engine,
+                                                         pool, &s1);
+  fv::store::ArtifactStore second(dir_);
+  const auto warm = fv::store::open_or_compute_condensed(second, engine,
+                                                         pool, &s2);
+  EXPECT_FALSE(s1.warm);
+  EXPECT_TRUE(s2.warm);
+  ASSERT_EQ(warm.size(), cold.size());
+  const auto a = cold.condensed();
+  const auto b = warm.condensed();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+}
+
+TEST_F(StoreCachedTest, TopKNeighborsWarmReopenIsBitIdentical) {
+  const auto matrix = make_matrix(60, 14);
+  const auto engine = fv::sim::SimilarityEngine::from_rows(
+      matrix, fv::sim::Metric::kPearson);
+  fv::par::ThreadPool pool(2);
+  const auto reference = engine.top_k_neighbors(5, pool);
+
+  fv::store::ArtifactStore store(dir_);
+  const auto cold =
+      fv::store::open_or_compute_top_k(store, engine, 5, pool);
+  fv::store::ArtifactStore second(dir_);
+  fv::store::OpenStats s2;
+  const auto warm = fv::store::open_or_compute_top_k(second, engine, 5,
+                                                     pool, 0,
+                                                     fv::sim::TopKStrategy::kAuto,
+                                                     fv::sim::LshParams{}, &s2);
+  EXPECT_TRUE(s2.warm);
+  for (const auto* table : {&cold, &warm}) {
+    ASSERT_EQ(table->count, reference.count);
+    ASSERT_EQ(table->k, reference.k);
+    EXPECT_EQ(table->indices, reference.indices);
+    EXPECT_EQ(table->distances, reference.distances);
+    EXPECT_EQ(table->valid, reference.valid);
+  }
+}
+
+TEST_F(StoreCachedTest, LshIndexWarmReopenFeedsApproxTopK) {
+  const auto matrix = make_matrix(200, 16, 7);
+  const auto engine = fv::sim::SimilarityEngine::from_rows(
+      matrix, fv::sim::Metric::kPearson);
+  fv::par::ThreadPool pool(2);
+  fv::sim::LshParams params;
+  params.bits = 64;
+  params.tables = 8;
+
+  // Reference: storeless approximate top-k (builds its own signatures).
+  fv::sim::TopKStats ref_stats;
+  const auto reference = engine.top_k_neighbors(
+      4, pool, 0, fv::sim::TopKStrategy::kApprox, &ref_stats, params);
+  EXPECT_EQ(ref_stats.signatures_built, engine.size());
+
+  fv::store::ArtifactStore store(dir_);
+  fv::store::OpenStats s1;
+  const auto cold_index =
+      fv::store::open_or_build_lsh(store, engine, params, pool, &s1);
+  EXPECT_FALSE(s1.warm);
+
+  fv::store::ArtifactStore second(dir_);
+  fv::store::OpenStats s2;
+  const auto warm_index =
+      fv::store::open_or_build_lsh(second, engine, params, pool, &s2);
+  EXPECT_TRUE(s2.warm);
+  ASSERT_EQ(warm_index.size(), engine.size());
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    const auto a = cold_index.signature(i);
+    const auto b = warm_index.signature(i);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          a.size() * sizeof(std::uint64_t)),
+              0);
+  }
+
+  // The warm index drives the approximate path: same table, and the stats
+  // prove no signatures were rebuilt.
+  fv::sim::TopKStats warm_stats;
+  const auto warm_table = engine.top_k_neighbors(
+      4, pool, 0, fv::sim::TopKStrategy::kApprox, &warm_stats, params,
+      &warm_index);
+  EXPECT_EQ(warm_stats.signatures_built, 0u);
+  EXPECT_EQ(warm_table.indices, reference.indices);
+  EXPECT_EQ(warm_table.distances, reference.distances);
+  EXPECT_EQ(warm_table.valid, reference.valid);
+}
+
+TEST_F(StoreCachedTest, MergesWarmReopenIsBitIdentical) {
+  const auto matrix = make_matrix(40, 8);
+  fv::par::ThreadPool pool(2);
+  const auto distances =
+      fv::cluster::row_distances(matrix, fv::sim::Metric::kPearson, pool);
+  const auto reference =
+      fv::cluster::agglomerate(distances, fv::cluster::Linkage::kAverage);
+
+  fv::store::ArtifactStore store(dir_);
+  const auto cold = fv::store::open_or_compute_merges(
+      store, distances, fv::cluster::Linkage::kAverage);
+  fv::store::ArtifactStore second(dir_);
+  fv::store::OpenStats s2;
+  const auto warm = fv::store::open_or_compute_merges(
+      second, distances, fv::cluster::Linkage::kAverage,
+      fv::cluster::Agglomerator::kAuto, &s2);
+  EXPECT_TRUE(s2.warm);
+  for (const auto* merges : {&cold, &warm}) {
+    ASSERT_EQ(merges->size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ((*merges)[i].left, reference[i].left);
+      EXPECT_EQ((*merges)[i].right, reference[i].right);
+      EXPECT_EQ((*merges)[i].distance, reference[i].distance);
+    }
+  }
+}
+
+std::vector<fv::expr::Dataset> make_datasets() {
+  std::vector<fv::expr::Dataset> datasets;
+  for (int d = 0; d < 2; ++d) {
+    const std::size_t rows = 30;
+    const std::size_t cols = 8 + 2 * d;
+    std::vector<fv::expr::GeneInfo> genes(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      genes[r].systematic_name = "G" + std::to_string(r);
+      genes[r].common_name = "gene" + std::to_string(r);
+    }
+    std::vector<std::string> conditions(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      conditions[c] = "c" + std::to_string(c);
+    }
+    datasets.emplace_back("ds" + std::to_string(d), std::move(genes),
+                          std::move(conditions),
+                          make_matrix(rows, cols, 100 + d));
+  }
+  return datasets;
+}
+
+TEST_F(StoreCachedTest, SpellBanksWarmReopenGiveIdenticalRankings) {
+  const auto datasets = make_datasets();
+  fv::par::ThreadPool pool(2);
+  const fv::spell::SpellSearch reference(datasets, pool);
+  const std::vector<std::string> query{"G1", "G2", "G3"};
+  const auto expected = reference.search(query);
+
+  fv::store::ArtifactStore store(dir_);
+  const auto cold =
+      fv::store::open_or_build_spell(store, datasets, pool);
+  fv::store::ArtifactStore second(dir_);
+  fv::store::OpenStats s2;
+  const auto warm =
+      fv::store::open_or_build_spell(second, datasets, pool, &s2);
+  EXPECT_TRUE(s2.warm);
+
+  for (const auto* search : {&cold, &warm}) {
+    const auto got = search->search(query);
+    ASSERT_EQ(got.gene_ranking.size(), expected.gene_ranking.size());
+    for (std::size_t i = 0; i < expected.gene_ranking.size(); ++i) {
+      EXPECT_EQ(got.gene_ranking[i].gene, expected.gene_ranking[i].gene);
+      EXPECT_EQ(got.gene_ranking[i].score, expected.gene_ranking[i].score);
+    }
+    ASSERT_EQ(got.dataset_ranking.size(), expected.dataset_ranking.size());
+    for (std::size_t i = 0; i < expected.dataset_ranking.size(); ++i) {
+      EXPECT_EQ(got.dataset_ranking[i].weight,
+                expected.dataset_ranking[i].weight);
+    }
+  }
+}
+
+TEST_F(StoreCachedTest, DamagedEngineArtifactSelfHeals) {
+  const auto matrix = make_matrix(32, 10);
+  const auto input_key = fv::store::matrix_key(matrix);
+  const auto load_matrix = [&]() { return matrix; };
+
+  fv::store::ArtifactStore store(dir_);
+  const auto cold = fv::store::open_or_build_engine(
+      store, input_key, load_matrix, fv::sim::Metric::kPearson);
+  const auto path = store.artifact_path(
+      fv::store::ArtifactKind::kEngine,
+      fv::store::engine_key(input_key, fv::sim::Metric::kPearson,
+                            fv::sim::Precompute::kAllPairs,
+                            fv::sim::DenseKernel::kAuto));
+  flip_byte(path, fs::file_size(path) / 2);
+
+  fv::store::ArtifactStore second(dir_);
+  fv::store::OpenStats stats;
+  const auto healed = fv::store::open_or_build_engine(
+      second, input_key, load_matrix, fv::sim::Metric::kPearson,
+      fv::sim::Precompute::kAllPairs, fv::sim::DenseKernel::kAuto, &stats);
+  EXPECT_FALSE(stats.warm);
+  EXPECT_TRUE(stats.recovered);
+  EXPECT_TRUE(stats.persisted);  // self-healed: artifact rewritten
+  EXPECT_EQ(second.stats().corrupt.load(), 1u);
+  EXPECT_EQ(second.stats().quarantined.load(), 1u);
+  // damaged original preserved as evidence
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "quarantine"));
+
+  // recompute is bit-identical and the rewritten artifact serves warm
+  for (std::size_t i = 0; i + 1 < cold.size(); i += 3) {
+    EXPECT_EQ(healed.distance(i, i + 1), cold.distance(i, i + 1));
+  }
+  fv::store::ArtifactStore third(dir_);
+  fv::store::OpenStats warm_stats;
+  (void)fv::store::open_or_build_engine(
+      third, input_key, load_matrix, fv::sim::Metric::kPearson,
+      fv::sim::Precompute::kAllPairs, fv::sim::DenseKernel::kAuto,
+      &warm_stats);
+  EXPECT_TRUE(warm_stats.warm);
+}
+
+// ---- cross-session sharing at n = 4000 --------------------------------
+
+TEST_F(StoreSharingTest, WarmReopenAtScaleIsBitIdenticalAndShared) {
+  // n = 4000 profiles — the compendium scale the warm-reopen story is
+  // about. Kept to one modest length so the cold compute stays in CI
+  // budget; the bench measures the actual speedup.
+  const auto matrix = make_matrix(4000, 24, 11);
+  const auto engine = fv::sim::SimilarityEngine::from_rows(
+      matrix, fv::sim::Metric::kPearson);
+  fv::par::ThreadPool pool(4);
+
+  fv::store::ArtifactStore writer(dir_);
+  const auto cold_distances =
+      fv::store::open_or_compute_condensed(writer, engine, pool);
+  const auto cold_table =
+      fv::store::open_or_compute_top_k(writer, engine, 10, pool);
+
+  // Two independent "sessions" holding the same artifacts open at once:
+  // read-only mappings of one committed file, a consistent snapshot each.
+  fv::store::ArtifactStore session_a(dir_);
+  fv::store::ArtifactStore session_b(dir_);
+  fv::store::OpenStats sa, sb;
+  const auto warm_a =
+      fv::store::open_or_compute_condensed(session_a, engine, pool, &sa);
+  const auto warm_b =
+      fv::store::open_or_compute_condensed(session_b, engine, pool, &sb);
+  EXPECT_TRUE(sa.warm);
+  EXPECT_TRUE(sb.warm);
+  const auto reference = cold_distances.condensed();
+  for (const auto* warm : {&warm_a, &warm_b}) {
+    ASSERT_EQ(warm->size(), cold_distances.size());
+    ASSERT_EQ(warm->condensed().size(), reference.size());
+    EXPECT_EQ(std::memcmp(warm->condensed().data(), reference.data(),
+                          reference.size() * sizeof(float)),
+              0);
+  }
+
+  fv::store::OpenStats ta, tb;
+  const auto table_a =
+      fv::store::open_or_compute_top_k(session_a, engine, 10, pool, 0,
+                                       fv::sim::TopKStrategy::kAuto,
+                                       fv::sim::LshParams{}, &ta);
+  const auto table_b =
+      fv::store::open_or_compute_top_k(session_b, engine, 10, pool, 0,
+                                       fv::sim::TopKStrategy::kAuto,
+                                       fv::sim::LshParams{}, &tb);
+  EXPECT_TRUE(ta.warm);
+  EXPECT_TRUE(tb.warm);
+  for (const auto* table : {&table_a, &table_b}) {
+    EXPECT_EQ(table->indices, cold_table.indices);
+    EXPECT_EQ(table->distances, cold_table.distances);
+    EXPECT_EQ(table->valid, cold_table.valid);
+  }
+}
+
+// ---- in-process concurrency -------------------------------------------
+
+TEST_F(StoreConcurrencyTest, ParallelLoadOrComputeStaysConsistent) {
+  fv::store::ArtifactStore store(dir_);
+  // Pre-commit one shared artifact every thread warm-reads while also
+  // computing its own — commits serialize on the store's commit lock,
+  // reads share the mapping.
+  store.put(fv::store::ArtifactKind::kBlob, 999, [](auto& w) {
+    w.scalar(std::uint64_t{999});
+  });
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> own(8, 0);
+  std::vector<std::uint64_t> shared(8, 0);
+  for (std::size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, &own, &shared, t]() {
+      own[t] = fv::store::load_or_compute<std::uint64_t>(
+          store, fv::store::ArtifactKind::kBlob, 1000 + t,
+          [](const fv::store::ArtifactReader& r) {
+            return r.scalar<std::uint64_t>(0);
+          },
+          [t]() { return 1000 + t; },
+          [](fv::store::ArtifactWriter& w, const std::uint64_t& v) {
+            w.scalar(v);
+          });
+      const auto reader =
+          store.open(fv::store::ArtifactKind::kBlob, 999);
+      shared[t] = reader ? reader->scalar<std::uint64_t>(0) : 0;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::size_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(own[t], 1000 + t);
+    EXPECT_EQ(shared[t], 999u);
+  }
+  // Every per-thread artifact is committed and valid.
+  const auto report = fv::store::fsck_scan(dir_);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.valid, 9u);
+}
+
+// ---- fsck --------------------------------------------------------------
+
+TEST_F(FsckTest, CleanStoreScansClean) {
+  fv::store::ArtifactStore store(dir_);
+  store.put(fv::store::ArtifactKind::kBlob, 1,
+            [](auto& w) { w.scalar(std::uint64_t{1}); });
+  const auto report = fv::store::fsck_scan(dir_);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.valid, 1u);
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].verdict, fv::store::FsckVerdict::kValid);
+}
+
+TEST_F(FsckTest, ClassifiesEveryDamageKindAndRepairs) {
+  fv::store::ArtifactStore store(dir_);
+  store.put(fv::store::ArtifactKind::kBlob, 1,
+            [](auto& w) { w.scalar(std::uint64_t{1}); });
+  store.put(fv::store::ArtifactKind::kBlob, 2,
+            [](auto& w) { w.scalar(std::uint64_t{2}); });
+  store.put(fv::store::ArtifactKind::kBlob, 3,
+            [](auto& w) { w.scalar(std::uint64_t{3}); });
+
+  // corrupt #2
+  flip_byte(store.artifact_path(fv::store::ArtifactKind::kBlob, 2), 70);
+  // make #3 stale: bump the format version and re-seal the header so only
+  // the version check fires
+  {
+    const auto path = store.artifact_path(fv::store::ArtifactKind::kBlob, 3);
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    fv::store::ArtifactHeader header{};
+    f.read(reinterpret_cast<char*>(&header), sizeof(header));
+    header.version = 999;
+    header.header_checksum = fv::xxhash64(
+        std::as_bytes(std::span<const fv::store::ArtifactHeader>(&header, 1))
+            .first(offsetof(fv::store::ArtifactHeader, header_checksum)));
+    f.seekp(0);
+    f.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  }
+  // orphaned commit temporary
+  {
+    std::ofstream f(dir_ + "/blob-00000000000000ff.fva.tmp",
+                    std::ios::binary);
+    f.write("interrupted", 11);
+  }
+
+  const auto scan = fv::store::fsck_scan(dir_);
+  EXPECT_FALSE(scan.clean());
+  EXPECT_EQ(scan.valid, 1u);
+  EXPECT_EQ(scan.corrupt, 1u);
+  EXPECT_EQ(scan.stale, 1u);
+  EXPECT_EQ(scan.orphan_tmp, 1u);
+  EXPECT_EQ(scan.repaired, 0u);  // scan never touches files
+
+  const auto repair = fv::store::fsck_repair(dir_);
+  EXPECT_EQ(repair.repaired, 3u);
+  // corrupt evidence moved to quarantine, not destroyed
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "quarantine" /
+                         "blob-0000000000000002.fva"));
+
+  const auto after = fv::store::fsck_scan(dir_);
+  EXPECT_TRUE(after.clean());
+  EXPECT_EQ(after.valid, 1u);
+  // the intact artifact survived repair
+  ASSERT_TRUE(store.open(fv::store::ArtifactKind::kBlob, 1).has_value());
+}
+
+}  // namespace

@@ -1,15 +1,21 @@
 // Unit tests for the util module: RNG, strings, errors, file helpers.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <span>
+#include <string_view>
 
+#include "mpx/fault.hpp"
 #include "util/error.hpp"
+#include "util/fault_hash.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
 #include "util/table_io.hpp"
 #include "util/timer.hpp"
+#include "util/xxhash.hpp"
 
 namespace {
 
@@ -225,6 +231,153 @@ TEST(TimerTest, MeasuresNonNegativeTime) {
   EXPECT_GE(timer.seconds(), 0.0);
   timer.reset();
   EXPECT_GE(timer.millis(), 0.0);
+}
+
+// ---- fault_hash --------------------------------------------------------
+//
+// The shared seeded fault-decision hash (util/fault_hash.hpp) was
+// extracted from mpx/fault.cpp; mpx decisions for any historical seed must
+// never change. The reference below is a verbatim copy of the ORIGINAL
+// mpx-local implementation — equivalence against it pins the extraction
+// bit-for-bit.
+
+/// Verbatim pre-extraction splitmix64 finalizer from mpx/fault.cpp.
+std::uint64_t reference_mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Verbatim pre-extraction mpx uniform_draw.
+double reference_uniform_draw(std::uint64_t seed, int source, int dest,
+                              int tag, std::uint64_t sequence,
+                              std::uint64_t stream) {
+  std::uint64_t h = reference_mix64(seed ^ (stream * 0x9e3779b97f4a7c15ull));
+  h = reference_mix64(
+      h ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source))
+       << 32) ^
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest)));
+  h = reference_mix64(
+      h ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) << 32) ^
+      sequence);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+TEST(FaultHashTest, Mix64MatchesOriginalMpxImplementation) {
+  for (std::uint64_t x :
+       {0ull, 1ull, 42ull, 0xdeadbeefull, 0xffffffffffffffffull,
+        0x9e3779b97f4a7c15ull}) {
+    EXPECT_EQ(fv::fault_mix64(x), reference_mix64(x)) << "x=" << x;
+  }
+}
+
+TEST(FaultHashTest, ChainReproducesOriginalMpxEnvelopeDraw) {
+  // Sweep envelope coordinates the way mpx chaos runs actually use them.
+  for (std::uint64_t seed : {0ull, 7ull, 0xfeedull}) {
+    for (int source : {0, 1, 3}) {
+      for (int dest : {0, 2}) {
+        for (int tag : {0, 5, 1000}) {
+          for (std::uint64_t sequence : {0ull, 1ull, 999ull}) {
+            const std::uint64_t w1 =
+                (static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(source))
+                 << 32) ^
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest));
+            const std::uint64_t w2 =
+                (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag))
+                 << 32) ^
+                sequence;
+            EXPECT_DOUBLE_EQ(
+                fv::fault_uniform(fv::fault_hash(seed, 1, {w1, w2})),
+                reference_uniform_draw(seed, source, dest, tag, sequence, 1));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultHashTest, MpxFaultPlanDecisionsPinnedAfterExtraction) {
+  // End-to-end through the public mpx API: a spec dropping ~30% must drop
+  // exactly the messages the reference chain says it drops.
+  fv::mpx::FaultSpec spec;
+  spec.seed = 0x5eedULL;
+  spec.drop_rate = 0.3;
+  const fv::mpx::FaultPlan plan(spec);
+  std::size_t drops = 0;
+  for (std::uint64_t sequence = 0; sequence < 500; ++sequence) {
+    const bool dropped =
+        plan.decide(0, 1, 4, sequence) == fv::mpx::FaultAction::kDrop;
+    const bool reference_dropped =
+        reference_uniform_draw(spec.seed, 0, 1, 4, sequence, 1) < 0.3;
+    EXPECT_EQ(dropped, reference_dropped) << "sequence=" << sequence;
+    drops += dropped ? 1 : 0;
+  }
+  // Sanity: the rate is actually in effect (not all/none).
+  EXPECT_GT(drops, 100u);
+  EXPECT_LT(drops, 200u);
+}
+
+TEST(FaultHashTest, UniformStaysInUnitInterval) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = fv::fault_uniform(fv::fault_mix64(i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(FaultHashTest, StreamsAreIndependent) {
+  // Same coordinates, different stream -> different decisions (this is
+  // what lets the store's fault families not perturb each other).
+  std::size_t same = 0;
+  for (std::uint64_t op = 0; op < 200; ++op) {
+    if (fv::fault_hash(1, 11, {42, op}) == fv::fault_hash(1, 12, {42, op})) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0u);
+}
+
+// ---- xxhash64 ----------------------------------------------------------
+
+std::uint64_t hash_str(std::string_view s, std::uint64_t seed = 0) {
+  return fv::xxhash64(
+      std::as_bytes(std::span<const char>(s.data(), s.size())), seed);
+}
+
+TEST(XxHashTest, MatchesPublishedReferenceVectors) {
+  // Reference vectors of the canonical XXH64 implementation. These pin the
+  // on-disk artifact checksum format: a change here is a format break.
+  EXPECT_EQ(hash_str(""), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(hash_str("abc"), 0x44BC2CF5AD770999ull);
+  EXPECT_EQ(hash_str("The quick brown fox jumps over the lazy dog"),
+            0x0B242D361FDA71BCull);
+}
+
+TEST(XxHashTest, SeedChangesHash) {
+  EXPECT_NE(hash_str("abc", 0), hash_str("abc", 1));
+}
+
+TEST(XxHashTest, EveryTailLengthIsCovered) {
+  // 0..70 bytes crosses every code path: short-input, the 32-byte stripe
+  // loop, and all 8/4/1-byte tail combinations. Flipping the last byte
+  // must always change the hash.
+  std::string s;
+  std::uint64_t previous = hash_str(s);
+  for (std::size_t len = 1; len <= 70; ++len) {
+    s.push_back(static_cast<char>('a' + len % 26));
+    const std::uint64_t h = hash_str(s);
+    EXPECT_NE(h, previous) << "len=" << len;
+    std::string flipped = s;
+    flipped.back() = static_cast<char>(flipped.back() ^ 0x20);
+    EXPECT_NE(hash_str(flipped), h) << "len=" << len;
+    previous = h;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+// fv_store_fsck — scan, report and repair a ForestView artifact store.
+//
+//   fv_store_fsck <store-dir>            scan and report (exit 0 if clean,
+//                                        1 if damage was found)
+//   fv_store_fsck --repair <store-dir>   additionally quarantine corrupt
+//                                        artifacts and sweep stale ones +
+//                                        orphaned commit temporaries
+//   fv_store_fsck --quiet ...            summary line only
+//
+// Repair is conservative: corrupt files move to <dir>/quarantine/ (never
+// deleted — they are the post-mortem evidence), stale artifacts and
+// orphaned *.tmp files are removed (both are recomputable by definition).
+// Valid artifacts are never touched. Exit code 2 means the directory
+// itself could not be scanned.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "store/fsck.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: fv_store_fsck [--repair] [--quiet] <store-dir>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool repair = false;
+  bool quiet = false;
+  std::string directory;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repair") == 0) {
+      repair = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage();
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "fv_store_fsck: unknown option '%s'\n", argv[i]);
+      print_usage();
+      return 2;
+    } else if (directory.empty()) {
+      directory = argv[i];
+    } else {
+      print_usage();
+      return 2;
+    }
+  }
+  if (directory.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  fv::store::FsckReport report;
+  try {
+    report = repair ? fv::store::fsck_repair(directory)
+                    : fv::store::fsck_scan(directory);
+  } catch (const fv::Error& error) {
+    std::fprintf(stderr, "fv_store_fsck: %s\n", error.what());
+    return 2;
+  }
+
+  if (!quiet) {
+    for (const auto& entry : report.entries) {
+      if (entry.verdict == fv::store::FsckVerdict::kValid) {
+        std::printf("  ok        %s (%llu bytes)\n", entry.path.c_str(),
+                    static_cast<unsigned long long>(entry.bytes));
+      } else {
+        std::printf("  %-9s %s — %s\n",
+                    fv::store::fsck_verdict_name(entry.verdict),
+                    entry.path.c_str(), entry.detail.c_str());
+      }
+    }
+  }
+  const std::string repaired_note =
+      repair ? ", " + std::to_string(report.repaired) + " repaired" : "";
+  std::printf(
+      "%s: %zu artifacts — %zu valid, %zu corrupt, %zu stale, %zu orphaned "
+      "tmp, %zu unreadable%s\n",
+      directory.c_str(), report.entries.size(), report.valid, report.corrupt,
+      report.stale, report.orphan_tmp, report.unreadable,
+      repaired_note.c_str());
+  return report.clean() ? 0 : 1;
+}
