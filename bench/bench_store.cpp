@@ -24,6 +24,20 @@
 //    combined >= 20x speedup gate, bit-identity of every warm product
 //    against its cold original (asserted), and an fsck pass over the
 //    store directory (must scan clean).
+//
+// ISSUE 9 additions — the out-of-core mapped path:
+//  * BM_MappedCompendiumOpen — open_engine_mapped: validate chunk-streamed,
+//                              borrow every array as spans into the mapping
+//                              (no copy; compare against BM_WarmCompendiumOpen,
+//                              which copies the slabs to the heap)
+//  * BM_HeapCondensedSerial / BM_MappedCondensedSerial — the serial
+//                              streaming distance phase over a heap vs a
+//                              borrowed-mapped engine, same tile schedule
+//  * An ISSUE 9 epilogue at n = 4000: mapped vs heap serial condensed wall
+//    time with the <= 1.25x ratio gate, bit-identity of the mapped
+//    triangle, and mapped-open vs copy-open latency. (The companion peak-
+//    RSS >= 5x gate runs in tests/mapped_budget_test.cpp at a length where
+//    engine state actually dwarfs the working set.)
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -232,6 +246,58 @@ void BM_WarmLshOpen(benchmark::State& state) {
 }
 BENCHMARK(BM_WarmLshOpen)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+/// Full engine-artifact key of the bench compendium (what open_engine_mapped
+/// addresses once populated_engine has committed it).
+std::uint64_t mapped_engine_key() {
+  return st::engine_key(st::compendium_files_key(world().compendium_dir),
+                        sm::Metric::kPearson, sm::Precompute::kAllPairs,
+                        sm::DenseKernel::kAuto);
+}
+
+sm::SimilarityEngine mapped_engine(st::ArtifactStore& store) {
+  auto opened = st::open_engine_mapped(store, mapped_engine_key());
+  if (!opened.has_value() ||
+      opened->storage() != sm::EngineStorage::kBorrowedMapped) {
+    std::abort();
+  }
+  return std::move(*opened);
+}
+
+void BM_MappedCompendiumOpen(benchmark::State& state) {
+  fv::par::ThreadPool pool(4);
+  (void)populated_engine(pool);
+  for (auto _ : state) {
+    st::ArtifactStore store(world().store_dir);
+    auto engine = mapped_engine(store);
+    benchmark::DoNotOptimize(engine.size());
+  }
+}
+BENCHMARK(BM_MappedCompendiumOpen)->Unit(benchmark::kMillisecond);
+
+void BM_HeapCondensedSerial(benchmark::State& state) {
+  fv::par::ThreadPool pool(4);
+  const auto& engine = populated_engine(pool);
+  std::vector<float> out(fv::condensed_size(engine.size()));
+  for (auto _ : state) {
+    engine.condensed_distances(std::span<float>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_HeapCondensedSerial)->Unit(benchmark::kMillisecond);
+
+void BM_MappedCondensedSerial(benchmark::State& state) {
+  fv::par::ThreadPool pool(4);
+  (void)populated_engine(pool);
+  st::ArtifactStore store(world().store_dir);
+  const auto engine = mapped_engine(store);
+  std::vector<float> out(fv::condensed_size(engine.size()));
+  for (auto _ : state) {
+    engine.condensed_distances(std::span<float>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MappedCondensedSerial)->Unit(benchmark::kMillisecond);
+
 void BM_ArtifactCommit(benchmark::State& state) {
   // One sealed 32 MiB commit, fsyncs and all — what a cold session pays
   // once per product so every later session can skip the compute.
@@ -377,6 +443,63 @@ void report_issue8_targets() {
       fsck.clean() ? "clean (PASS)" : "DAMAGED (FAIL)");
 }
 
+// --- Epilogue: the issue-9 acceptance numbers -----------------------------
+
+void report_issue9_targets() {
+  fv::par::ThreadPool pool(4);
+  // report_issue8_targets leaves the store populated; make sure regardless.
+  (void)populated_engine(pool);
+  {
+    st::ArtifactStore store(world().store_dir);
+    (void)warm_engine(store);
+  }
+
+  st::ArtifactStore store(world().store_dir);
+  st::OpenStats heap_stats;
+  const auto heap = warm_engine(store, &heap_stats);
+  const auto mapped = mapped_engine(store);
+  const double copy_open_s = best_of(5, [&]() {
+    st::OpenStats stats;
+    auto opened = warm_engine(store, &stats);
+    if (!stats.warm) std::abort();
+  });
+  const double mapped_open_s = best_of(5, [&]() {
+    auto opened = mapped_engine(store);
+    if (opened.size() != kGenes) std::abort();
+  });
+
+  // The distance phase, serial streaming driver, both residencies — the
+  // out-of-core acceptance: the mapped run pays page faults + per-stripe
+  // backing checks + page releases, and must stay within 1.25x of heap.
+  std::vector<float> heap_out(fv::condensed_size(kGenes));
+  std::vector<float> mapped_out(fv::condensed_size(kGenes));
+  const double heap_serial_s = best_of(3, [&]() {
+    heap.condensed_distances(std::span<float>(heap_out));
+  });
+  const double mapped_serial_s = best_of(3, [&]() {
+    mapped.condensed_distances(std::span<float>(mapped_out));
+  });
+  const double ratio =
+      heap_serial_s > 0.0 ? mapped_serial_s / heap_serial_s : 0.0;
+
+  const bool identical =
+      std::memcmp(heap_out.data(), mapped_out.data(),
+                  heap_out.size() * sizeof(float)) == 0;
+
+  std::printf(
+      "\n[ISSUE 9 targets @ %zu genes x %zu conditions, serial distance "
+      "phase]\n"
+      "  engine open: copy-to-heap %.4f s, borrowed-mapped %.4f s\n"
+      "  condensed distances (%zu pairs): heap %.4f s, mapped %.4f s — "
+      "ratio %.3fx (target <= 1.25x: %s)\n"
+      "  mapped triangle bit-identical to heap: %s\n"
+      "  peak-RSS >= 5x drop gate: runs in fv_budget_tests (n where engine "
+      "state is ~134 MiB)\n",
+      kGenes, kConditions, copy_open_s, mapped_open_s,
+      fv::condensed_size(kGenes), heap_serial_s, mapped_serial_s, ratio,
+      ratio <= 1.25 ? "PASS" : "FAIL", identical ? "PASS" : "FAIL");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -384,6 +507,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   report_issue8_targets();
+  report_issue9_targets();
   fs::remove_all(fs::temp_directory_path() / "fv_bench_store");
   return 0;
 }

@@ -1,0 +1,28 @@
+#include "expr/engine_rows.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+
+namespace fv::expr {
+
+ExpressionMatrix matrix_from_engine(const sim::SimilarityEngine& engine) {
+  const std::size_t rows = engine.size();
+  const std::size_t cols = engine.length();
+  ExpressionMatrix matrix(rows, cols);  // all cells missing
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::span<const float> filled = engine.filled_row(i);
+    const std::span<float> out = matrix.row(i);
+    if (!engine.row_has_missing(i)) {
+      // Dense row: every cell present, one straight copy.
+      std::copy(filled.begin(), filled.begin() + cols, out.begin());
+      continue;
+    }
+    for (std::size_t k = 0; k < cols; ++k) {
+      if (engine.value_present(i, k)) out[k] = filled[k];
+    }
+  }
+  return matrix;
+}
+
+}  // namespace fv::expr

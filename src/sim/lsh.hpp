@@ -18,11 +18,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "par/thread_pool.hpp"
+#include "sim/engine_storage.hpp"
 #include "sim/similarity_engine.hpp"
 
 namespace fv::store {
@@ -83,6 +85,15 @@ class LshIndex {
   std::size_t words() const noexcept { return words_; }  ///< uint64s per row
   std::size_t slice_bits() const noexcept { return slice_bits_; }
 
+  /// Where the signature bank and bucket tables live: kOwnedHeap for built
+  /// or codec-copied indexes, kBorrowedMapped for indexes served as spans
+  /// into a pinned artifact mapping (store::open_lsh_mapped). Candidate
+  /// generation is identical in both modes.
+  EngineStorage storage() const noexcept {
+    return pin_ == nullptr ? EngineStorage::kOwnedHeap
+                           : EngineStorage::kBorrowedMapped;
+  }
+
   /// Profile i's packed signature (words() uint64_t).
   std::span<const std::uint64_t> signature(std::size_t i) const;
 
@@ -119,11 +130,13 @@ class LshIndex {
   LshIndex() = default;
 
   /// One bucket table: profile ids sorted by (slice key, id); a bucket is
-  /// a run of equal keys, looked up by binary search. Sorted vectors keep
+  /// a run of equal keys, looked up by binary search. Sorted storage keeps
   /// iteration order deterministic (no unordered_map iteration order).
+  /// ArrayRef so a warm reopen can serve each table as a borrowed slice of
+  /// the persisted flat key/row banks instead of copying them.
   struct Table {
-    std::vector<std::uint64_t> keys;  ///< sorted, one per profile
-    std::vector<std::uint32_t> rows;  ///< profile ids, same order
+    ArrayRef<std::uint64_t> keys;  ///< sorted, one per profile
+    ArrayRef<std::uint32_t> rows;  ///< profile ids, same order
   };
 
   std::uint64_t slice_key(std::size_t row, std::size_t table,
@@ -135,11 +148,14 @@ class LshIndex {
   std::size_t slice_bits_ = 0;
   std::size_t tables_ = 0;
   std::size_t probes_ = 0;
-  std::vector<std::uint64_t> signatures_;  ///< count x words
+  ArrayRef<std::uint64_t> signatures_;  ///< count x words
   std::vector<Table> tables_storage_;
   /// Per (row, table): the probes−1 slice-bit indices with the smallest
   /// projection margin, in flip order. Empty when probes == 1.
-  std::vector<std::uint16_t> probe_bits_;
+  ArrayRef<std::uint16_t> probe_bits_;
+  /// Set only on borrowed-mapped indexes (store::open_lsh_mapped): keeps
+  /// the artifact mapping alive as long as this index.
+  std::shared_ptr<const EngineStoragePin> pin_;
 };
 
 }  // namespace fv::sim

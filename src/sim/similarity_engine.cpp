@@ -349,6 +349,13 @@ std::span<const float> SimilarityEngine::normalized_row(std::size_t i) const {
   return {normalized_.data() + i * stride_, stride_};
 }
 
+std::span<const float> SimilarityEngine::filled_row(std::size_t i) const {
+  FV_REQUIRE(i < count_, "profile index out of range");
+  FV_REQUIRE(precompute_ == Precompute::kAllPairs,
+             "filled_row() requires Precompute::kAllPairs");
+  return {filled_.data() + i * stride_, stride_};
+}
+
 std::size_t SimilarityEngine::common_present(std::size_t i,
                                              std::size_t j) const {
   const std::uint64_t* ma = mask_.data() + i * mask_words_;
@@ -535,12 +542,34 @@ void SimilarityEngine::compute_tile(std::size_t t, float* scratch,
   }
 }
 
+void SimilarityEngine::release_row_pages(std::size_t begin,
+                                         std::size_t end) const {
+  if (pin_ == nullptr || end <= begin) return;
+  // Only the count x stride slabs matter for residency: everything else
+  // (masks, CSR lists, per-row scalars) is a few bytes per row and churning
+  // madvise on it would cost more than the pages hold.
+  const std::size_t bytes = (end - begin) * stride_ * sizeof(float);
+  if (!normalized_.empty()) {
+    pin_->release_pages(normalized_.data() + begin * stride_, bytes);
+  }
+  if (!filled_.empty()) {
+    pin_->release_pages(filled_.data() + begin * stride_, bytes);
+  }
+  if (!raw_.empty()) {
+    pin_->release_pages(raw_.data() + begin * stride_, bytes);
+  }
+}
+
 void SimilarityEngine::for_each_tile(
     const std::function<void(const DistanceTile&)>& visit,
     par::ThreadPool& pool) const {
   FV_REQUIRE(precompute_ == Precompute::kAllPairs,
              "for_each_tile() requires Precompute::kAllPairs");
   if (count_ < 2) return;
+  // One backing check for the whole phase: the pooled path keeps no page
+  // cursor (workers touch tiles in pull order), so pages stay resident
+  // until the phase ends — residency streaming is the SERIAL driver's job.
+  check_backing();
   TileScratchPool scratch;
   par::parallel_dynamic(pool, 0, tile_count(), [&](std::size_t t) {
     std::vector<float> block = scratch.acquire();
@@ -557,11 +586,30 @@ void SimilarityEngine::for_each_tile(
              "for_each_tile() requires Precompute::kAllPairs");
   if (count_ < 2) return;
   std::vector<float> block(kTile * kTile);
-  const std::size_t tiles = tile_count();
-  for (std::size_t t = 0; t < tiles; ++t) {
-    DistanceTile tile;
-    compute_tile(t, block.data(), tile);
-    visit(tile);
+  // The same linear schedule positions t = 0, 1, 2, … the pooled driver
+  // uses, walked as explicit row stripes (ta fixed, tb ascending) so a
+  // borrowed-mapped engine can stream: rows enter the resident set when
+  // the cursor reaches them and leave right after their last pair in the
+  // stripe. Visit order — and therefore every visitor's reduction order —
+  // is identical to the plain `for t` loop this replaces.
+  const std::size_t blocks = (count_ + kTile - 1) / kTile;
+  std::size_t t = 0;
+  for (std::size_t ta = 0; ta < blocks; ++ta) {
+    // Per-stripe, not per-phase: a stripe is the unit after which pages
+    // are dropped, so each stripe re-proves the file still backs the
+    // pages it is about to fault in (typed error, never SIGBUS).
+    check_backing();
+    for (std::size_t tb = ta; tb < blocks; ++tb, ++t) {
+      DistanceTile tile;
+      compute_tile(t, block.data(), tile);
+      visit(tile);
+      // The column block's rows are done for THIS stripe; later stripes
+      // refault them from the page cache on demand. Keeping the diagonal
+      // block resident across its own stripe avoids thrashing the rows
+      // every inner tile reads.
+      if (tb != ta) release_row_pages(tile.col_begin, tile.col_end);
+    }
+    release_row_pages(ta * kTile, std::min(count_, (ta + 1) * kTile));
   }
 }
 
@@ -624,6 +672,15 @@ void SimilarityEngine::condensed_distances(std::span<float> out,
   if (n < 2) return;
   for_each_tile(
       condensed_tile_writer(out.data(), n, [](float d) { return d; }), pool);
+}
+
+void SimilarityEngine::condensed_distances(std::span<float> out) const {
+  const std::size_t n = count_;
+  FV_REQUIRE(out.size() == condensed_size(n),
+             "output must hold condensed_size(size()) values");
+  if (n < 2) return;
+  for_each_tile(
+      condensed_tile_writer(out.data(), n, [](float d) { return d; }));
 }
 
 void SimilarityEngine::condensed_squared_distances(
@@ -717,6 +774,10 @@ NeighborTable SimilarityEngine::top_k_neighbors(std::size_t k,
     strategy = metric_ == Metric::kEuclidean ? TopKStrategy::kExact
                                              : TopKStrategy::kPruned;
   }
+  // The pruned and kApprox phases below run their own schedules (they do
+  // not pass through for_each_tile), so prove the mapped backing is intact
+  // once here before any of them walks unfaulted pages.
+  check_backing();
   const std::size_t n = count_;
   NeighborTable table;
   table.count = n;

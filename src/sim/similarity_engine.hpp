@@ -16,11 +16,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "expr/expression_matrix.hpp"
 #include "par/thread_pool.hpp"
+#include "sim/engine_storage.hpp"
 
 namespace fv::store {
 class EngineCodec;  // store/cached.hpp — persists engine state verbatim
@@ -214,6 +216,16 @@ class SimilarityEngine {
   std::size_t stride() const noexcept { return stride_; }
   Metric metric() const noexcept { return metric_; }
 
+  /// Where this engine's state arrays live: kOwnedHeap for built or
+  /// codec-copied engines, kBorrowedMapped for engines whose arrays are
+  /// read-only spans into a pinned artifact mapping
+  /// (store::open_engine_mapped). Every query and tile path produces
+  /// bit-identical results in both modes — this only reports residency.
+  EngineStorage storage() const noexcept {
+    return pin_ == nullptr ? EngineStorage::kOwnedHeap
+                           : EngineStorage::kBorrowedMapped;
+  }
+
   /// Whether the dense correlation fast path runs on float accumulators
   /// (DenseKernel::kFloat or kAuto — every correlation engine unless
   /// kDouble was forced; the block-flush bound holds at any stride).
@@ -239,6 +251,13 @@ class SimilarityEngine {
   /// length() and at missing cells are 0. For Pearson this is exactly the
   /// stats::ZProfile z-row divided by zscale(i).
   std::span<const float> normalized_row(std::size_t i) const;
+
+  /// Profile i as stored: the input values with missing cells (and padding
+  /// past length()) as 0. Combined with value_present() this reconstructs
+  /// the original profile exactly — expr::matrix_from_engine serves
+  /// compendium rows straight off a mapped engine through this, without a
+  /// separate matrix copy. Requires Precompute::kAllPairs.
+  std::span<const float> filled_row(std::size_t i) const;
 
   /// Multiplier turning normalized_row(i) back into the stats::ZProfile
   /// z-row: sqrt(present - 1), or 0 for degenerate (constant / too-short)
@@ -278,7 +297,13 @@ class SimilarityEngine {
   /// Serial variant running on the calling thread — for consumers that are
   /// themselves pool tasks (a blocking nested parallel_dynamic on the same
   /// pool would deadlock) or for tiny engines where scheduling outweighs
-  /// the work.
+  /// the work. On a borrowed-mapped engine this is ALSO the streaming tile
+  /// driver: tiles run in row-stripe order (ta fixed, tb ascending), the
+  /// backing file is re-validated at each stripe start
+  /// (fv::CorruptArtifactError instead of a mid-compute SIGBUS if it
+  /// shrank), and each visited block's row pages are released behind the
+  /// cursor — resident working set stays O(tiles in flight), not O(n·m),
+  /// so the distance phase runs at n whose dense engine state exceeds RAM.
   void for_each_tile(
       const std::function<void(const DistanceTile&)>& visit) const;
 
@@ -341,6 +366,13 @@ class SimilarityEngine {
   /// segment, so writes never race.
   void condensed_distances(std::span<float> out, par::ThreadPool& pool) const;
 
+  /// Serial condensed_distances — same values, same condensed layout, no
+  /// pool. This is the out-of-core distance phase: on a borrowed-mapped
+  /// engine it inherits the serial for_each_tile streaming contract (page
+  /// release behind the cursor, per-stripe backing checks), so peak
+  /// transient memory is the condensed output plus one tile block.
+  void condensed_distances(std::span<float> out) const;
+
   /// condensed_distances() with every cell squared — the input form the
   /// Lance–Williams recurrences of Ward/centroid/median hierarchical
   /// clustering operate on. Each value is exactly the float square of the
@@ -370,34 +402,40 @@ class SimilarityEngine {
   std::size_t length_ = 0;
   std::size_t stride_ = 0;
   std::size_t mask_words_ = 0;
+  /// Engine state arrays are ArrayRef (sim/engine_storage.hpp): owned
+  /// std::vectors on built/codec-copied engines, read-only spans into the
+  /// artifact mapping held alive by pin_ on borrowed-mapped ones. All read
+  /// paths below are mode-blind; only build() and the codec mutate, and
+  /// only in owned mode.
+  ///
   /// count x stride with NaNs preserved; only the Spearman masked fallback
   /// needs original missing markers, so this stays empty otherwise (every
   /// other path reads present cells, where filled_ is identical).
-  std::vector<float> raw_;
-  std::vector<float> filled_;  ///< count x stride, missing cells as 0
-  std::vector<float> normalized_;  ///< count x stride (correlation metrics)
-  std::vector<std::uint64_t> mask_;  ///< present bitmask, count x mask_words
-  std::vector<std::uint32_t> present_;
-  std::vector<std::uint8_t> has_missing_;
+  ArrayRef<float> raw_;
+  ArrayRef<float> filled_;  ///< count x stride, missing cells as 0
+  ArrayRef<float> normalized_;  ///< count x stride (correlation metrics)
+  ArrayRef<std::uint64_t> mask_;  ///< present bitmask, count x mask_words
+  ArrayRef<std::uint32_t> present_;
+  ArrayRef<std::uint8_t> has_missing_;
   /// Dense fast path must report r = 0 for this row (constant profile or
   /// fewer than stats::kMinCompletePairs values).
-  std::vector<std::uint8_t> degenerate_;
-  std::vector<float> zscale_;
+  ArrayRef<std::uint8_t> degenerate_;
+  ArrayRef<float> zscale_;
   /// Missing cell indices per row, CSR layout: row i's missing indices are
   /// missing_idx_[missing_begin_[i] .. missing_begin_[i+1]). The masked
   /// path is one dot product over filled_ plus O(#missing) corrections
   /// driven by these lists, so sparsely-missing rows stay near dense speed.
-  std::vector<std::uint32_t> missing_idx_;
-  std::vector<std::uint32_t> missing_begin_;
-  std::vector<double> own_sum_;    ///< sum of present values per row
-  std::vector<double> own_sumsq_;  ///< sum of squared present values
+  ArrayRef<std::uint32_t> missing_idx_;
+  ArrayRef<std::uint32_t> missing_begin_;
+  ArrayRef<double> own_sum_;    ///< sum of present values per row
+  ArrayRef<double> own_sumsq_;  ///< sum of squared present values
   /// Blocked segment norms of the normalized rows (correlation metrics
   /// with kAllPairs only): count x seg_count_, seg_norms_[i * seg_count_
   /// + s] >= ||normalized_row(i)[s*16 .. (s+1)*16)|| (inflated a hair past
   /// the double-precision norm so the stored float can never round below
   /// the true value). The Cauchy–Schwarz tile bound of the pruned top-k
   /// path is built from these.
-  std::vector<float> seg_norms_;
+  ArrayRef<float> seg_norms_;
   std::size_t seg_count_ = 0;  ///< stride_ / 16 segments per row
   /// Everything the computed float distance can fall below the
   /// exact-arithmetic Cauchy–Schwarz chain by: kernel rounding (the float
@@ -405,6 +443,11 @@ class SimilarityEngine {
   /// the distance + margin. The pruned path subtracts this from every
   /// bound, so "bound > threshold" is a proof about *computed* distances.
   float prune_slack_ = 0.0f;
+  /// Set only on borrowed-mapped engines: keeps the backing mapping alive
+  /// as long as this engine (and any copy of it — shared_ptr semantics),
+  /// drops pages the streaming tile driver is done with, and re-validates
+  /// the backing file before compute phases (engine_storage.hpp).
+  std::shared_ptr<const EngineStoragePin> pin_;
 
   void build(std::span<const float> flat, std::size_t count,
              std::size_t length, Metric metric, Precompute precompute,
@@ -426,6 +469,15 @@ class SimilarityEngine {
   std::size_t common_present(std::size_t i, std::size_t j) const;
   double masked_similarity(std::size_t i, std::size_t j) const;
   float euclidean_distance(std::size_t i, std::size_t j) const;
+  /// Streaming residency hooks — no-ops on owned engines. check_backing()
+  /// turns a foreign truncation of the mapped artifact into a typed
+  /// fv::CorruptArtifactError at a phase boundary; release_row_pages()
+  /// drops rows [begin, end) of the big per-row slabs (raw_/filled_/
+  /// normalized_) from the resident set once the tile cursor is past them.
+  void check_backing() const {
+    if (pin_ != nullptr) pin_->check_backing();
+  }
+  void release_row_pages(std::size_t begin, std::size_t end) const;
 };
 
 /// Query-coherence of `count` stacked row-major profiles of `length`

@@ -1,8 +1,11 @@
 #include "store/artifact_store.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -40,6 +43,55 @@ std::uint64_t header_checksum(const ArtifactHeader& header) {
   return xxhash64(bytes.first(offsetof(ArtifactHeader, header_checksum)));
 }
 
+/// Payload checksum for an on-demand open: hash in bounded chunks and drop
+/// each chunk's pages behind the cursor, so validating an artifact larger
+/// than RAM peaks at one chunk of residency instead of the whole payload.
+/// Bit-identical to the one-shot xxhash64 of the same bytes.
+std::uint64_t streamed_payload_checksum(const MappedFile& file,
+                                        std::size_t payload_offset,
+                                        std::size_t payload_bytes) {
+  constexpr std::size_t kChunk = std::size_t{4} << 20;  // 4 MiB
+  Xxh64Stream stream;
+  for (std::size_t done = 0; done < payload_bytes;) {
+    const std::size_t take = std::min(kChunk, payload_bytes - done);
+    stream.update({file.data() + payload_offset + done, take});
+    file.advise_dont_need(payload_offset + done, take);
+    done += take;
+  }
+  return stream.digest();
+}
+
+/// Advisory cross-process writer lock on the store directory, held for one
+/// commit. flock is per open-file-description: a fresh fd per commit means
+/// release is exactly fd close, including during exception unwind, and a
+/// crashed process's lock dies with its fds — no stale-lock recovery
+/// needed. Within a process commit_mutex_ serializes first, so the
+/// blocking LOCK_EX below never waits on its own process.
+class DirectoryLock {
+ public:
+  explicit DirectoryLock(const std::string& directory) {
+    fd_ = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd_ < 0) {
+      throw IoError("cannot open store directory '" + directory +
+                    "' for locking: " + std::strerror(errno));
+    }
+    if (::flock(fd_, LOCK_EX) != 0) {
+      const int saved = errno;
+      ::close(fd_);
+      throw IoError("cannot lock store directory '" + directory +
+                    "': " + std::strerror(saved));
+    }
+  }
+  ~DirectoryLock() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  DirectoryLock(const DirectoryLock&) = delete;
+  DirectoryLock& operator=(const DirectoryLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
 }  // namespace
 
 const char* artifact_kind_name(ArtifactKind kind) {
@@ -54,9 +106,11 @@ const char* artifact_kind_name(ArtifactKind kind) {
   return "unknown";
 }
 
-ArtifactReader open_artifact_file(const std::string& path) {
+ArtifactReader open_artifact_file(const std::string& path,
+                                  PageResidency residency) {
   ArtifactReader reader;
-  reader.file_ = MappedFile::open_read_only(path);
+  reader.file_ = MappedFile::open_read_only(
+      path, /*populate=*/residency == PageResidency::kPrefault);
   const MappedFile& file = reader.file_;
   if (file.size() < sizeof(ArtifactHeader)) {
     throw CorruptArtifactError("artifact '" + path +
@@ -87,8 +141,12 @@ ArtifactReader open_artifact_file(const std::string& path) {
         "file holds fewer (truncated)");
   }
   const std::byte* payload = file.data() + sizeof(header);
-  if (header.payload_checksum !=
-      xxhash64({payload, static_cast<std::size_t>(header.payload_bytes)})) {
+  const auto payload_bytes = static_cast<std::size_t>(header.payload_bytes);
+  const std::uint64_t payload_sum =
+      residency == PageResidency::kOnDemand
+          ? streamed_payload_checksum(file, sizeof(header), payload_bytes)
+          : xxhash64({payload, payload_bytes});
+  if (header.payload_checksum != payload_sum) {
     throw CorruptArtifactError("artifact '" + path +
                                "' fails its payload checksum");
   }
@@ -177,6 +235,12 @@ void ArtifactStore::put(ArtifactKind kind, ArtifactKey key,
   const std::string final_path = artifact_path(kind, key);
   const std::string tmp_path = final_path + ".tmp";
   const std::lock_guard<std::mutex> commit_lock(commit_mutex_);
+  // Advisory cross-process exclusion: a second PROCESS committing into
+  // this directory blocks here instead of racing the .tmp path (the
+  // in-process mutex above cannot see it). Released on every exit path
+  // when the lock's fd closes — including StoreCrashed unwind, matching
+  // what the kernel does to a genuinely dead process's locks.
+  const DirectoryLock dir_lock(directory_);
   try {
     MappedFile tmp = MappedFile::create(
         tmp_path, sizeof(header) + payload.size(), &faults_);
@@ -198,11 +262,11 @@ void ArtifactStore::put(ArtifactKind kind, ArtifactKey key,
   }
 }
 
-std::optional<ArtifactReader> ArtifactStore::open(ArtifactKind kind,
-                                                  ArtifactKey key) const {
+std::optional<ArtifactReader> ArtifactStore::open(
+    ArtifactKind kind, ArtifactKey key, PageResidency residency) const {
   const std::string path = artifact_path(kind, key);
   if (!file_exists(path)) return std::nullopt;
-  ArtifactReader reader = open_artifact_file(path);
+  ArtifactReader reader = open_artifact_file(path, residency);
   if (reader.kind() != kind || reader.key() != key) {
     throw StaleArtifactError(
         "artifact '" + path + "' holds kind=" +

@@ -151,6 +151,19 @@ class ArtifactWriter {
   std::vector<std::vector<std::byte>> sections_;
 };
 
+/// How an artifact open treats page residency.
+enum class PageResidency {
+  /// Prefault the whole mapping and checksum it in one pass — the warm
+  /// path for artifacts that will be copied out wholesale anyway.
+  kPrefault,
+  /// Map on demand and checksum in bounded chunks, releasing each chunk's
+  /// pages after hashing: validation is still complete (every payload
+  /// byte is hashed before any section is served) but peak residency is
+  /// one chunk, not the artifact. The open mode behind out-of-core
+  /// borrowed-mapped engines (store::open_engine_mapped).
+  kOnDemand,
+};
+
 /// A validated, read-only view of one committed artifact. Sections are
 /// spans directly over the mapping — zero copies; the reader owns the
 /// mapping, so spans live as long as the reader.
@@ -202,8 +215,35 @@ class ArtifactReader {
     return {values.begin(), values.end()};
   }
 
+  /// Re-validates the mapping's backing file: throws CorruptArtifactError
+  /// if the file shrank after open (a foreign truncate), in which case a
+  /// read of any span past the new EOF would be SIGBUS, not an exception.
+  /// Borrowed-mapped engines call this through their EngineStoragePin
+  /// before every compute phase that walks unfaulted pages.
+  void check_backing() const {
+    if (file_.disk_size() < file_.size()) {
+      throw CorruptArtifactError(
+          "artifact '" + file_.path() + "' shrank under its mapping (" +
+          std::to_string(file_.disk_size()) + " bytes on disk, " +
+          std::to_string(file_.size()) + " mapped) — the backing file was "
+          "truncated after open");
+    }
+  }
+
+  /// Drops clean pages of [data, data + bytes) from this process's
+  /// resident set when the pointer lies inside this reader's mapping
+  /// (madvise MADV_DONTNEED; refault on next touch). Pointers outside the
+  /// mapping are ignored — a best-effort residency hint, never an error.
+  void release_pages(const void* data, std::size_t bytes) const noexcept {
+    const auto* p = static_cast<const std::byte*>(data);
+    if (p < file_.data() || p >= file_.data() + file_.size()) return;
+    file_.advise_dont_need(static_cast<std::size_t>(p - file_.data()),
+                           bytes);
+  }
+
  private:
-  friend ArtifactReader open_artifact_file(const std::string& path);
+  friend ArtifactReader open_artifact_file(const std::string& path,
+                                           PageResidency residency);
   MappedFile file_;
   ArtifactHeader header_{};
   std::vector<std::pair<std::size_t, std::size_t>> offsets_;  ///< off, len
@@ -212,8 +252,13 @@ class ArtifactReader {
 /// Opens and fully validates one artifact file: magic/header checksum ->
 /// CorruptArtifactError, format version -> StaleArtifactError, payload
 /// checksum / truncation / section-table overrun -> CorruptArtifactError.
-/// Used by ArtifactStore::open and by fsck.
-ArtifactReader open_artifact_file(const std::string& path);
+/// Used by ArtifactStore::open and by fsck. kOnDemand performs the same
+/// complete validation but streams the payload checksum in bounded chunks
+/// (dropping each chunk's pages after hashing) so opening an artifact much
+/// larger than RAM never faults the whole file resident.
+ArtifactReader open_artifact_file(
+    const std::string& path,
+    PageResidency residency = PageResidency::kPrefault);
 
 /// Counters of one store's lifetime (relaxed atomics).
 struct StoreStats {
@@ -248,6 +293,14 @@ class ArtifactStore {
   /// removed and the error rethrown — the store still holds the old
   /// artifact or none. StoreCrashed (simulated process death) is NOT
   /// cleaned up after, by design.
+  ///
+  /// Cross-process exclusion: each commit holds an advisory flock(2)
+  /// LOCK_EX on the store directory for its duration, so two PROCESSES
+  /// committing into the same directory serialize instead of interleaving
+  /// on the shared .tmp path (within a process, commit_mutex_ serializes
+  /// first — the flock never self-deadlocks). Readers take no lock; the
+  /// rename-based protocol already guarantees they see old or new bytes,
+  /// never a mix.
   void put(ArtifactKind kind, ArtifactKey key,
            const std::function<void(ArtifactWriter&)>& fill);
 
@@ -255,9 +308,11 @@ class ArtifactStore {
   /// StaleArtifactError when present but not trustworthy (see
   /// open_artifact_file); the header's kind and key must also match the
   /// request (else StaleArtifactError — the file is not what its name
-  /// claims).
-  std::optional<ArtifactReader> open(ArtifactKind kind,
-                                     ArtifactKey key) const;
+  /// claims). kOnDemand opens validate identically but keep page
+  /// residency bounded (out-of-core consumers).
+  std::optional<ArtifactReader> open(
+      ArtifactKind kind, ArtifactKey key,
+      PageResidency residency = PageResidency::kPrefault) const;
 
   /// Moves a damaged artifact into <dir>/quarantine/ for post-mortem (the
   /// degradation path never deletes evidence). Best effort, never throws.

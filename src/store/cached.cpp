@@ -55,6 +55,24 @@ void check_section_size(const ArtifactReader& reader, std::size_t section,
   }
 }
 
+/// The EngineStoragePin behind every borrowed-mapped engine and LSH index:
+/// a shared_ptr keeps the validated reader (and so the mapping under every
+/// borrowed span) alive exactly as long as any consumer; the residency and
+/// backing hooks delegate to the reader's mapping.
+class MappedArtifactPin final : public sim::EngineStoragePin {
+ public:
+  explicit MappedArtifactPin(std::shared_ptr<const ArtifactReader> reader)
+      : reader_(std::move(reader)) {}
+
+  void release_pages(const void* data, std::size_t bytes) const override {
+    reader_->release_pages(data, bytes);
+  }
+  void check_backing() const override { reader_->check_backing(); }
+
+ private:
+  std::shared_ptr<const ArtifactReader> reader_;
+};
+
 }  // namespace
 
 // ---- keys --------------------------------------------------------------
@@ -179,11 +197,9 @@ ArtifactKey EngineCodec::content_key(const sim::SimilarityEngine& engine) {
       .value(static_cast<std::uint64_t>(engine.count_))
       .value(static_cast<std::uint64_t>(engine.length_));
   if (engine.precompute_ == sim::Precompute::kAllPairs) {
-    builder.span(std::span<const float>(engine.filled_))
-        .span(std::span<const std::uint64_t>(engine.mask_));
+    builder.span(engine.filled_.span()).span(engine.mask_.span());
   } else {
-    builder.span(std::span<const float>(engine.normalized_))
-        .span(std::span<const std::uint32_t>(engine.present_));
+    builder.span(engine.normalized_.span()).span(engine.present_.span());
   }
   return builder.key();
 }
@@ -201,19 +217,19 @@ void EngineCodec::save(ArtifactWriter& writer,
   meta.mask_words = engine.mask_words_;
   meta.seg_count = engine.seg_count_;
   writer.scalar(meta);
-  writer.section(engine.raw_);
-  writer.section(engine.filled_);
-  writer.section(engine.normalized_);
-  writer.section(engine.mask_);
-  writer.section(engine.present_);
-  writer.section(engine.has_missing_);
-  writer.section(engine.degenerate_);
-  writer.section(engine.zscale_);
-  writer.section(engine.missing_idx_);
-  writer.section(engine.missing_begin_);
-  writer.section(engine.own_sum_);
-  writer.section(engine.own_sumsq_);
-  writer.section(engine.seg_norms_);
+  writer.section(engine.raw_.span());
+  writer.section(engine.filled_.span());
+  writer.section(engine.normalized_.span());
+  writer.section(engine.mask_.span());
+  writer.section(engine.present_.span());
+  writer.section(engine.has_missing_.span());
+  writer.section(engine.degenerate_.span());
+  writer.section(engine.zscale_.span());
+  writer.section(engine.missing_idx_.span());
+  writer.section(engine.missing_begin_.span());
+  writer.section(engine.own_sum_.span());
+  writer.section(engine.own_sumsq_.span());
+  writer.section(engine.seg_norms_.span());
 }
 
 sim::SimilarityEngine EngineCodec::load(const ArtifactReader& reader,
@@ -259,6 +275,50 @@ sim::SimilarityEngine EngineCodec::load(const ArtifactReader& reader,
   return engine;
 }
 
+sim::SimilarityEngine EngineCodec::load_mapped(
+    std::shared_ptr<const ArtifactReader> reader, std::size_t& section) {
+  const auto meta = reader->scalar<EngineMeta>(section++);
+  sim::SimilarityEngine engine;
+  engine.metric_ = static_cast<sim::Metric>(meta.metric);
+  engine.precompute_ = static_cast<sim::Precompute>(meta.precompute);
+  engine.float_kernel_ = meta.float_kernel != 0;
+  engine.prune_slack_ = meta.prune_slack;
+  engine.count_ = static_cast<std::size_t>(meta.count);
+  engine.length_ = static_cast<std::size_t>(meta.length);
+  engine.stride_ = static_cast<std::size_t>(meta.stride);
+  engine.mask_words_ = static_cast<std::size_t>(meta.mask_words);
+  engine.seg_count_ = static_cast<std::size_t>(meta.seg_count);
+  // Same sections, same order as load() — borrowed instead of copied. The
+  // spans point into the reader's mapping, which the pin below keeps alive
+  // for the engine's whole lifetime (and any engine copied/moved from it:
+  // shared_ptr semantics).
+  engine.raw_.borrow(reader->section<float>(section++));
+  engine.filled_.borrow(reader->section<float>(section++));
+  engine.normalized_.borrow(reader->section<float>(section++));
+  engine.mask_.borrow(reader->section<std::uint64_t>(section++));
+  engine.present_.borrow(reader->section<std::uint32_t>(section++));
+  engine.has_missing_.borrow(reader->section<std::uint8_t>(section++));
+  engine.degenerate_.borrow(reader->section<std::uint8_t>(section++));
+  engine.zscale_.borrow(reader->section<float>(section++));
+  engine.missing_idx_.borrow(reader->section<std::uint32_t>(section++));
+  engine.missing_begin_.borrow(reader->section<std::uint32_t>(section++));
+  engine.own_sum_.borrow(reader->section<double>(section++));
+  engine.own_sumsq_.borrow(reader->section<double>(section++));
+  engine.seg_norms_.borrow(reader->section<float>(section++));
+  const bool all_pairs =
+      engine.precompute_ == sim::Precompute::kAllPairs;
+  check_section_size(*reader, section - 12, engine.filled_.size(),
+                     all_pairs ? engine.count_ * engine.stride_ : 0,
+                     "filled rows");
+  check_section_size(*reader, section - 10, engine.mask_.size(),
+                     all_pairs ? engine.count_ * engine.mask_words_ : 0,
+                     "missing masks");
+  check_section_size(*reader, section - 9, engine.present_.size(),
+                     engine.count_, "present counts");
+  engine.pin_ = std::make_shared<MappedArtifactPin>(std::move(reader));
+  return engine;
+}
+
 // ---- LshCodec ----------------------------------------------------------
 
 void LshCodec::save(ArtifactWriter& writer, const sim::LshIndex& index) {
@@ -270,7 +330,7 @@ void LshCodec::save(ArtifactWriter& writer, const sim::LshIndex& index) {
   meta.tables = index.tables_;
   meta.probes = index.probes_;
   writer.scalar(meta);
-  writer.section(index.signatures_);
+  writer.section(index.signatures_.span());
   // Each bucket table holds exactly count_ (key, row) entries; flatten
   // them table-major so the whole bank is two sections.
   std::vector<std::uint64_t> keys;
@@ -283,7 +343,7 @@ void LshCodec::save(ArtifactWriter& writer, const sim::LshIndex& index) {
   }
   writer.section(keys);
   writer.section(rows);
-  writer.section(index.probe_bits_);
+  writer.section(index.probe_bits_.span());
 }
 
 sim::LshIndex LshCodec::load(const ArtifactReader& reader,
@@ -315,6 +375,40 @@ sim::LshIndex LshCodec::load(const ArtifactReader& reader,
     table.rows.assign(rows.begin() + begin,
                       rows.begin() + begin + index.count_);
   }
+  return index;
+}
+
+sim::LshIndex LshCodec::load_mapped(
+    std::shared_ptr<const ArtifactReader> reader, std::size_t& section) {
+  const auto meta = reader->scalar<LshMeta>(section++);
+  sim::LshIndex index;
+  index.count_ = static_cast<std::size_t>(meta.count);
+  index.bits_ = static_cast<std::size_t>(meta.bits);
+  index.words_ = static_cast<std::size_t>(meta.words);
+  index.slice_bits_ = static_cast<std::size_t>(meta.slice_bits);
+  index.tables_ = static_cast<std::size_t>(meta.tables);
+  index.probes_ = static_cast<std::size_t>(meta.probes);
+  index.signatures_.borrow(reader->section<std::uint64_t>(section++));
+  const auto keys = reader->section<std::uint64_t>(section++);
+  const auto rows = reader->section<std::uint32_t>(section++);
+  index.probe_bits_.borrow(reader->section<std::uint16_t>(section++));
+  check_section_size(*reader, section - 4, index.signatures_.size(),
+                     index.count_ * index.words_, "signatures");
+  check_section_size(*reader, section - 3, keys.size(),
+                     index.tables_ * index.count_, "bucket keys");
+  check_section_size(*reader, section - 2, rows.size(),
+                     index.tables_ * index.count_, "bucket rows");
+  // Each table borrows its slice of the flat table-major banks — the
+  // sections were written per-table contiguous precisely so a mapped
+  // reopen needs no per-table copies.
+  index.tables_storage_.resize(index.tables_);
+  for (std::size_t t = 0; t < index.tables_; ++t) {
+    auto& table = index.tables_storage_[t];
+    const std::size_t begin = t * index.count_;
+    table.keys.borrow(keys.subspan(begin, index.count_));
+    table.rows.borrow(rows.subspan(begin, index.count_));
+  }
+  index.pin_ = std::make_shared<MappedArtifactPin>(std::move(reader));
   return index;
 }
 
@@ -434,6 +528,92 @@ sim::SimilarityEngine open_or_build_engine(
       stats);
 }
 
+std::optional<sim::SimilarityEngine> open_engine_mapped(ArtifactStore& store,
+                                                        ArtifactKey key) {
+  auto reader =
+      store.open(ArtifactKind::kEngine, key, PageResidency::kOnDemand);
+  if (!reader.has_value()) return std::nullopt;
+  auto shared = std::make_shared<const ArtifactReader>(std::move(*reader));
+  std::size_t section = 0;
+  sim::SimilarityEngine engine = EngineCodec::load_mapped(shared, section);
+  store.stats().warm_opens.fetch_add(1, std::memory_order_relaxed);
+  return engine;
+}
+
+sim::SimilarityEngine open_or_build_engine_mapped(
+    ArtifactStore& store, ArtifactKey input_key,
+    const std::function<expr::ExpressionMatrix()>& load_matrix,
+    sim::Metric metric, sim::Precompute precompute, sim::DenseKernel kernel,
+    OpenStats* stats) {
+  const ArtifactKey key = engine_key(input_key, metric, precompute, kernel);
+  // Warm path + damage handling mirror load_or_compute; the load itself is
+  // the mapped open (and cannot use load_or_compute directly, because the
+  // cold path below must REOPEN the committed artifact mapped instead of
+  // returning the heap value).
+  bool recovered = false;
+  try {
+    if (auto engine = open_engine_mapped(store, key)) {
+      if (stats != nullptr) stats->warm = true;
+      return std::move(*engine);
+    }
+  } catch (const CorruptArtifactError& error) {
+    store.stats().corrupt.fetch_add(1, std::memory_order_relaxed);
+    detail::log_artifact_recovery(store.artifact_path(ArtifactKind::kEngine,
+                                                      key),
+                                  "corrupt", error.what(), "quarantined");
+    store.quarantine(ArtifactKind::kEngine, key);
+    recovered = true;
+  } catch (const StaleArtifactError& error) {
+    store.stats().stale.fetch_add(1, std::memory_order_relaxed);
+    detail::log_artifact_recovery(store.artifact_path(ArtifactKind::kEngine,
+                                                      key),
+                                  "stale", error.what(), "removed");
+    store.remove(ArtifactKind::kEngine, key);
+    recovered = true;
+  } catch (const IoError& error) {
+    detail::log_artifact_recovery(store.artifact_path(ArtifactKind::kEngine,
+                                                      key),
+                                  "unreadable", error.what(), "ignored");
+    recovered = true;
+  }
+  if (stats != nullptr) stats->recovered = recovered;
+
+  const expr::ExpressionMatrix matrix = load_matrix();
+  sim::SimilarityEngine built =
+      sim::SimilarityEngine::from_rows(matrix, metric, precompute, kernel);
+  store.stats().recomputes.fetch_add(1, std::memory_order_relaxed);
+  try {
+    store.put(ArtifactKind::kEngine, key,
+              [&](ArtifactWriter& w) { EngineCodec::save(w, built); });
+    store.stats().persists.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) stats->persisted = true;
+  } catch (const Error& error) {
+    store.stats().persist_failures.fetch_add(1, std::memory_order_relaxed);
+    detail::log_artifact_recovery(store.artifact_path(ArtifactKind::kEngine,
+                                                      key),
+                                  "persist-failed", error.what(),
+                                  "serving heap-built engine");
+    return built;
+  }
+  // The commit succeeded, so the artifact under the final name is exactly
+  // the engine just built; serve it mapped. Any failure to reopen what was
+  // just committed degrades to the heap engine rather than erroring — the
+  // caller asked for a correct engine first, a mapped one second.
+  try {
+    if (auto engine = open_engine_mapped(store, key)) {
+      // Reopening our own commit is not a second warm serve.
+      store.stats().warm_opens.fetch_sub(1, std::memory_order_relaxed);
+      return std::move(*engine);
+    }
+  } catch (const Error& error) {
+    detail::log_artifact_recovery(store.artifact_path(ArtifactKind::kEngine,
+                                                      key),
+                                  "mapped-reopen-failed", error.what(),
+                                  "serving heap-built engine");
+  }
+  return built;
+}
+
 cluster::DistanceMatrix open_or_compute_condensed(
     ArtifactStore& store, const sim::SimilarityEngine& engine,
     par::ThreadPool& pool, OpenStats* stats) {
@@ -474,6 +654,20 @@ sim::LshIndex open_or_build_lsh(ArtifactStore& store,
         LshCodec::save(writer, index);
       },
       stats);
+}
+
+std::optional<sim::LshIndex> open_lsh_mapped(
+    ArtifactStore& store, const sim::SimilarityEngine& engine,
+    const sim::LshParams& params) {
+  const ArtifactKey key = lsh_key(EngineCodec::content_key(engine), params);
+  auto reader =
+      store.open(ArtifactKind::kLshIndex, key, PageResidency::kOnDemand);
+  if (!reader.has_value()) return std::nullopt;
+  auto shared = std::make_shared<const ArtifactReader>(std::move(*reader));
+  std::size_t section = 0;
+  sim::LshIndex index = LshCodec::load_mapped(shared, section);
+  store.stats().warm_opens.fetch_add(1, std::memory_order_relaxed);
+  return index;
 }
 
 sim::NeighborTable open_or_compute_top_k(

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -82,6 +84,16 @@ class EngineCodec {
                    const sim::SimilarityEngine& engine);
   static sim::SimilarityEngine load(const ArtifactReader& reader,
                                     std::size_t& section);
+
+  /// Zero-copy restore: the returned engine's state arrays are read-only
+  /// spans directly into `reader`'s mapping (EngineStorage::kBorrowedMapped)
+  /// and the reader is pinned inside the engine, so the mapping outlives
+  /// every span. Same section layout and the same structural checks as
+  /// load() — the two restores are bit-identical in every query. Open the
+  /// reader with PageResidency::kOnDemand or the mapping arrives fully
+  /// faulted and the point of borrowing is lost.
+  static sim::SimilarityEngine load_mapped(
+      std::shared_ptr<const ArtifactReader> reader, std::size_t& section);
 };
 
 class LshCodec {
@@ -90,6 +102,13 @@ class LshCodec {
   static void save(ArtifactWriter& writer, const sim::LshIndex& index);
   static sim::LshIndex load(const ArtifactReader& reader,
                             std::size_t& section);
+
+  /// Zero-copy restore of a signature index: the bank and each bucket
+  /// table's per-table slice of the flat key/row sections are borrowed
+  /// from `reader`'s mapping, which the index pins. Candidate generation
+  /// is identical to a load()ed or freshly built index.
+  static sim::LshIndex load_mapped(
+      std::shared_ptr<const ArtifactReader> reader, std::size_t& section);
 };
 
 class SpellCodec {
@@ -142,6 +161,36 @@ sim::SimilarityEngine open_or_build_engine(
     sim::DenseKernel kernel = sim::DenseKernel::kAuto,
     OpenStats* stats = nullptr);
 
+/// Opens a persisted engine artifact WITHOUT copying its state to the
+/// heap: the artifact is validated chunk-streamed (PageResidency::
+/// kOnDemand), then served as a borrowed-mapped engine whose arrays are
+/// read-only spans into the pinned mapping. Every query and tile path is
+/// bit-identical to the heap engine the artifact was saved from; what
+/// changes is residency — pages fault in as the tile schedule touches
+/// them, and the serial streaming driver releases them behind its cursor,
+/// so the distance phase runs at n whose dense engine state exceeds RAM.
+/// `key` is the full engine artifact key (engine_key(...)). nullopt when
+/// absent; CorruptArtifactError / StaleArtifactError propagate (callers
+/// wanting the degradation ladder use open_or_build_engine_mapped).
+std::optional<sim::SimilarityEngine> open_engine_mapped(ArtifactStore& store,
+                                                        ArtifactKey key);
+
+/// open_or_build_engine with a borrowed-mapped warm path: a valid artifact
+/// is served mapped (see open_engine_mapped); a missing or damaged one is
+/// rebuilt on the heap, persisted, and the COMMITTED artifact is then
+/// reopened mapped — so the returned engine is mapped on every path where
+/// a trustworthy artifact exists, and falls back to the heap build only
+/// when persisting failed (degradation, never an error). Damage handling
+/// (quarantine / remove / log, StoreCrashed untouched) matches
+/// load_or_compute exactly.
+sim::SimilarityEngine open_or_build_engine_mapped(
+    ArtifactStore& store, ArtifactKey input_key,
+    const std::function<expr::ExpressionMatrix()>& load_matrix,
+    sim::Metric metric,
+    sim::Precompute precompute = sim::Precompute::kAllPairs,
+    sim::DenseKernel kernel = sim::DenseKernel::kAuto,
+    OpenStats* stats = nullptr);
+
 /// The condensed pairwise distance triangle of `engine`'s profiles.
 cluster::DistanceMatrix open_or_compute_condensed(
     ArtifactStore& store, const sim::SimilarityEngine& engine,
@@ -154,6 +203,14 @@ sim::LshIndex open_or_build_lsh(ArtifactStore& store,
                                 const sim::LshParams& params,
                                 par::ThreadPool& pool,
                                 OpenStats* stats = nullptr);
+
+/// Opens a persisted LSH index over `engine` as a borrowed-mapped index
+/// (signature bank + bucket tables served as spans into the pinned
+/// artifact mapping — no copy, no O(n·bits) rebuild). nullopt when absent;
+/// typed errors propagate like open_engine_mapped.
+std::optional<sim::LshIndex> open_lsh_mapped(ArtifactStore& store,
+                                             const sim::SimilarityEngine& engine,
+                                             const sim::LshParams& params);
 
 /// The top-k neighbor table of `engine`. Under TopKStrategy::kApprox the
 /// LSH index itself is ALSO cached (open_or_build_lsh) and handed to

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -45,18 +46,22 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
   return *this;
 }
 
-void MappedFile::map(std::size_t bytes) {
+void MappedFile::map(std::size_t bytes, bool populate) {
   if (bytes == 0) {
     data_ = nullptr;
     size_ = 0;
     return;
   }
-  // Read-only opens always stream the whole payload (checksum pass),
+  // Populated read-only opens stream the whole payload (checksum pass),
   // so prefault the page tables in one syscall instead of taking a soft
   // fault per 4 KiB — on warm artifacts this is most of the open cost.
+  // Out-of-core opens pass populate = false: their whole point is that
+  // only the pages the tile schedule touches ever become resident.
   int flags = MAP_SHARED;
 #ifdef MAP_POPULATE
-  if (read_only_) flags |= MAP_POPULATE;
+  if (read_only_ && populate) flags |= MAP_POPULATE;
+#else
+  (void)populate;
 #endif
   void* addr = ::mmap(nullptr, bytes,
                       read_only_ ? PROT_READ : PROT_READ | PROT_WRITE,
@@ -83,7 +88,8 @@ MappedFile MappedFile::create(const std::string& path, std::size_t bytes,
   return file;
 }
 
-MappedFile MappedFile::open_read_only(const std::string& path) {
+MappedFile MappedFile::open_read_only(const std::string& path,
+                                      bool populate) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) throw_errno("cannot open", path);
   struct stat st{};
@@ -94,8 +100,33 @@ MappedFile MappedFile::open_read_only(const std::string& path) {
     throw_errno("cannot stat", path);
   }
   MappedFile file(path, fd, nullptr, 0, /*read_only=*/true);
-  file.map(static_cast<std::size_t>(st.st_size));
+  file.map(static_cast<std::size_t>(st.st_size), populate);
   return file;
+}
+
+std::size_t MappedFile::disk_size() const {
+  FV_REQUIRE(is_open(), "disk_size needs an open file");
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw_errno("cannot stat", path_);
+  return static_cast<std::size_t>(st.st_size);
+}
+
+void MappedFile::advise_dont_need(std::size_t offset,
+                                  std::size_t bytes) const noexcept {
+#ifdef MADV_DONTNEED
+  if (data_ == nullptr || offset >= size_) return;
+  bytes = std::min(bytes, size_ - offset);
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  // Shrink inward: releasing a partial page would also evict the bytes
+  // sharing it that some other range still needs resident.
+  const std::size_t begin = (offset + page - 1) & ~(page - 1);
+  const std::size_t end = (offset + bytes) & ~(page - 1);
+  if (end <= begin) return;
+  ::madvise(data_ + begin, end - begin, MADV_DONTNEED);
+#else
+  (void)offset;
+  (void)bytes;
+#endif
 }
 
 MappedFile MappedFile::open_read_write(const std::string& path,

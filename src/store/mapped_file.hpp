@@ -38,7 +38,12 @@ class MappedFile {
   /// Maps an existing file read-only. A zero-length file yields a valid
   /// object with size() == 0 and no mapping (callers decide what an empty
   /// file means). Throws fv::IoError when the file cannot be opened.
-  static MappedFile open_read_only(const std::string& path);
+  /// `populate` prefaults every page in one syscall (MAP_POPULATE) — right
+  /// for whole-file streaming reads (checksum passes dominate open cost);
+  /// pass false for out-of-core consumers whose resident set must stay a
+  /// fraction of the file (pages then fault in on first touch only).
+  static MappedFile open_read_only(const std::string& path,
+                                   bool populate = true);
 
   /// Maps an existing file read-write at its current size.
   static MappedFile open_read_write(const std::string& path,
@@ -68,6 +73,22 @@ class MappedFile {
   /// protocol does), which keeps "crash before sync" states reachable.
   void close() noexcept;
 
+  /// The file's CURRENT on-disk byte count (fstat), as opposed to size(),
+  /// which is the byte count sealed into the mapping at open time. A
+  /// foreign truncate(2) makes disk_size() < size(); reading the mapping
+  /// past the new EOF is then SIGBUS — out-of-core consumers compare the
+  /// two before walking unfaulted pages (EngineStoragePin::check_backing).
+  std::size_t disk_size() const;
+
+  /// Hints that [offset, offset + bytes) of the mapping will not be read
+  /// again soon (madvise MADV_DONTNEED): clean file-backed pages leave
+  /// this process's resident set and refault from the page cache on the
+  /// next touch. The range is shrunk inward to page boundaries — partial
+  /// pages stay resident, so the hint can never discard bytes a
+  /// neighboring consumer still reads. Best effort, never throws.
+  void advise_dont_need(std::size_t offset, std::size_t bytes)
+      const noexcept;
+
   /// Atomically replaces `to` with `from` (POSIX rename: readers of `to`
   /// see the old bytes or the new bytes, never a mix). The injector op
   /// gates the crash point.
@@ -88,7 +109,7 @@ class MappedFile {
       : path_(std::move(path)), fd_(fd), data_(data), size_(size),
         read_only_(read_only) {}
 
-  void map(std::size_t bytes);
+  void map(std::size_t bytes, bool populate = true);
 
   std::string path_;
   int fd_ = -1;

@@ -12,6 +12,7 @@
 // MappedVector is the mutable primitive underneath.)
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -75,9 +76,17 @@ class MappedVector {
   /// a wrong element size, or a published count that does not fit the
   /// file raise fv::CorruptArtifactError; a newer format version raises
   /// fv::StaleArtifactError. Reopen cost is one mmap + 64 header bytes.
-  static MappedVector open_read_only(const std::string& path) {
+  ///
+  /// `populate` prefaults every page (MAP_POPULATE) — the right default
+  /// for vectors the consumer will scan densely. Pass false for the
+  /// out-of-core mode: pages then fault in only as span() elements are
+  /// touched, and release_elements() can drop them behind a streaming
+  /// cursor, so resident set tracks the consumer's window rather than
+  /// the file size.
+  static MappedVector open_read_only(const std::string& path,
+                                     bool populate = true) {
     MappedVector v;
-    v.file_ = MappedFile::open_read_only(path);
+    v.file_ = MappedFile::open_read_only(path, populate);
     if (v.file_.size() < sizeof(MappedVectorHeader)) {
       throw CorruptArtifactError("mapped vector '" + path +
                                  "' is shorter than its header");
@@ -130,6 +139,33 @@ class MappedVector {
 
   /// The published elements, directly over the mapping — zero copies.
   std::span<const T> span() const noexcept { return {data(), count_}; }
+
+  /// Drops the resident pages backing elements [first, first + count) of a
+  /// read-only mapping (madvise(MADV_DONTNEED), rounded inward to whole
+  /// pages — partially covered pages stay resident, so neighbors of the
+  /// released window are never harmed). The elements remain addressable;
+  /// touching them again refaults from the file. No-op when out of range.
+  void release_elements(std::size_t first, std::size_t count) const noexcept {
+    if (first >= count_ || count == 0) return;
+    const std::size_t end = first + std::min(count, count_ - first);
+    file_.advise_dont_need(byte_size(first),
+                           (end - first) * sizeof(T));
+  }
+
+  /// Guards a long-lived read-only mapping against the backing file being
+  /// truncated after open (the one damage mmap cannot surface as a typed
+  /// error on its own — touching an evaporated page is SIGBUS). Streaming
+  /// consumers call this at window granularity; throws
+  /// fv::CorruptArtifactError when the file on disk no longer covers the
+  /// mapping.
+  void check_backing() const {
+    if (file_.disk_size() < file_.size()) {
+      throw CorruptArtifactError(
+          "mapped vector '" + file_.path() +
+          "' shrank under its mapping — the backing file was truncated "
+          "after open");
+    }
+  }
 
   /// Appends `values`, growing the file geometrically as needed. The
   /// count is NOT published until sync().

@@ -12,6 +12,7 @@
 // tuned for many tiny buffers, this for few large ones.)
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -119,5 +120,107 @@ std::uint64_t xxhash64_of(std::span<const T> values,
                           std::uint64_t seed = 0) noexcept {
   return xxhash64(std::as_bytes(values), seed);
 }
+
+/// Streaming XXH64: update() in chunks, digest() at the end — bit-identical
+/// to the one-shot xxhash64() over the concatenated bytes, at any chunk
+/// split. The store's mapped-open path validates multi-hundred-megabyte
+/// payloads through this so it can drop each hashed chunk's pages before
+/// faulting the next one in: peak validation residency is one chunk, not
+/// the whole artifact (the one-shot function walks the entire mapping and
+/// leaves every page resident behind it).
+class Xxh64Stream {
+ public:
+  explicit Xxh64Stream(std::uint64_t seed = 0) noexcept
+      : v1_(seed + detail::kXxPrime1 + detail::kXxPrime2),
+        v2_(seed + detail::kXxPrime2), v3_(seed),
+        v4_(seed - detail::kXxPrime1), seed_(seed) {}
+
+  void update(std::span<const std::byte> data) noexcept {
+    using namespace detail;
+    const std::byte* p = data.data();
+    std::size_t remaining = data.size();
+    total_ += remaining;
+
+    if (buffered_ > 0) {
+      const std::size_t take = std::min(remaining, sizeof(buffer_) -
+                                                       buffered_);
+      std::memcpy(buffer_ + buffered_, p, take);
+      buffered_ += take;
+      p += take;
+      remaining -= take;
+      if (buffered_ < sizeof(buffer_)) return;
+      consume_stripe(buffer_);
+      buffered_ = 0;
+    }
+    while (remaining >= sizeof(buffer_)) {
+      consume_stripe(p);
+      p += sizeof(buffer_);
+      remaining -= sizeof(buffer_);
+    }
+    if (remaining > 0) {
+      std::memcpy(buffer_, p, remaining);
+      buffered_ = remaining;
+    }
+  }
+
+  /// The XXH64 of everything update()d so far. Does not consume the
+  /// stream — more update() calls may follow, digest() again later.
+  std::uint64_t digest() const noexcept {
+    using namespace detail;
+    std::uint64_t h;
+    if (total_ >= sizeof(buffer_)) {
+      h = std::rotl(v1_, 1) + std::rotl(v2_, 7) + std::rotl(v3_, 12) +
+          std::rotl(v4_, 18);
+      h = xx_merge_round(h, v1_);
+      h = xx_merge_round(h, v2_);
+      h = xx_merge_round(h, v3_);
+      h = xx_merge_round(h, v4_);
+    } else {
+      h = seed_ + kXxPrime5;
+    }
+    h += total_;
+
+    const std::byte* p = buffer_;
+    const std::byte* const end = buffer_ + buffered_;
+    while (p + 8 <= end) {
+      h ^= xx_round(0, xx_read64(p));
+      h = std::rotl(h, 27) * kXxPrime1 + kXxPrime4;
+      p += 8;
+    }
+    if (p + 4 <= end) {
+      h ^= static_cast<std::uint64_t>(xx_read32(p)) * kXxPrime1;
+      h = std::rotl(h, 23) * kXxPrime2 + kXxPrime3;
+      p += 4;
+    }
+    while (p < end) {
+      h ^= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(*p)) *
+           kXxPrime5;
+      h = std::rotl(h, 11) * kXxPrime1;
+      ++p;
+    }
+
+    h ^= h >> 33;
+    h *= kXxPrime2;
+    h ^= h >> 29;
+    h *= kXxPrime3;
+    h ^= h >> 32;
+    return h;
+  }
+
+ private:
+  void consume_stripe(const std::byte* p) noexcept {
+    using namespace detail;
+    v1_ = xx_round(v1_, xx_read64(p));
+    v2_ = xx_round(v2_, xx_read64(p + 8));
+    v3_ = xx_round(v3_, xx_read64(p + 16));
+    v4_ = xx_round(v4_, xx_read64(p + 24));
+  }
+
+  std::uint64_t v1_, v2_, v3_, v4_;
+  std::uint64_t seed_;
+  std::uint64_t total_ = 0;
+  std::byte buffer_[32];
+  std::size_t buffered_ = 0;
+};
 
 }  // namespace fv

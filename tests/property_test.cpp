@@ -4,16 +4,28 @@
 //  * hypergeometric tail vs direct summation over the support
 //  * mpx collectives under message storms
 //  * wall culling: executing only culled commands == executing all
+//  * borrowed-mapped engines vs heap engines: bit-identical across every
+//    metric x top-k strategy x pool width on randomized matrices
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
 #include <numeric>
 
 #include "cluster/hclust.hpp"
+#include "expr/engine_rows.hpp"
+#include "expr/expression_matrix.hpp"
 #include "mpx/communicator.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/lsh.hpp"
+#include "sim/similarity_engine.hpp"
 #include "stats/special.hpp"
+#include "store/artifact_store.hpp"
+#include "store/cached.hpp"
 #include "util/rng.hpp"
+#include "util/triangular.hpp"
 #include "wall/command.hpp"
 #include "wall/wall_display.hpp"
 
@@ -224,5 +236,149 @@ TEST_P(CullSoundnessTest, CulledEqualsFull) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Scenes, CullSoundnessTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Storage-equivalence property: a borrowed-mapped engine (arrays served as
+// read-only spans into the artifact mapping) must be BIT-IDENTICAL to the
+// heap engine its artifact was saved from — same condensed triangle (pooled
+// AND serial streaming driver), same top-k table under every strategy, same
+// reconstructed input rows — across randomized matrices x metrics x
+// strategies x pool widths. Equality is memcmp/== on floats, never a
+// tolerance: storage residency must not perturb a single bit.
+
+namespace sim = fv::sim;
+namespace st = fv::store;
+namespace fs = std::filesystem;
+
+fv::expr::ExpressionMatrix random_matrix(std::size_t rows, std::size_t cols,
+                                         fv::Rng& rng) {
+  fv::expr::ExpressionMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double base = static_cast<double>(r % 9);
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.uniform() < 0.1) continue;  // ~10% missing cells
+      m.set(r, c,
+            static_cast<float>(std::cos(base + 0.4 * c) +
+                               0.3 * rng.normal()));
+    }
+  }
+  return m;
+}
+
+/// (seed, metric index, strategy index, pool threads).
+class MappedEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {
+ protected:
+  void SetUp() override {
+    std::string name = ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name();
+    std::replace(name.begin(), name.end(), '/', '_');
+    dir_ = (fs::temp_directory_path() / ("fv_mapped_prop_" + name)).string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_P(MappedEquivalenceTest, MappedEngineIsBitIdenticalToHeap) {
+  const auto [seed, metric_index, strategy_index, threads] = GetParam();
+  const auto metric = static_cast<sim::Metric>(metric_index);
+  const auto strategy = static_cast<sim::TopKStrategy>(strategy_index);
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " metric=" + std::to_string(metric_index) +
+               " strategy=" + std::to_string(strategy_index) +
+               " threads=" + std::to_string(threads));
+  if (metric == sim::Metric::kEuclidean &&
+      strategy != sim::TopKStrategy::kExact) {
+    GTEST_SKIP() << "pruned/approx require a correlation metric";
+  }
+
+  fv::Rng rng(static_cast<std::uint64_t>(seed) * 7919);
+  const std::size_t n = 120 + static_cast<std::size_t>(seed) % 60;
+  const auto matrix = random_matrix(n, 24, rng);
+  const auto heap = sim::SimilarityEngine::from_rows(matrix, metric);
+  ASSERT_EQ(heap.storage(), sim::EngineStorage::kOwnedHeap);
+
+  // Persist cold, then reopen as a borrowed-mapped engine.
+  st::ArtifactStore store(dir_);
+  const auto input_key = st::matrix_key(matrix);
+  st::OpenStats stats;
+  const auto mapped = st::open_or_build_engine_mapped(
+      store, input_key, [&]() { return matrix; }, metric,
+      sim::Precompute::kAllPairs, sim::DenseKernel::kAuto, &stats);
+  EXPECT_TRUE(stats.persisted);
+  ASSERT_EQ(mapped.storage(), sim::EngineStorage::kBorrowedMapped);
+  ASSERT_EQ(mapped.size(), heap.size());
+  ASSERT_EQ(mapped.stride(), heap.stride());
+
+  fv::par::ThreadPool pool(static_cast<std::size_t>(threads));
+
+  // Condensed triangle: heap pooled == mapped pooled == mapped SERIAL
+  // (the out-of-core streaming driver with page release + backing checks).
+  const std::size_t cells = fv::condensed_size(heap.size());
+  std::vector<float> heap_condensed(cells), mapped_condensed(cells),
+      mapped_streamed(cells);
+  heap.condensed_distances(heap_condensed, pool);
+  mapped.condensed_distances(mapped_condensed, pool);
+  mapped.condensed_distances(mapped_streamed);
+  EXPECT_EQ(std::memcmp(heap_condensed.data(), mapped_condensed.data(),
+                        cells * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(heap_condensed.data(), mapped_streamed.data(),
+                        cells * sizeof(float)),
+            0);
+
+  // Top-k under the parameterized strategy. kApprox additionally reuses a
+  // BORROWED-MAPPED LSH index on the mapped side — signatures served as
+  // spans into the persisted bank, zero rebuilt.
+  sim::LshParams lsh;
+  lsh.bits = 64;
+  lsh.tables = 8;
+  sim::NeighborTable heap_table, mapped_table;
+  if (strategy == sim::TopKStrategy::kApprox) {
+    fv::par::ThreadPool build_pool(2);
+    heap_table = heap.top_k_neighbors(6, pool, 0, strategy, nullptr, lsh);
+    (void)st::open_or_build_lsh(store, heap, lsh, build_pool);
+    const auto mapped_lsh = st::open_lsh_mapped(store, mapped, lsh);
+    ASSERT_TRUE(mapped_lsh.has_value());
+    ASSERT_EQ(mapped_lsh->storage(), sim::EngineStorage::kBorrowedMapped);
+    sim::TopKStats topk_stats;
+    mapped_table = mapped.top_k_neighbors(6, pool, 0, strategy, &topk_stats,
+                                          lsh, &*mapped_lsh);
+    EXPECT_EQ(topk_stats.signatures_built, 0u);
+  } else {
+    heap_table = heap.top_k_neighbors(6, pool, 0, strategy);
+    mapped_table = mapped.top_k_neighbors(6, pool, 0, strategy);
+  }
+  EXPECT_EQ(mapped_table.indices, heap_table.indices);
+  EXPECT_EQ(mapped_table.distances, heap_table.distances);
+  EXPECT_EQ(mapped_table.valid, heap_table.valid);
+
+  // Compendium rows served off the mapping reconstruct the exact input.
+  const auto roundtrip = fv::expr::matrix_from_engine(mapped);
+  ASSERT_EQ(roundtrip.rows(), matrix.rows());
+  ASSERT_EQ(roundtrip.cols(), matrix.cols());
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    const auto a = matrix.row(r);
+    const auto b = roundtrip.row(r);
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+        << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomMatrices, MappedEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 3),  // seeds (logged via SCOPED_TRACE)
+        ::testing::Values(static_cast<int>(sim::Metric::kPearson),
+                          static_cast<int>(sim::Metric::kSpearman),
+                          static_cast<int>(sim::Metric::kEuclidean)),
+        ::testing::Values(static_cast<int>(sim::TopKStrategy::kExact),
+                          static_cast<int>(sim::TopKStrategy::kPruned),
+                          static_cast<int>(sim::TopKStrategy::kApprox)),
+        ::testing::Values(1, 4)));  // pool widths
 
 }  // namespace

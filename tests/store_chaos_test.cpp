@@ -17,12 +17,14 @@
 #include "expr/dataset.hpp"
 #include "expr/gene.hpp"
 #include "par/thread_pool.hpp"
+#include "sim/lsh.hpp"
 #include "sim/similarity_engine.hpp"
 #include "spell/spell.hpp"
 #include "store/artifact_store.hpp"
 #include "store/cached.hpp"
 #include "store/fsck.hpp"
 #include "util/rng.hpp"
+#include "util/triangular.hpp"
 
 namespace {
 
@@ -462,6 +464,134 @@ TEST_F(StoreChaosConsumerTest, LshAndSpellSurviveTornWrites) {
       EXPECT_EQ(got.gene_ranking[i].score, expected.gene_ranking[i].score);
     }
   }
+}
+
+// ---- mapped (out-of-core) opens under damage ---------------------------
+//
+// The borrowed-mapped path raises the stakes: a consumer holds read-only
+// spans into the artifact file for its whole lifetime, so damage must be
+// caught as a typed error AT OPEN (the kOnDemand chunk-streamed checksum),
+// and damage that arrives AFTER open (a foreign truncation under the
+// mapping) must surface as fv::CorruptArtifactError from the streaming
+// driver's backing check — never a SIGBUS mid-compute.
+
+using StoreChaosMappedTest = StoreChaosTest;
+
+TEST_F(StoreChaosMappedTest, EveryFaultFamilyGivesTypedErrorAtMappedOpen) {
+  const auto matrix = chaos_matrix(48, 10, 31);
+  const auto input_key = fv::store::matrix_key(matrix);
+  const auto engine_key = fv::store::engine_key(
+      input_key, fv::sim::Metric::kPearson, fv::sim::Precompute::kAllPairs,
+      fv::sim::DenseKernel::kAuto);
+
+  std::vector<fv::store::FaultSpec> specs(3);
+  specs[0].torn_write_rate = 1.0;
+  specs[1].bitflip_rate = 1.0;
+  specs[2].truncate_rate = 1.0;
+  std::uint64_t seed = 400;
+  for (auto& spec : specs) spec.seed = seed++;
+
+  for (const auto& spec : specs) {
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    SCOPED_TRACE("torn=" + std::to_string(spec.torn_write_rate) +
+                 " flip=" + std::to_string(spec.bitflip_rate) +
+                 " trunc=" + std::to_string(spec.truncate_rate));
+    {  // persist through a faulted store: the artifact lands damaged
+      fv::store::ArtifactStore dying(dir_, spec);
+      (void)fv::store::open_or_build_engine(
+          dying, input_key, [&]() { return matrix; },
+          fv::sim::Metric::kPearson);
+    }
+    // The raw mapped open reports the damage as a typed error...
+    fv::store::ArtifactStore reader(dir_);
+    EXPECT_THROW(
+        (void)fv::store::open_engine_mapped(reader, engine_key),
+        fv::CorruptArtifactError);
+    // ...and the mapped degradation ladder recomputes exact values, then
+    // serves the self-healed artifact borrowed-mapped.
+    fv::store::OpenStats stats;
+    const auto healed = fv::store::open_or_build_engine_mapped(
+        reader, input_key, [&]() { return matrix; },
+        fv::sim::Metric::kPearson, fv::sim::Precompute::kAllPairs,
+        fv::sim::DenseKernel::kAuto, &stats);
+    EXPECT_TRUE(stats.recovered);
+    EXPECT_TRUE(stats.persisted);
+    EXPECT_EQ(healed.storage(), fv::sim::EngineStorage::kBorrowedMapped);
+    const auto reference = fv::sim::SimilarityEngine::from_rows(
+        matrix, fv::sim::Metric::kPearson);
+    for (std::size_t i = 0; i + 1 < reference.size(); i += 3) {
+      EXPECT_EQ(healed.distance(i, i + 1), reference.distance(i, i + 1));
+    }
+  }
+}
+
+TEST_F(StoreChaosMappedTest, FileShrunkAfterOpenIsTypedErrorNotSigbus) {
+  const auto matrix = chaos_matrix(96, 12, 33);
+  const auto input_key = fv::store::matrix_key(matrix);
+  fv::store::ArtifactStore store(dir_);
+  fv::store::OpenStats stats;
+  const auto mapped = fv::store::open_or_build_engine_mapped(
+      store, input_key, [&]() { return matrix; }, fv::sim::Metric::kPearson,
+      fv::sim::Precompute::kAllPairs, fv::sim::DenseKernel::kAuto, &stats);
+  ASSERT_EQ(mapped.storage(), fv::sim::EngineStorage::kBorrowedMapped);
+
+  // Sanity: the streaming driver runs clean before the damage.
+  std::vector<float> out(fv::condensed_size(mapped.size()));
+  mapped.condensed_distances(std::span<float>(out));
+
+  // A foreign process truncates the artifact UNDER the live mapping. The
+  // mapping itself cannot notice (mmap keeps the old length); touching an
+  // evaporated page is SIGBUS. The streaming driver's per-stripe backing
+  // check must turn that into a typed error before any touch.
+  const auto path = store.artifact_path(
+      fv::store::ArtifactKind::kEngine,
+      fv::store::engine_key(input_key, fv::sim::Metric::kPearson,
+                            fv::sim::Precompute::kAllPairs,
+                            fv::sim::DenseKernel::kAuto));
+  fs::resize_file(path, fs::file_size(path) / 2);
+  EXPECT_THROW(mapped.condensed_distances(std::span<float>(out)),
+               fv::CorruptArtifactError);
+
+  // The pooled driver and top-k run the same guard at phase start.
+  fv::par::ThreadPool pool(2);
+  EXPECT_THROW(mapped.condensed_distances(std::span<float>(out), pool),
+               fv::CorruptArtifactError);
+  EXPECT_THROW((void)mapped.top_k_neighbors(4, pool),
+               fv::CorruptArtifactError);
+}
+
+TEST_F(StoreChaosMappedTest, DamagedLshArtifactGivesTypedErrorAtMappedOpen) {
+  fv::par::ThreadPool pool(2);
+  const auto matrix = chaos_matrix(80, 12, 35);
+  const auto engine = fv::sim::SimilarityEngine::from_rows(
+      matrix, fv::sim::Metric::kPearson);
+  fv::sim::LshParams params;
+  params.bits = 64;
+  params.tables = 8;
+
+  fv::store::ArtifactStore store(dir_);
+  (void)fv::store::open_or_build_lsh(store, engine, params, pool);
+  const auto mapped = fv::store::open_lsh_mapped(store, engine, params);
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->storage(), fv::sim::EngineStorage::kBorrowedMapped);
+
+  const auto path = store.artifact_path(
+      fv::store::ArtifactKind::kLshIndex,
+      fv::store::lsh_key(fv::store::EngineCodec::content_key(engine),
+                         params));
+  {  // flip one payload byte: the chunk-streamed checksum must catch it
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(200);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x08);
+    f.seekp(200);
+    f.write(&b, 1);
+  }
+  fv::store::ArtifactStore second(dir_);
+  EXPECT_THROW((void)fv::store::open_lsh_mapped(second, engine, params),
+               fv::CorruptArtifactError);
 }
 
 }  // namespace

@@ -5,6 +5,12 @@
 // live in store_chaos_test.cpp.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -129,6 +135,38 @@ TEST_F(MappedVectorTest, GrowthPreservesEarlierElements) {
   v.sync();
   EXPECT_GE(v.capacity(), 10000u);
   for (std::uint64_t i = 0; i < 10000; ++i) EXPECT_EQ(v[i], i * i);
+}
+
+TEST_F(MappedVectorTest, OnDemandViewReleasesAndGuardsBacking) {
+  const std::string path = dir_ + "/vec.bin";
+  std::vector<double> values(100000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i) * 0.25;
+  }
+  {
+    auto v = fv::store::MappedVector<double>::create(path);
+    v.append(values);
+    v.sync();
+  }
+  // The out-of-core open: nothing prefaulted, elements fault in on touch
+  // and can be dropped behind a streaming cursor. Values are unchanged
+  // before and after release (release only evicts, never mutates).
+  const auto r = fv::store::MappedVector<double>::open_read_only(
+      path, /*populate=*/false);
+  ASSERT_EQ(r.size(), values.size());
+  r.check_backing();  // intact file: no throw
+  for (std::size_t i = 0; i < values.size(); i += 10000) {
+    EXPECT_EQ(r[i], values[i]);
+  }
+  r.release_elements(0, values.size());
+  r.release_elements(values.size() + 5, 10);  // out of range: no-op
+  for (std::size_t i = 0; i < values.size(); i += 10000) {
+    EXPECT_EQ(r[i], values[i]);  // refaults from the file
+  }
+  // A foreign truncation under the mapping is a typed error from the
+  // guard, so streaming consumers never touch an evaporated page.
+  fs::resize_file(path, fs::file_size(path) / 2);
+  EXPECT_THROW(r.check_backing(), fv::CorruptArtifactError);
 }
 
 TEST_F(MappedVectorTest, OpenValidationRaisesTypedErrors) {
@@ -619,6 +657,70 @@ TEST_F(StoreConcurrencyTest, ParallelLoadOrComputeStaysConsistent) {
   const auto report = fv::store::fsck_scan(dir_);
   EXPECT_TRUE(report.clean());
   EXPECT_EQ(report.valid, 9u);
+}
+
+// ---- cross-process single-writer lock ----------------------------------
+
+// Commits take an exclusive flock(2) on the store DIRECTORY, so two
+// PROCESSES (not just two threads) serialize their commit critical
+// sections. The child signals over a pipe just before its put(); the
+// parent holds the directory lock for a measured window; the child's put
+// must block for (most of) that window and then commit normally.
+TEST_F(StoreConcurrencyTest, CommitsSerializeAcrossProcessesViaFlock) {
+  int ready_pipe[2];
+  ASSERT_EQ(pipe(ready_pipe), 0);
+
+  const int dir_fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  ASSERT_GE(dir_fd, 0);
+  ASSERT_EQ(::flock(dir_fd, LOCK_EX), 0);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: no gtest, no exceptions escaping; exit code is the verdict.
+    ::close(ready_pipe[0]);
+    int code = 0;
+    try {
+      fv::store::ArtifactStore store(dir_);
+      const char go = 'g';
+      if (::write(ready_pipe[1], &go, 1) != 1) _exit(3);
+      const auto start = std::chrono::steady_clock::now();
+      store.put(fv::store::ArtifactKind::kBlob, 0x10cc,
+                [](auto& w) { w.scalar(std::uint64_t{0x10cc}); });
+      const auto blocked_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      // The parent holds the lock ≥ 300 ms after 'go'; generous slack for
+      // scheduling, but the child must have measurably waited.
+      if (blocked_ms < 150) code = 4;
+    } catch (...) {
+      code = 5;
+    }
+    _exit(code);
+  }
+
+  // Parent: wait for the child to reach its put, keep the directory locked
+  // well past that point, then release and reap.
+  ::close(ready_pipe[1]);
+  char go = 0;
+  ASSERT_EQ(::read(ready_pipe[0], &go, 1), 1);
+  ::close(ready_pipe[0]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_EQ(::flock(dir_fd, LOCK_UN), 0);
+  ::close(dir_fd);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "child verdict (3=pipe, 4=did not block, 5=threw)";
+
+  // The child's commit landed intact once the lock was released.
+  fv::store::ArtifactStore store(dir_);
+  const auto reader = store.open(fv::store::ArtifactKind::kBlob, 0x10cc);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->scalar<std::uint64_t>(0), 0x10ccull);
 }
 
 // ---- fsck --------------------------------------------------------------

@@ -1,12 +1,14 @@
 // Unit tests for the util module: RNG, strings, errors, file helpers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <set>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "mpx/fault.hpp"
 #include "util/error.hpp"
@@ -378,6 +380,37 @@ TEST(XxHashTest, EveryTailLengthIsCovered) {
     EXPECT_NE(hash_str(flipped), h) << "len=" << len;
     previous = h;
   }
+}
+
+TEST(XxHashStreamTest, AnyChunkingMatchesOneShot) {
+  // The chunked artifact validator (PageResidency::kOnDemand) hashes the
+  // payload through Xxh64Stream in arbitrary-size updates; the result must
+  // equal the one-shot hash at EVERY split point or mapped and prefaulted
+  // opens would disagree about validity.
+  fv::Rng rng(424242);
+  std::vector<std::byte> buffer(4096 + 37);  // off 32-byte stripe alignment
+  for (auto& b : buffer) {
+    b = static_cast<std::byte>(rng.uniform_u64(256));
+  }
+  const std::span<const std::byte> bytes(buffer);
+  const std::uint64_t expected = fv::xxhash64(bytes);
+
+  // Every split of the first 160 bytes plus a sweep of coarse splits.
+  for (std::size_t split = 0; split <= bytes.size();
+       split += (split < 160 ? 1 : 509)) {
+    fv::Xxh64Stream stream;
+    stream.update(bytes.first(split));
+    stream.update(bytes.subspan(split));
+    EXPECT_EQ(stream.digest(), expected) << "split=" << split;
+  }
+
+  // Many tiny updates; digest() must also be non-consuming.
+  fv::Xxh64Stream stream;
+  for (std::size_t i = 0; i < bytes.size(); i += 7) {
+    stream.update(bytes.subspan(i, std::min<std::size_t>(7, bytes.size() - i)));
+  }
+  EXPECT_EQ(stream.digest(), expected);
+  EXPECT_EQ(stream.digest(), expected);
 }
 
 }  // namespace
