@@ -16,9 +16,20 @@ Session::Session(std::vector<expr::Dataset> datasets)
   prefs_.resize(datasets_.size());
 }
 
+Session::Session(std::shared_ptr<const std::vector<expr::Dataset>> shared)
+    : shared_(std::move(shared)),
+      merged_(shared_.get()),
+      sync_(&merged_) {
+  FV_REQUIRE(shared_ != nullptr && !shared_->empty(),
+             "shared session needs a non-empty dataset vector");
+  pane_order_.resize(shared_->size());
+  for (std::size_t i = 0; i < pane_order_.size(); ++i) pane_order_[i] = i;
+  prefs_.resize(shared_->size());
+}
+
 const expr::Dataset& Session::dataset(std::size_t index) const {
-  FV_REQUIRE(index < datasets_.size(), "dataset index out of range");
-  return datasets_[index];
+  FV_REQUIRE(index < data().size(), "dataset index out of range");
+  return data()[index];
 }
 
 DisplayPrefs& Session::prefs(std::size_t dataset) {
@@ -38,8 +49,8 @@ void Session::set_prefs_all(const DisplayPrefs& prefs) {
 
 void Session::select_region(std::size_t dataset, std::size_t first,
                             std::size_t count) {
-  FV_REQUIRE(dataset < datasets_.size(), "dataset index out of range");
-  const auto order = datasets_[dataset].display_order();
+  FV_REQUIRE(dataset < data().size(), "dataset index out of range");
+  const auto order = data()[dataset].display_order();
   FV_REQUIRE(first < order.size(), "selection start beyond dataset");
   const std::size_t end = std::min(first + count, order.size());
   std::vector<GeneId> genes;
@@ -49,7 +60,7 @@ void Session::select_region(std::size_t dataset, std::size_t first,
   }
   selection_.set(std::move(genes));
   sync_.scroll_to(0);
-  log("select_region dataset=" + datasets_[dataset].name() + " first=" +
+  log("select_region dataset=" + data()[dataset].name() + " first=" +
       std::to_string(first) + " count=" + std::to_string(end - first));
 }
 
@@ -97,11 +108,11 @@ void Session::scroll_to(std::size_t first) {
 }
 
 void Session::order_panes(const std::vector<std::size_t>& order) {
-  FV_REQUIRE(order.size() == datasets_.size(),
+  FV_REQUIRE(order.size() == data().size(),
              "pane order must cover every dataset exactly once");
-  std::vector<bool> seen(datasets_.size(), false);
+  std::vector<bool> seen(data().size(), false);
   for (const std::size_t d : order) {
-    FV_REQUIRE(d < datasets_.size() && !seen[d],
+    FV_REQUIRE(d < data().size() && !seen[d],
                "pane order must be a permutation");
     seen[d] = true;
   }
@@ -120,6 +131,9 @@ expr::Dataset Session::export_merged_selection(
 }
 
 void Session::add_dataset(expr::Dataset dataset) {
+  FV_REQUIRE(shared_ == nullptr,
+             "a shared-compendium session is read-only; add_dataset is "
+             "only valid on a session that owns its datasets");
   // Preserve the selection by name across the catalog rebuild.
   std::vector<std::string> selected_names;
   selected_names.reserve(selection_.size());

@@ -8,6 +8,7 @@
 // continually cut and paste selections between instances").
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,16 +32,29 @@ class Session {
  public:
   explicit Session(std::vector<expr::Dataset> datasets);
 
+  /// Shared-compendium session: the serving layer runs N concurrent
+  /// sessions over ONE immutable dataset vector (typically reconstructed
+  /// from a mapped engine artifact) instead of copying it per session.
+  /// Per-session state (selection, sync, prefs, pane order, event log) is
+  /// private as always; the dataset payload is aliased. add_dataset() is
+  /// rejected on a shared session — the compendium is read-only by
+  /// construction, which is also what makes concurrent read-only access
+  /// from many sessions race-free.
+  explicit Session(std::shared_ptr<const std::vector<expr::Dataset>> shared);
+
   // Not copyable/movable: the merged interface holds a stable pointer to
   // the dataset vector.
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  std::size_t dataset_count() const noexcept { return datasets_.size(); }
+  /// Whether this session aliases a shared read-only compendium.
+  bool shares_datasets() const noexcept { return shared_ != nullptr; }
+
+  std::size_t dataset_count() const noexcept { return data().size(); }
   const expr::Dataset& dataset(std::size_t index) const;
   /// Whole dataset list, as consumed by analysis plug-ins (SPELL).
   const std::vector<expr::Dataset>& datasets() const noexcept {
-    return datasets_;
+    return data();
   }
   const MergedDatasetInterface& merged() const noexcept { return merged_; }
   const SelectionModel& selection() const noexcept { return selection_; }
@@ -92,6 +106,7 @@ class Session {
   /// Loads a new dataset into the session (paper: the exported subset "can
   /// also be loaded into the ForestView display as a dataset"). The
   /// selection is preserved by gene name across the catalog rebuild.
+  /// Rejected (fv::InvalidArgument) on a shared-compendium session.
   void add_dataset(expr::Dataset dataset);
 
   // --- event log -----------------------------------------------------------
@@ -102,7 +117,14 @@ class Session {
  private:
   void log(std::string entry);
 
-  std::vector<expr::Dataset> datasets_;
+  /// The dataset vector this session reads: its own copy, or the shared
+  /// immutable compendium.
+  const std::vector<expr::Dataset>& data() const noexcept {
+    return shared_ != nullptr ? *shared_ : datasets_;
+  }
+
+  std::vector<expr::Dataset> datasets_;  ///< empty in shared mode
+  std::shared_ptr<const std::vector<expr::Dataset>> shared_;
   MergedDatasetInterface merged_;
   SelectionModel selection_;
   SyncController sync_;

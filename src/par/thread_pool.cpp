@@ -47,6 +47,11 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+std::size_t ThreadPool::pending() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size() + active_;
+}
+
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool;
   return pool;

@@ -43,13 +43,19 @@ class ThreadPool {
   /// Blocks until the queue is empty and all workers are idle.
   void wait_idle();
 
+  /// Tasks not yet finished: queued plus currently executing. A snapshot —
+  /// by the time the caller reads it, work may have drained or arrived.
+  /// Admission control (the serving layer's job queue) uses it as a load
+  /// signal, never as a synchronization primitive.
+  std::size_t pending() const;
+
   /// Process-wide pool for callers that do not manage their own.
   static ThreadPool& shared();
 
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,348 @@
+#include "serve/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace fv::serve {
+
+namespace {
+
+/// Maximum array/object nesting the parser accepts. Deep enough for any
+/// real request, shallow enough that a hostile body cannot exhaust the
+/// stack before the bound trips.
+constexpr std::size_t kMaxDepth = 64;
+
+[[noreturn]] void parse_fail(std::string_view what, std::size_t at) {
+  throw ParseError("JSON: " + std::string(what) + " at byte " +
+                   std::to_string(at));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) parse_fail("trailing characters", pos_);
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) parse_fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      parse_fail(std::string("expected '") + c + "'", pos_);
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) parse_fail("nesting too deep", pos_);
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        parse_fail("bad literal", pos_);
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        parse_fail("bad literal", pos_);
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        parse_fail("bad literal", pos_);
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonValue object = JsonValue::object();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      if (peek() != '"') parse_fail("expected object key string", pos_);
+      std::string key = parse_string();
+      expect(':');
+      object[key] = parse_value(depth + 1);
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return object;
+      }
+      parse_fail("expected ',' or '}'", pos_);
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    JsonValue array = JsonValue::array();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push(parse_value(depth + 1));
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return array;
+      }
+      parse_fail("expected ',' or ']'", pos_);
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) parse_fail("unterminated string", pos_);
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        parse_fail("raw control character in string", pos_ - 1);
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) parse_fail("unterminated escape", pos_);
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) parse_fail("short \\u escape", pos_);
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else parse_fail("bad \\u hex digit", pos_ - 1);
+          }
+          // BMP only; surrogate pairs are rejected rather than silently
+          // mangled (no handler emits them, so a request carrying one is
+          // better refused than half-decoded).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            parse_fail("surrogate \\u escapes unsupported", pos_);
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          parse_fail("bad escape character", pos_ - 1);
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) parse_fail("expected a value", start);
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      parse_fail("bad number", start);
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_value(std::string& out, const JsonValue& value) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber:
+      out += format_json_number(value.as_number());
+      return;
+    case JsonValue::Type::kString:
+      append_escaped(out, value.as_string());
+      return;
+    case JsonValue::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& item : value.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_value(out, item);
+      }
+      out.push_back(']');
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_escaped(out, key);
+        out.push_back(':');
+        append_value(out, member);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  FV_REQUIRE(type_ == Type::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  FV_REQUIRE(type_ == Type::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  FV_REQUIRE(type_ == Type::kString, "JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  FV_REQUIRE(type_ == Type::kArray, "JSON value is not an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::members() const {
+  FV_REQUIRE(type_ == Type::kObject, "JSON value is not an object");
+  return object_;
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  FV_REQUIRE(type_ == Type::kObject, "JSON value is not an object");
+  return object_[key];
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+void JsonValue::push(JsonValue value) {
+  FV_REQUIRE(type_ == Type::kArray, "JSON value is not an array");
+  array_.push_back(std::move(value));
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  append_value(out, *this);
+  return out;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string format_json_number(double value) {
+  // Integers (job counts, sizes, indices) print exactly; everything else
+  // prints with %.17g — enough digits for a bit-exact double round trip,
+  // and locale-free ('.' decimal point) under the "C" printf family.
+  if (std::nearbyint(value) == value && std::abs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace fv::serve

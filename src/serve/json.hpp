@@ -1,0 +1,99 @@
+// Minimal JSON value, parser and writer for the serving layer.
+//
+// The server's contract is *byte-deterministic* responses: the same request
+// against the same compendium must produce the same bytes, whether computed
+// cold, served from the result cache, or produced by a different worker
+// thread — tests and the many-user bench assert bit-identity, and the
+// content-addressed cache depends on it. That rules out any JSON library
+// with unordered maps or locale-dependent number formatting, and is why
+// this one exists:
+//  * objects keep keys in std::map order (sorted, stable),
+//  * numbers print via a fixed locale-free format (integers exactly,
+//    doubles with round-trip precision),
+//  * dump() has exactly one spelling of every construct (no whitespace
+//    options).
+//
+// The parser is a strict recursive-descent JSON subset reader (UTF-8 pass
+// through, \uXXXX escapes decoded for BMP code points) with a nesting-depth
+// bound so hostile request bodies cannot blow the stack. Malformed input is
+// a typed fv::ParseError, which the HTTP layer maps to 400.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fv::serve {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  ///< null
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}
+  JsonValue(int value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(std::size_t value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(std::string value)
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(const char* value) : JsonValue(std::string(value)) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+
+  /// Typed reads; wrong-type access is the caller's bug (fv::InvalidArgument
+  /// — the request handlers turn it into 400 via field helpers instead of
+  /// calling these raw on client input).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const std::map<std::string, JsonValue>& members() const;
+
+  /// Object field access, inserting null for a missing key (object only).
+  JsonValue& operator[](const std::string& key);
+  /// Pointer to a member, or nullptr when absent / not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Appends to an array (array only).
+  void push(JsonValue value);
+
+  /// Serializes deterministically (see header comment). Objects emit keys
+  /// in sorted order; arrays in insertion order.
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document (the whole string must be consumed, trailing
+/// whitespace allowed). Throws fv::ParseError on malformed input or on
+/// nesting deeper than an internal bound.
+JsonValue parse_json(std::string_view text);
+
+/// Formats a double exactly as dump() does — shared so handlers composing
+/// response fragments by hand stay byte-compatible with JsonValue output.
+std::string format_json_number(double value);
+
+}  // namespace fv::serve

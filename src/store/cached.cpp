@@ -740,4 +740,36 @@ spell::SpellSearch open_or_build_spell(
       stats);
 }
 
+void put_blob(ArtifactStore& store, ArtifactKey key, std::string_view bytes) {
+  store.put(ArtifactKind::kBlob, key, [&](ArtifactWriter& writer) {
+    writer.section_bytes(std::as_bytes(
+        std::span<const char>(bytes.data(), bytes.size())));
+  });
+}
+
+std::optional<std::string> load_blob(ArtifactStore& store, ArtifactKey key) {
+  try {
+    const auto reader = store.open(ArtifactKind::kBlob, key);
+    if (!reader.has_value()) return std::nullopt;
+    const auto bytes = reader->section_bytes(0);
+    store.stats().warm_opens.fetch_add(1, std::memory_order_relaxed);
+    return std::string(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size());
+  } catch (const CorruptArtifactError& error) {
+    store.stats().corrupt.fetch_add(1, std::memory_order_relaxed);
+    detail::log_artifact_recovery(store.artifact_path(ArtifactKind::kBlob, key),
+                                  "corrupt", error.what(), "quarantined");
+    store.quarantine(ArtifactKind::kBlob, key);
+  } catch (const StaleArtifactError& error) {
+    store.stats().stale.fetch_add(1, std::memory_order_relaxed);
+    detail::log_artifact_recovery(store.artifact_path(ArtifactKind::kBlob, key),
+                                  "stale", error.what(), "removed");
+    store.remove(ArtifactKind::kBlob, key);
+  } catch (const IoError& error) {
+    detail::log_artifact_recovery(store.artifact_path(ArtifactKind::kBlob, key),
+                                  "unreadable", error.what(), "ignored");
+  }
+  return std::nullopt;
+}
+
 }  // namespace fv::store

@@ -234,4 +234,22 @@ spell::SpellSearch open_or_build_spell(
     ArtifactStore& store, const std::vector<expr::Dataset>& datasets,
     par::ThreadPool& pool, OpenStats* stats = nullptr);
 
+// ---- opaque result blobs -----------------------------------------------
+//
+// The serving layer's content-addressed result cache persists rendered
+// response payloads (JSON bytes) under ArtifactKind::kBlob so a restarted
+// server answers repeat requests warm. A blob is one single-section
+// artifact; the payload is returned verbatim, so a warm response is
+// bit-identical to the one that was cached.
+
+/// Commits `bytes` under (kBlob, key). Throws like ArtifactStore::put.
+void put_blob(ArtifactStore& store, ArtifactKey key, std::string_view bytes);
+
+/// Opens the blob at (kBlob, key). nullopt when absent — and also on
+/// damage, after the usual ladder housekeeping (corrupt → quarantine,
+/// stale → remove, unreadable → ignore), because a cache consumer's only
+/// recovery is recomputing the response anyway. Never throws typed
+/// artifact errors.
+std::optional<std::string> load_blob(ArtifactStore& store, ArtifactKey key);
+
 }  // namespace fv::store

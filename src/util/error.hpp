@@ -59,6 +59,15 @@ class TimeoutError : public Error {
   using Error::Error;
 };
 
+/// A bounded-capacity resource (the serving layer's job queue, its session
+/// table) is full and admission was refused rather than queued unboundedly.
+/// Always recoverable by retrying later — nothing was partially done. The
+/// HTTP layer maps this to 503 Service Unavailable.
+class OverloadedError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// A message failed its envelope integrity check: the payload checksum no
 /// longer matches what the sender sealed, so the bytes were truncated or
 /// corrupted in transit. Surfaced *before* payload decoding, so consumers

@@ -2,7 +2,9 @@
 // selection/synchronization, session operations and frame rendering.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <thread>
 
 #include "core/app.hpp"
 #include "core/gene_catalog.hpp"
@@ -10,6 +12,7 @@
 #include "core/session.hpp"
 #include "core/sync.hpp"
 #include "expr/synth.hpp"
+#include "spell/spell.hpp"
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
 
@@ -284,6 +287,57 @@ TEST(SessionTest, PrefsPerDatasetAndAll) {
   all.scheme = fv::render::ColorScheme::kBlueYellow;
   session.set_prefs_all(all);
   EXPECT_EQ(session.prefs(1).scheme, fv::render::ColorScheme::kBlueYellow);
+}
+
+TEST(SessionTest, SharedCompendiumSessionsAliasOneVector) {
+  const auto shared =
+      std::make_shared<const std::vector<ex::Dataset>>(tiny_datasets());
+  co::Session a(shared);
+  co::Session b(shared);
+  EXPECT_TRUE(a.shares_datasets());
+  // Both sessions read the SAME vector — aliased, not copied.
+  EXPECT_EQ(&a.datasets(), shared.get());
+  EXPECT_EQ(&b.datasets(), shared.get());
+  // Per-session state stays private: selecting in one leaves the other.
+  a.select_by_names({"HSP26"});
+  EXPECT_EQ(a.selection().size(), 1u);
+  EXPECT_EQ(b.selection().size(), 0u);
+  // The shared compendium is read-only by construction.
+  EXPECT_THROW(a.add_dataset(tiny_datasets()[0]), fv::InvalidArgument);
+}
+
+// The serving layer's aliasing pattern, pinned under TSan (this suite runs
+// in CI's tsan leg): two sessions over ONE shared dataset vector, one
+// thread rendering frames while the other runs SPELL over the same aliased
+// datasets. Read-only concurrent access must be race-free with no
+// compendium lock.
+TEST(SessionTest, SharedSessionsConcurrentRenderAndSpellAreRaceFree) {
+  const auto shared =
+      std::make_shared<const std::vector<ex::Dataset>>(tiny_datasets());
+  co::Session render_session(shared);
+  co::Session spell_session(shared);
+  render_session.select_region(0, 0, 3);
+
+  std::thread renderer([&render_session] {
+    for (int i = 0; i < 8; ++i) {
+      fv::render::Framebuffer fb(400, 300);
+      fv::render::FramebufferCanvas canvas(fb);
+      co::FrameConfig config;
+      config.width = 400;
+      config.height = 300;
+      const auto info = co::render_frame(render_session, canvas, config);
+      EXPECT_EQ(info.panes_rendered, 2u);
+    }
+  });
+  std::thread analyst([&spell_session] {
+    const fv::spell::SpellSearch spell(spell_session.datasets());
+    for (int i = 0; i < 8; ++i) {
+      const auto result = spell.search({"HSP26", "TDH3"});
+      EXPECT_FALSE(result.dataset_ranking.empty());
+    }
+  });
+  renderer.join();
+  analyst.join();
 }
 
 TEST(FrameTest, RendersPanesAndRows) {

@@ -193,9 +193,17 @@ TEST(MappedBudgetTest, StreamedDistancePhaseStaysInWorkingSetBudget) {
     run_condensed(engine);
   });
 
-  // Mapped phase in THIS process, bracketed by the high-water mark.
+  // Mapped phase in THIS process, bracketed by the high-water mark. The
+  // measurement needs the kernel to expose VmHWM in /proc/self/status —
+  // absent on non-Linux kernels and some hardened/containerized procfs
+  // mounts. Without it there is nothing to bracket, so skip (loudly)
+  // rather than fail on an environment limitation.
   const long before_kb = vm_hwm_kb();
-  ASSERT_GT(before_kb, 0);
+  if (before_kb <= 0) {
+    GTEST_SKIP() << "VmHWM not readable from /proc/self/status on this "
+                    "system; the mapped-budget measurement needs the "
+                    "kernel's peak-RSS high-water mark";
+  }
   {
     fv::store::ArtifactStore store(dir);
     open_mapped_and_stream(store);

@@ -1,0 +1,152 @@
+// fv_serve — run the ForestView analysis server.
+//
+//   fv_serve [--port P] [--datasets DIR] [--store DIR] [--genes N]
+//            [--workers N] [--max-jobs N]
+//
+// Serves the HTTP/JSON session-and-jobs API (src/serve/README.md) over one
+// shared read-only compendium:
+//   --datasets DIR   load PCL datasets from DIR (expr::load_compendium_dir);
+//                    without it a synthetic yeast-like compendium of
+//                    --genes genes (default 2000) is generated, so the
+//                    server is demo-able with zero inputs.
+//   --store DIR      open the similarity engine through the artifact store
+//                    at DIR (borrowed-mapped when a valid artifact exists;
+//                    built and persisted on first run) and persist job
+//                    results there as blob artifacts — a restarted server
+//                    answers repeat requests warm.
+//   --port P         listen port (default 8077; 0 = kernel-assigned).
+//
+// Stop with SIGINT/SIGTERM; shutdown drains the job queue.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "expr/compendium_io.hpp"
+#include "expr/synth.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+#include "store/cached.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: fv_serve [--port P] [--datasets DIR] [--store DIR] "
+               "[--genes N] [--workers N] [--max-jobs N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 8077;
+  std::string datasets_dir;
+  std::string store_dir;
+  std::size_t genes = 2000;
+  fv::serve::AnalysisService::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fv_serve: %s needs a value\n", name);
+        print_usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(arg_value("--port")));
+    } else if (std::strcmp(argv[i], "--datasets") == 0) {
+      datasets_dir = arg_value("--datasets");
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      store_dir = arg_value("--store");
+    } else if (std::strcmp(argv[i], "--genes") == 0) {
+      genes = static_cast<std::size_t>(std::atoll(arg_value("--genes")));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      options.job_workers =
+          static_cast<std::size_t>(std::atoll(arg_value("--workers")));
+    } else if (std::strcmp(argv[i], "--max-jobs") == 0) {
+      options.max_active_jobs =
+          static_cast<std::size_t>(std::atoll(arg_value("--max-jobs")));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "fv_serve: unknown option '%s'\n", argv[i]);
+      print_usage();
+      return 2;
+    }
+  }
+
+  try {
+    // The shared dataset vector every session aliases.
+    auto datasets = std::make_shared<std::vector<fv::expr::Dataset>>();
+    if (!datasets_dir.empty()) {
+      *datasets = fv::expr::load_compendium_dir(datasets_dir);
+      std::fprintf(stderr, "fv_serve: loaded %zu datasets from %s\n",
+                   datasets->size(), datasets_dir.c_str());
+    } else {
+      fv::expr::CompendiumSpec spec;
+      spec.genome = fv::expr::GenomeSpec::yeast_like(genes);
+      *datasets = fv::expr::make_compendium(spec).datasets;
+      std::fprintf(stderr,
+                   "fv_serve: synthesized %zu demo datasets (%zu genes)\n",
+                   datasets->size(), genes);
+    }
+    if (datasets->empty()) {
+      std::fprintf(stderr, "fv_serve: no datasets to serve\n");
+      return 2;
+    }
+
+    fv::par::ThreadPool compute_pool;
+    std::unique_ptr<fv::store::ArtifactStore> store;
+    fv::serve::SharedCompendium compendium;
+    const fv::expr::ExpressionMatrix& engine_matrix = (*datasets)[0].values();
+    if (!store_dir.empty()) {
+      store = std::make_unique<fv::store::ArtifactStore>(store_dir);
+      compendium = fv::serve::open_shared_compendium(
+          *store, fv::store::matrix_key(engine_matrix),
+          [&] { return engine_matrix; }, datasets, fv::sim::Metric::kPearson,
+          compute_pool);
+      options.store = store.get();
+    } else {
+      auto engine = std::make_shared<fv::sim::SimilarityEngine>(
+          fv::sim::SimilarityEngine::from_rows(engine_matrix,
+                                               fv::sim::Metric::kPearson));
+      auto spell = std::make_shared<fv::spell::SpellSearch>(*datasets,
+                                                            compute_pool);
+      compendium = fv::serve::make_shared_compendium(std::move(engine),
+                                                     datasets,
+                                                     std::move(spell));
+    }
+
+    fv::serve::AnalysisService service(std::move(compendium), compute_pool,
+                                       options);
+    fv::serve::HttpServer::Options http_options;
+    http_options.port = port;
+    fv::serve::HttpServer server(
+        [&service](const fv::serve::HttpRequest& request) {
+          return service.handle(request);
+        },
+        http_options);
+    std::fprintf(stderr, "fv_serve: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server.port()));
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::fprintf(stderr, "fv_serve: shutting down (%llu requests served)\n",
+                 static_cast<unsigned long long>(server.requests_served()));
+    server.stop();
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fv_serve: %s\n", error.what());
+    return 1;
+  }
+}
